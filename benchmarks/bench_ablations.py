@@ -1,0 +1,295 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation isolates one design decision of the paper (or of this
+reproduction) and measures/validates its effect:
+
+* sorted one-directional layout vs bidirectional hypergraph (memory and
+  selection kernel cost);
+* per-sample counter-based RNG vs the paper's leap-frog LCG (output
+  invariance vs rank count);
+* LT weight renormalization on/off (guarantee-preserving weights);
+* IMM's martingale θ vs TIM+'s KPT-based θ (estimator tightness);
+* CELF laziness vs the naive greedy oracle-call count.
+"""
+
+import numpy as np
+
+from repro.baselines import greedy_celf, tim_plus_theta
+from repro.graph import lt_normalize
+from repro.imm import estimate_theta, select_seeds
+from repro.mpi import imm_dist
+from repro.rng import SplitMix64
+from repro.sampling import (
+    HypergraphRRRCollection,
+    RRRSampler,
+    SortedRRRCollection,
+    sample_batch,
+)
+
+from conftest import BENCH
+
+
+def _filled(collection_cls, graph, count=800):
+    coll = collection_cls(graph.n)
+    sample_batch(graph, "IC", coll, count, seed=0)
+    return coll
+
+
+class TestLayoutAblation:
+    def test_selection_sorted_kernel(self, benchmark, hepth_ic):
+        coll = _filled(SortedRRRCollection, hepth_ic)
+        sel = benchmark(lambda: select_seeds(coll, hepth_ic.n, 10))
+        assert len(sel.seeds) == 10
+
+    def test_selection_hypergraph_kernel(self, benchmark, hepth_ic):
+        coll = _filled(HypergraphRRRCollection, hepth_ic)
+        sel = benchmark(lambda: select_seeds(coll, hepth_ic.n, 10))
+        assert len(sel.seeds) == 10
+
+    def test_layouts_same_seeds_different_bytes(self, benchmark, hepth_ic):
+        def _shape_check():
+            a = _filled(SortedRRRCollection, hepth_ic)
+            b = _filled(HypergraphRRRCollection, hepth_ic)
+            sa = select_seeds(a, hepth_ic.n, 10)
+            sb = select_seeds(b, hepth_ic.n, 10)
+            np.testing.assert_array_equal(sa.seeds, sb.seeds)
+            assert b.nbytes_model() > 1.5 * a.nbytes_model()
+
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+class TestRngAblation:
+    def test_per_sample_scheme_rank_invariant(self, benchmark, hepth_ic):
+        """The reproduction's default scheme: p cannot change the output."""
+        def _shape_check():
+            seeds_by_p = [
+                imm_dist(
+                    hepth_ic, k=8, eps=0.5, num_nodes=p, seed=1, theta_cap=BENCH.theta_cap
+                ).seeds
+                for p in (1, 4)
+            ]
+            np.testing.assert_array_equal(seeds_by_p[0], seeds_by_p[1])
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+    def test_leapfrog_scheme_rank_dependent_but_valid(self, benchmark, hepth_ic):
+        """The paper's leap-frog scheme: valid at every p, but the
+        sample-to-rank binding makes output p-dependent."""
+        def _shape_check():
+            results = [
+                imm_dist(
+                    hepth_ic,
+                    k=8,
+                    eps=0.5,
+                    num_nodes=p,
+                    seed=1,
+                    rng_scheme="leapfrog",
+                    theta_cap=BENCH.theta_cap,
+                )
+                for p in (1, 4)
+            ]
+            for res in results:
+                assert len(np.unique(res.seeds)) == 8
+                assert res.coverage > 0.0
+
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+class TestLTNormalizationAblation:
+    def test_normalization_bounds_rrr_walks(self, benchmark, hepth_ic):
+        """Without renormalization, vertices with in-weight sums > 1
+        would make the 'no live edge' residual negative — normalization
+        keeps every residual a probability."""
+        def _shape_check():
+            raw = hepth_ic  # uniform weights: sums can exceed 1
+            normalized = lt_normalize(raw)
+            sums_raw = [
+                raw.in_edge_probs(v).sum() for v in range(raw.n) if raw.in_degree(v)
+            ]
+            sums_norm = [
+                normalized.in_edge_probs(v).sum()
+                for v in range(normalized.n)
+                if normalized.in_degree(v)
+            ]
+            assert max(sums_raw) > 1.0  # the hazard exists on this input
+            assert max(sums_norm) <= 1.0 + 1e-9  # and normalization removes it
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+    def test_lt_sampler_on_normalized_weights(self, benchmark, hepth_lt):
+        sampler = RRRSampler(hepth_lt, "LT")
+        verts, _ = benchmark(lambda: sampler.generate(5, SplitMix64(1)))
+        assert 5 in verts.tolist()
+
+
+class TestEstimatorAblation:
+    def test_imm_theta_tighter_than_tim(self, benchmark, hepth_ic):
+        """IMM's contribution over TIM+: a tighter lower bound on OPT
+        yields fewer samples at the same guarantee."""
+        def _shape_check():
+            imm_theta = estimate_theta(hepth_ic, 10, 0.5, "IC", seed=0).theta
+            tim_theta = tim_plus_theta(hepth_ic, 10, 0.5, seed=0)
+            assert imm_theta < tim_theta
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+    def test_theta_estimation_kernel(self, benchmark, hepth_ic):
+        est = benchmark(
+            lambda: estimate_theta(
+                hepth_ic, 10, 0.5, "IC", seed=0, theta_cap=BENCH.theta_cap
+            )
+        )
+        assert est.theta > 0
+
+
+class TestCelfAblation:
+    def test_celf_lazy_saves_oracle_calls(self, benchmark):
+        """CELF re-evaluates only stale heap tops: far fewer oracle calls
+        than the n-per-round naive greedy."""
+        def _shape_check():
+            from repro.graph import barabasi_albert, uniform_random_weights
+
+            g = uniform_random_weights(barabasi_albert(80, 2, seed=1), seed=1, scale=0.3)
+            k = 4
+            res = greedy_celf(g, k, trials=15, seed=0)
+            naive_calls = g.n * k
+            assert res.oracle_calls < 0.6 * naive_calls
+
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+class TestCommunityDecompositionAblation:
+    """Future-work §ii: community decomposition vs whole-graph IMM."""
+
+    def _sbm(self):
+        from repro.graph import stochastic_block_model, uniform_random_weights
+
+        g = stochastic_block_model([80, 80, 80], 0.2, 0.003, seed=3)
+        return uniform_random_weights(g, seed=1, scale=0.25)
+
+    def test_community_imm_kernel(self, benchmark):
+        from repro.community import community_imm
+
+        g = self._sbm()
+        res = benchmark.pedantic(
+            lambda: community_imm(g, k=9, eps=0.5, seed=2), rounds=1, iterations=1
+        )
+        assert len(res.seeds) == 9
+
+    def test_decomposition_cheaper_but_not_better(self, benchmark):
+        """The paper's criticism quantified: the decomposition does less
+        sampling work but cannot beat whole-graph IMM on quality."""
+        def _shape_check():
+            from repro.community import community_imm
+            from repro.diffusion import estimate_spread
+            from repro.imm import imm
+
+            g = self._sbm()
+            comm = community_imm(g, k=9, eps=0.5, seed=2)
+            full = imm(g, k=9, eps=0.5, seed=2)
+            assert comm.edges_examined < full.counters.edges_examined
+            s_comm = estimate_spread(g, comm.seeds, "IC", trials=150, seed=7).mean
+            s_full = estimate_spread(g, full.seeds, "IC", trials=150, seed=7).mean
+            assert s_full >= 0.95 * s_comm  # full IMM never loses meaningfully
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+class TestGraphPartitionAblation:
+    """Future-work §i: partitioning the graph as well as R."""
+
+    def test_partitioned_sampling_kernel(self, benchmark, hepth_ic):
+        from repro.mpi import partitioned_rr_batch
+
+        batch = benchmark.pedantic(
+            lambda: partitioned_rr_batch(hepth_ic, 20, num_ranks=4, seed=0),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(batch.collection) == 20
+
+    def test_partitioned_communication_dominates(self, benchmark, hepth_ic):
+        """Why the paper replicates the graph: the partitioned design
+        pays one n-byte collective per BFS level per sample, while the
+        replicated design's sampling phase communicates nothing."""
+        def _shape_check():
+            from repro.mpi import partitioned_rr_batch
+            from repro.parallel import PUMA
+
+            batch = partitioned_rr_batch(
+                hepth_ic, 20, num_ranks=8, seed=0, machine=PUMA
+            )
+            compute_seconds = batch.edges_examined * PUMA.t_edge / 8
+            assert batch.comm_seconds > compute_seconds
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+class TestSketchOracleAblation:
+    """Cohen et al.'s claim: sketch queries are orders of magnitude
+    cheaper than Monte-Carlo influence estimation at similar accuracy."""
+
+    def test_sketch_oracle_query(self, benchmark, hepth_ic):
+        import numpy as np
+
+        from repro.baselines import build_sketches
+
+        sk = build_sketches(hepth_ic, num_instances=8, k=12, seed=0)
+        seeds = np.arange(10)
+        est = benchmark(lambda: sk.estimate(seeds))
+        assert est >= 10
+
+    def test_mc_oracle_query(self, benchmark, hepth_ic):
+        import numpy as np
+
+        from repro.diffusion import estimate_spread
+
+        seeds = np.arange(10)
+        est = benchmark(
+            lambda: estimate_spread(hepth_ic, seeds, "IC", trials=100, seed=1).mean
+        )
+        assert est >= 10
+
+    def test_oracle_accuracy(self, benchmark, hepth_ic):
+        def _shape_check():
+            import numpy as np
+
+            from repro.baselines import build_sketches
+            from repro.diffusion import estimate_spread
+
+            sk = build_sketches(hepth_ic, num_instances=32, k=24, seed=0)
+            seeds = np.arange(10)
+            est = sk.estimate(seeds)
+            mc = estimate_spread(hepth_ic, seeds, "IC", trials=400, seed=1).mean
+            assert abs(est - mc) / mc < 0.35
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+
+class TestSweepAblation:
+    """The k-sweep's shared collection vs independent per-k runs."""
+
+    def test_sweep_kernel(self, benchmark, hepth_ic):
+        from repro.imm import imm_sweep
+
+        results = benchmark.pedantic(
+            lambda: imm_sweep(hepth_ic, [5, 10, 20], 0.5, seed=0, theta_cap=BENCH.theta_cap),
+            rounds=1,
+            iterations=1,
+        )
+        assert [r.k for r in results] == [5, 10, 20]
+
+    def test_sweep_saves_sampling(self, benchmark, hepth_ic):
+        def _shape_check():
+            from repro.imm import imm, imm_sweep
+
+            ks = [5, 10, 20]
+            sweep = imm_sweep(hepth_ic, ks, 0.5, seed=0, theta_cap=BENCH.theta_cap)
+            shared = sweep[-1].num_samples
+            independent = sum(
+                imm(hepth_ic, k=k, eps=0.5, seed=0, theta_cap=BENCH.theta_cap).num_samples
+                for k in ks
+            )
+            assert shared < independent
+
+        benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Section 5 benchmark: the biology case-study pipeline.
+
+Benchmarks the end-to-end case study on a reduced synthetic dataset and
+asserts the qualitative comparison: degree enriches the most pathways
+and IMM's top pathways are the planted response modules.
+"""
+
+from repro.bio import make_expression_dataset, run_case_study
+
+from conftest import BENCH
+
+
+def _dataset(seed=4):
+    return make_expression_dataset(
+        "tumor",
+        num_response_modules=3,
+        num_housekeeping_modules=3,
+        module_size=12,
+        response_shadows=6,
+        housekeeping_shadows=12,
+        num_bridge=60,
+        num_noise=80,
+        num_samples=50,
+        seed=seed,
+    )
+
+
+def test_case_study_pipeline(benchmark):
+    ds = _dataset()
+    result = benchmark(
+        lambda: run_case_study(
+            "tumor", k=BENCH.bio_k, seed=4, dataset=ds, theta_cap=BENCH.theta_cap
+        )
+    )
+    assert len(result.imm_seeds) == BENCH.bio_k
+
+
+def test_bio_shape(benchmark):
+    def _shape_check():
+        result = run_case_study(
+            "tumor", k=36, seed=4, dataset=_dataset(), theta_cap=BENCH.theta_cap
+        )
+        counts = result.counts()
+        fracs = result.top_response_fraction(6)
+        # degree concentrated on housekeeping blocks enriches the most sets
+        assert counts["degree"] >= counts["IMM"]
+        # IMM's top pathways are the disease-relevant (response) ones;
+        # degree's and betweenness's are not
+        assert fracs["IMM"] > fracs["degree"]
+        assert fracs["IMM"] > fracs["betweenness"]
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Figure 1 benchmark: activated nodes vs seed-set size and accuracy.
+
+Benchmarks the IMM+evaluate pipeline and asserts the two-arc shape:
+activation grows with k, and the tight-accuracy/double-budget arc ends
+above the loose arc.
+"""
+
+from repro.diffusion import estimate_spread
+from repro.imm import imm
+
+from conftest import BENCH
+
+CAP = BENCH.theta_cap
+
+
+def _arc_point(graph, k, eps):
+    seeds = imm(graph, k=k, eps=eps, seed=0, theta_cap=CAP).seeds
+    return estimate_spread(graph, seeds, "IC", trials=BENCH.fig1_trials, seed=1).mean
+
+
+def test_fig1_point(benchmark, hepth_ic):
+    spread = benchmark(lambda: _arc_point(hepth_ic, 8, BENCH.fig1_eps_pair[0]))
+    assert spread >= 8
+
+
+def test_fig1_shape(benchmark, hepth_ic):
+    def _shape_check():
+        eps_loose, eps_tight = BENCH.fig1_eps_pair
+        loose_arc = [_arc_point(hepth_ic, k, eps_loose) for k in BENCH.fig1_k_grid]
+        # activation grows with k
+        assert loose_arc[-1] > loose_arc[0]
+        # the "red arc": tighter accuracy at double budget ends higher
+        red_end = _arc_point(hepth_ic, 2 * BENCH.fig1_k_grid[-1], eps_tight)
+        assert red_end > loose_arc[-1]
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

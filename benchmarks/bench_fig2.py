@@ -1,0 +1,34 @@
+"""Figure 2 benchmark: θ as a function of the approximation factor and k.
+
+Benchmarks the estimator and asserts the growth directions (θ up as ε
+down, θ up as k up, θ quickly exceeding n).
+"""
+
+from repro.imm import estimate_theta
+
+from conftest import BENCH
+
+
+def test_estimate_theta(benchmark, hepth_ic):
+    est = benchmark(
+        lambda: estimate_theta(
+            hepth_ic, 10, 0.5, "IC", seed=0, theta_cap=BENCH.theta_cap
+        )
+    )
+    assert est.theta > 0
+
+
+def test_fig2_shape(benchmark, hepth_ic):
+    def _shape_check():
+        thetas = {}
+        for eps in BENCH.fig2_eps_grid:
+            for k in BENCH.fig2_k_grid:
+                thetas[(eps, k)] = estimate_theta(hepth_ic, k, eps, "IC", seed=0).theta
+        eps_hi, eps_lo = max(BENCH.fig2_eps_grid), min(BENCH.fig2_eps_grid)
+        k_lo, k_hi = min(BENCH.fig2_k_grid), max(BENCH.fig2_k_grid)
+        assert thetas[(eps_lo, k_lo)] > thetas[(eps_hi, k_lo)]  # precision costs
+        assert thetas[(eps_hi, k_hi)] > thetas[(eps_hi, k_lo)]  # seeds cost
+        assert thetas[(eps_lo, k_hi)] > hepth_ic.n  # θ exceeds n (the paper's note)
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

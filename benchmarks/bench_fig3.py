@@ -1,0 +1,40 @@
+"""Figure 3 benchmark: runtime vs ε with phase decomposition (IC).
+
+Asserts the paper's two observations: runtime rises as ε falls, and
+Estimation+Sample dominate the breakdown.
+"""
+
+from repro.parallel import PUMA, imm_mt
+
+from conftest import BENCH
+
+
+def _run(graph, eps):
+    return imm_mt(
+        graph,
+        k=BENCH.fig34_k_fixed,
+        eps=eps,
+        num_threads=20,
+        machine=PUMA,
+        seed=0,
+        theta_cap=BENCH.theta_cap,
+    )
+
+
+def test_fig3_point(benchmark, hepth_ic):
+    res = benchmark(lambda: _run(hepth_ic, 0.5))
+    assert res.total_time > 0
+
+
+def test_fig3_shape(benchmark, hepth_ic):
+    def _shape_check():
+        tight = _run(hepth_ic, min(BENCH.fig34_eps_grid))
+        loose = _run(hepth_ic, max(BENCH.fig34_eps_grid))
+        assert tight.total_time > loose.total_time  # smaller eps costs more
+        for res in (tight, loose):
+            b = res.breakdown
+            sampling_share = (b.estimate_theta + b.sample) / b.total
+            assert sampling_share > 0.5  # Estimation+Sample dominate
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 4 benchmark: runtime vs k with phase decomposition (IC)."""
+
+from repro.parallel import PUMA, imm_mt
+
+from conftest import BENCH
+
+
+def _run(graph, k):
+    return imm_mt(
+        graph,
+        k=k,
+        eps=BENCH.fig34_eps_fixed,
+        num_threads=20,
+        machine=PUMA,
+        seed=0,
+        theta_cap=BENCH.theta_cap,
+    )
+
+
+def test_fig4_point(benchmark, hepth_ic):
+    res = benchmark(lambda: _run(hepth_ic, BENCH.fig34_k_grid[0]))
+    assert res.total_time > 0
+
+
+def test_fig4_shape(benchmark, hepth_ic):
+    def _shape_check():
+        small = _run(hepth_ic, min(BENCH.fig34_k_grid))
+        large = _run(hepth_ic, max(BENCH.fig34_k_grid))
+        assert large.total_time > small.total_time  # larger k costs more
+        assert large.theta > small.theta  # via θ growth (Figure 2)
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Figure 5 benchmark: multithreaded strong scaling, LT model.
+
+Asserts the LT findings: modest speedups (small RRR sets leave little
+parallel work) and much cheaper absolute work than IC.
+"""
+
+from repro.parallel import PUMA, imm_mt
+
+from conftest import BENCH
+
+
+def _run(graph, threads):
+    return imm_mt(
+        graph,
+        k=BENCH.k_mt,
+        eps=BENCH.eps_mt,
+        model="LT",
+        num_threads=threads,
+        machine=PUMA,
+        seed=0,
+        theta_cap=BENCH.theta_cap,
+    )
+
+
+def test_fig5_point(benchmark, hepth_lt):
+    res = benchmark(lambda: _run(hepth_lt, 20))
+    assert res.model == "LT"
+
+
+def test_fig5_shape(benchmark, hepth_lt, hepth_ic):
+    def _shape_check():
+        t2 = _run(hepth_lt, 2).total_time
+        t20 = _run(hepth_lt, 20).total_time
+        speedup = t2 / t20
+        assert speedup > 1.0  # it does scale...
+        # ...and LT is several times cheaper than IC in total work
+        lt_edges = _run(hepth_lt, 2).counters.edges_examined
+        ic_edges = imm_mt(
+            hepth_ic,
+            k=BENCH.k_mt,
+            eps=BENCH.eps_mt,
+            model="IC",
+            num_threads=2,
+            machine=PUMA,
+            seed=0,
+            theta_cap=BENCH.theta_cap,
+        ).counters.edges_examined
+        assert ic_edges > 2 * lt_edges
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

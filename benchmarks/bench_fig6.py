@@ -1,0 +1,53 @@
+"""Figure 6 benchmark: multithreaded strong scaling, IC model.
+
+Asserts the IC findings: near-linear speedups on the larger inputs,
+improving with input size.
+"""
+
+from repro.parallel import PUMA, imm_mt
+
+from conftest import BENCH
+
+
+def _speedup_2_to_20(graph):
+    def run(threads):
+        return imm_mt(
+            graph,
+            k=BENCH.k_mt,
+            eps=BENCH.eps_mt,
+            model="IC",
+            num_threads=threads,
+            machine=PUMA,
+            seed=0,
+            theta_cap=BENCH.theta_cap,
+        ).total_time
+
+    return run(2) / run(20)
+
+
+def test_fig6_point(benchmark, orkut_ic):
+    res = benchmark(
+        lambda: imm_mt(
+            orkut_ic,
+            k=BENCH.k_mt,
+            eps=BENCH.eps_mt,
+            num_threads=20,
+            machine=PUMA,
+            seed=0,
+            theta_cap=BENCH.theta_cap,
+        )
+    )
+    assert res.ranks == 20
+
+
+def test_fig6_shape(benchmark, hepth_ic, orkut_ic):
+    def _shape_check():
+        small_speedup = _speedup_2_to_20(hepth_ic)
+        big_speedup = _speedup_2_to_20(orkut_ic)
+        # 2 -> 20 threads: meaningful scaling on the big input...
+        assert big_speedup > 4.0
+        # ...and speedups improve (or at least do not degrade) with size.
+        assert big_speedup >= small_speedup * 0.9
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Figure 7 benchmark: distributed strong scaling on Puma (with OOM model).
+
+Asserts the Puma findings: scaling with node count and the simulated
+OOM kills of the big IC configurations at small node counts.
+"""
+
+import dataclasses
+
+from repro.experiments import fig7
+from repro.experiments.distscaling import meter_run, price_run
+from repro.parallel import PUMA
+
+from conftest import BENCH
+
+
+def test_fig7_pricing(benchmark, youtube_ic):
+    metered = meter_run(youtube_ic, BENCH.k_dist, BENCH.eps_dist, "IC", 0, BENCH.theta_cap)
+    out = benchmark(lambda: price_run(metered, PUMA, 16))
+    assert out["total"] > 0
+
+
+def test_fig7_shape(benchmark, youtube_ic):
+    def _shape_check():
+        metered = meter_run(youtube_ic, BENCH.k_dist, BENCH.eps_dist, "IC", 0, BENCH.theta_cap)
+        t1 = price_run(metered, PUMA, 1)["total"]
+        t16 = price_run(metered, PUMA, 16)["total"]
+        assert t1 / t16 > 3.0  # the paper reports up to ~8x on 16 nodes
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)
+
+def test_fig7_oom_gaps(benchmark):
+    def _shape_check():
+        scale = dataclasses.replace(BENCH, big_datasets=("com-Orkut",))
+        res = fig7.run(scale=scale)
+        ic_rows = [r for r in res.rows if r[1] == "IC"]
+        assert any(r[3] is None for r in ic_rows)  # killed at small p
+        assert any(r[3] is not None for r in ic_rows)  # alive at large p
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Table 2 benchmark: serial IMM (hypergraph) vs IMM-OPT (sorted).
+
+Regenerates the Table 2 comparison at benchmark scale and asserts its
+shape: identical seed sets, smaller memory for the sorted layout, and a
+modeled speedup inside the paper's band.
+"""
+
+import numpy as np
+
+from repro.imm import imm
+from repro.parallel import PUMA
+from repro.perf import modeled_serial_breakdown
+
+from conftest import BENCH
+
+K, EPS, CAP = BENCH.k_serial, BENCH.eps_serial, BENCH.theta_cap
+
+
+def test_imm_reference_layout(benchmark, hepth_ic):
+    result = benchmark(
+        lambda: imm(hepth_ic, k=K, eps=EPS, seed=0, layout="hypergraph", theta_cap=CAP)
+    )
+    assert len(result.seeds) == K
+
+
+def test_imm_opt_layout(benchmark, hepth_ic):
+    result = benchmark(
+        lambda: imm(hepth_ic, k=K, eps=EPS, seed=0, layout="sorted", theta_cap=CAP)
+    )
+    assert len(result.seeds) == K
+
+
+def test_table2_shape(benchmark, hepth_ic):
+    """The paper's Table 2 row: same answer, 2-4x modeled speedup,
+    ~18-66% memory savings."""
+    def _shape_check():
+        ref = imm(hepth_ic, k=K, eps=EPS, seed=0, layout="hypergraph", theta_cap=CAP)
+        opt = imm(hepth_ic, k=K, eps=EPS, seed=0, layout="sorted", theta_cap=CAP)
+        np.testing.assert_array_equal(ref.seeds, opt.seeds)
+        speedup = (
+            modeled_serial_breakdown(ref, PUMA).total
+            / modeled_serial_breakdown(opt, PUMA).total
+        )
+        assert 1.5 < speedup < 6.0
+        savings = 1.0 - opt.memory_bytes / ref.memory_bytes
+        assert 0.15 < savings < 0.75
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Table 3 benchmark: the speedup ladder IMM -> IMMopt -> IMMmt -> IMMdist.
+
+Benchmarks each rung on the com-Orkut stand-in and asserts the ladder's
+monotonicity — the paper's headline claim, including the dist rung
+running at doubled k and tighter eps.
+"""
+
+from repro.imm import imm
+from repro.mpi import imm_dist
+from repro.parallel import EDISON, PUMA, imm_mt
+from repro.perf import modeled_serial_breakdown
+
+from conftest import BENCH
+
+K, EPS, CAP = BENCH.k_serial, BENCH.eps_serial, BENCH.theta_cap
+
+
+def test_rung_serial_reference(benchmark, orkut_ic):
+    benchmark(
+        lambda: imm(orkut_ic, k=K, eps=EPS, seed=0, layout="hypergraph", theta_cap=CAP)
+    )
+
+
+def test_rung_serial_opt(benchmark, orkut_ic):
+    benchmark(lambda: imm(orkut_ic, k=K, eps=EPS, seed=0, theta_cap=CAP))
+
+
+def test_rung_mt(benchmark, orkut_ic):
+    benchmark(
+        lambda: imm_mt(
+            orkut_ic, k=K, eps=EPS, num_threads=20, machine=PUMA, seed=0, theta_cap=CAP
+        )
+    )
+
+
+def test_rung_dist(benchmark, orkut_ic):
+    benchmark(
+        lambda: imm_dist(
+            orkut_ic,
+            k=2 * K,
+            eps=BENCH.eps_dist,
+            num_nodes=16,
+            machine=EDISON,
+            seed=0,
+            theta_cap=CAP,
+        )
+    )
+
+
+def test_table3_ladder_shape(benchmark, orkut_ic):
+    def _shape_check():
+        ref = imm(orkut_ic, k=K, eps=EPS, seed=0, layout="hypergraph", theta_cap=CAP)
+        opt = imm(orkut_ic, k=K, eps=EPS, seed=0, theta_cap=CAP)
+        t_ref = modeled_serial_breakdown(ref, PUMA).total
+        t_opt = modeled_serial_breakdown(opt, PUMA).total
+        t_mt = imm_mt(
+            orkut_ic, k=K, eps=EPS, num_threads=20, machine=PUMA, seed=0, theta_cap=CAP
+        ).total_time
+        t_dist = imm_dist(
+            orkut_ic,
+            k=2 * K,
+            eps=BENCH.eps_dist,
+            num_nodes=64,
+            machine=EDISON,
+            seed=0,
+            theta_cap=CAP,
+        ).total_time
+        # The ladder: each rung strictly faster, dist wins even with double
+        # k and tighter eps (the Table 3 punchline).
+        assert t_ref > t_opt > t_mt > t_dist
+
+
+    benchmark.pedantic(_shape_check, rounds=1, iterations=1)

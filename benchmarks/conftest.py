@@ -1,0 +1,68 @@
+"""Benchmark fixtures: bounded workloads shared across bench files.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at a
+reduced, benchmark-friendly scale (the full regeneration lives in
+``python -m repro.experiments``).  Assertions inside the benchmarks
+check the *shape* the paper reports — who wins, roughly by how much —
+so a performance regression or a correctness regression both fail the
+suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow running from a source checkout
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import load  # noqa: E402
+from repro.experiments import CI  # noqa: E402
+
+#: The benchmark scale: small enough that the whole suite is minutes.
+BENCH = dataclasses.replace(
+    CI,
+    name="bench",
+    k_serial=10,
+    fig1_k_grid=(4, 8, 16),
+    fig1_trials=60,
+    fig2_eps_grid=(0.4, 0.5),
+    fig2_k_grid=(10, 20),
+    fig34_eps_grid=(0.4, 0.5),
+    fig34_k_grid=(10, 20),
+    fig34_k_fixed=10,
+    mt_threads=(2, 20),
+    k_mt=10,
+    puma_nodes=(1, 4, 16),
+    edison_nodes=(64, 1024),
+    k_dist=10,
+    eps_dist=0.4,
+    sweep_datasets=("cit-HepTh",),
+    big_datasets=("com-YouTube",),
+    theta_cap=8000,
+    bio_k=24,
+)
+
+
+@pytest.fixture(scope="session")
+def hepth_ic():
+    return load("cit-HepTh", "IC")
+
+
+@pytest.fixture(scope="session")
+def hepth_lt():
+    return load("cit-HepTh", "LT")
+
+
+@pytest.fixture(scope="session")
+def orkut_ic():
+    return load("com-Orkut", "IC")
+
+
+@pytest.fixture(scope="session")
+def youtube_ic():
+    return load("com-YouTube", "IC")

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make `src/` importable without installation.
+
+The canonical install is ``pip install -e .`` (or, in offline
+environments lacking the ``wheel`` package, ``python setup.py develop``).
+This shim additionally lets ``pytest tests/`` and ``pytest benchmarks/``
+run straight from a source checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,49 @@
+"""Section 5 case study: influential features in co-expression networks.
+
+Reproduces the paper's biology application on synthetic multi-omic data
+(the real tumor/soil datasets are not redistributable): infer a
+GENIE3-like co-expression network, pick the top features by IMM, degree
+and betweenness, and compare the three rankings by Fisher-exact pathway
+enrichment.
+
+Expected shape (the paper's findings): degree enriches the most
+pathways, betweenness the least coherent set, and IMM's *top* pathways
+are precisely the planted disease/response modules.
+
+Run with::
+
+    python examples/biology_coexpression.py
+"""
+
+from repro.bio import run_case_study
+
+
+def report(result, name: str) -> None:
+    counts = result.counts()
+    fracs = result.top_response_fraction(8)
+    print(f"== {name} network ==")
+    print(f"features: {result.dataset.num_features}, "
+          f"pathway DB: {len(result.db.names())} sets")
+    print(f"{'ranking':14s} {'enriched(p<.05)':>16s} {'top-8 response frac':>20s}")
+    for ranking in ("IMM", "degree", "betweenness"):
+        print(f"{ranking:14s} {counts[ranking]:>16d} {fracs[ranking]:>20.2f}")
+    print(f"IMM ∩ degree overlap: {result.overlap_with_degree():.0%} "
+          "(paper observed ~30% on the soil network)")
+    print("\nIMM's most enriched pathways:")
+    for pathway, label, overlap, p, adj in result.imm_enrichment.table[:5]:
+        print(f"  {pathway:22s} [{label:12s}] overlap={overlap:2d} adj_p={adj:.2e}")
+    print("\ndegree's most enriched pathways:")
+    for pathway, label, overlap, p, adj in result.degree_enrichment.table[:5]:
+        print(f"  {pathway:22s} [{label:12s}] overlap={overlap:2d} adj_p={adj:.2e}")
+    print()
+
+
+def main() -> None:
+    tumor = run_case_study("tumor", k=80, eps=0.5, seed=4)
+    report(tumor, "tumor (proteomic + transcriptomic)")
+    soil = run_case_study("soil", k=40, eps=0.5, seed=4)
+    report(soil, "soil (metabolomic + metatranscriptomic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Scaling study: one node of Puma, then out to an Edison allocation.
+
+Walks the same path the paper's evaluation does, on a stand-in for
+com-Orkut (the largest input):
+
+1. multithreaded strong scaling on one Puma node (Figures 5-6),
+2. hybrid MPI+OpenMP scaling on Edison nodes (Figure 8),
+3. the memory wall: why small node counts die on the big inputs
+   (the Figure 7 OOM gaps), via the per-rank memory model.
+
+All parallel times are modeled machine seconds (see DESIGN.md for the
+simulation substitution); the computed seed sets are real and identical
+across every configuration.
+
+Run with::
+
+    python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro import imm_dist, imm_mt
+from repro.datasets import load
+from repro.mpi import SimulatedOOMError
+from repro.parallel import EDISON, PUMA
+
+K, EPS, CAP = 20, 0.4, 40_000
+
+
+def main() -> None:
+    graph = load("com-Orkut", model="IC")
+    print(f"com-Orkut stand-in: n={graph.n}, m={graph.m}\n")
+
+    print("== multithreaded scaling, one Puma node (IC) ==")
+    base = None
+    seeds0 = None
+    for threads in (1, 2, 4, 8, 16, 20):
+        res = imm_mt(graph, k=K, eps=EPS, num_threads=threads, machine=PUMA,
+                     seed=3, theta_cap=CAP)
+        base = base or res.total_time
+        if seeds0 is None:
+            seeds0 = res.seeds
+        assert np.array_equal(res.seeds, seeds0)  # answer never changes
+        print(f"  {threads:2d} threads: {res.total_time:8.4f}s "
+              f"(speedup {base / res.total_time:5.2f}x)")
+
+    print("\n== distributed scaling on Edison (hybrid MPI+OpenMP, HT on) ==")
+    base = None
+    for nodes in (1, 2, 4, 8, 16):
+        res = imm_dist(graph, k=K, eps=EPS, num_nodes=nodes, machine=EDISON,
+                       seed=3, theta_cap=CAP)
+        base = base or res.total_time
+        assert np.array_equal(res.seeds, seeds0)
+        print(f"  {nodes:4d} nodes ({res.ranks:5d} threads): "
+              f"{res.total_time:8.4f}s (speedup {base / res.total_time:5.2f}x, "
+              f"comm {res.extra['comm_bytes'] / 1e6:.1f} MB)")
+
+    print("\n== the memory wall (Figure 7's missing points) ==")
+    from repro.perf import graph_bytes
+
+    probe = imm_dist(graph, k=K, eps=EPS, num_nodes=8, machine=PUMA,
+                     seed=3, theta_cap=CAP)
+    total_collection = probe.memory_bytes * 8  # ~per-rank share at p=8
+    # A node holds the full graph replica plus its share of R; size the
+    # limit so that only >= 4 nodes' aggregate memory fits R.
+    fixed = graph_bytes(graph) + 2 * 8 * graph.n
+    limit = fixed + int(total_collection / 4)
+    print(f"  node memory limit set to {limit / 2**20:.1f} MiB "
+          "(scaled to the stand-in)")
+    for nodes in (1, 2, 4, 8, 16):
+        try:
+            imm_dist(graph, k=K, eps=EPS, num_nodes=nodes, machine=PUMA,
+                     seed=3, theta_cap=CAP, mem_per_node=limit)
+            print(f"  {nodes:2d} nodes: ok")
+        except SimulatedOOMError as exc:
+            print(f"  {nodes:2d} nodes: OOM killed ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: find influential vertices in a network with IMM.
+
+Runs the full happy path of the library in under a minute:
+
+1. load a registered dataset (a stand-in for SNAP's cit-HepTh),
+2. run the IMM algorithm (the paper's optimized serial variant),
+3. evaluate the chosen seed set by forward Monte-Carlo simulation,
+4. sanity-check against the classic high-degree heuristic.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import estimate_spread, imm
+from repro.baselines import high_degree
+from repro.datasets import load
+from repro.graph import graph_stats
+
+
+def main() -> None:
+    graph = load("cit-HepTh", model="IC")
+    stats = graph_stats(graph)
+    print(f"graph: {stats.nodes} vertices, {stats.edges} edges, "
+          f"avg degree {stats.avg_degree:.1f}")
+
+    # k seeds with approximation factor (1 - 1/e - eps), w.h.p.
+    result = imm(graph, k=20, eps=0.5, model="IC", seed=42)
+    print(f"\nIMM selected {result.k} seeds using theta={result.theta} "
+          f"RRR samples in {result.total_time:.2f}s:")
+    print(" ", result.seeds.tolist())
+    print("phase breakdown:")
+    for phase, seconds in result.breakdown.as_dict().items():
+        print(f"  {phase:13s} {seconds:7.3f}s")
+
+    spread = estimate_spread(graph, result.seeds, "IC", trials=500, seed=7)
+    print(f"\nexpected activated nodes: {spread.mean:.1f} ± {spread.stderr:.2f}")
+    print(f"RRR-based estimate:       {result.coverage * graph.n:.1f} "
+          "(coverage x n, Section 3.1 estimator)")
+
+    hd = high_degree(graph, 20)
+    hd_spread = estimate_spread(graph, hd, "IC", trials=500, seed=7)
+    print(f"\nhigh-degree heuristic spread: {hd_spread.mean:.1f} "
+          f"(IMM advantage: {spread.mean - hd_spread.mean:+.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Viral-marketing scenario: budgeted influencer selection.
+
+The motivating application of the paper's introduction: a marketer can
+activate ``k`` users ("give them the product"); each activated user may
+convince contacts with some probability.  Questions this script
+answers on a social-network stand-in:
+
+* how does the expected reach grow with the budget ``k`` (diminishing
+  returns — submodularity made visible, the Figure 1 arc)?
+* how much better is IMM than cheaper heuristics at equal budget?
+* what does the accuracy knob ``eps`` buy (the Figure 1 blue-vs-red
+  story: tighter accuracy, better seeds)?
+
+Run with::
+
+    python examples/viral_marketing.py
+"""
+
+from repro import estimate_spread, imm
+from repro.baselines import degree_discount, high_degree, pagerank_seeds
+from repro.datasets import load
+
+
+def reach(graph, seeds, trials=300, seed=17) -> float:
+    return estimate_spread(graph, seeds, "IC", trials=trials, seed=seed).mean
+
+
+def main() -> None:
+    graph = load("soc-Epinions1", model="IC")
+    print(f"social network stand-in: n={graph.n}, m={graph.m}\n")
+
+    print("== reach vs budget (eps=0.5) ==")
+    print(f"{'k':>4s} {'reach':>8s} {'reach/k':>8s}")
+    prev = 0.0
+    for k in (1, 2, 5, 10, 20, 40):
+        seeds = imm(graph, k=k, eps=0.5, seed=1).seeds
+        r = reach(graph, seeds)
+        print(f"{k:>4d} {r:>8.1f} {r / k:>8.2f}")
+        assert r >= prev - 2.0  # monotone up to MC noise
+        prev = r
+
+    k = 20
+    print(f"\n== method comparison at k={k} ==")
+    contenders = {
+        "IMM (eps=0.5)": imm(graph, k=k, eps=0.5, seed=1).seeds,
+        "IMM (eps=0.25)": imm(graph, k=k, eps=0.25, seed=1).seeds,
+        "degree-discount": degree_discount(graph, k),
+        "high-degree": high_degree(graph, k),
+        "pagerank": pagerank_seeds(graph, k),
+    }
+    for name, seeds in contenders.items():
+        print(f"  {name:18s} reach = {reach(graph, seeds):7.1f}")
+
+    print("\n== the Figure 1 trade: tighter eps and double budget ==")
+    loose = imm(graph, k=k, eps=0.5, seed=1)
+    tight = imm(graph, k=2 * k, eps=0.25, seed=1)
+    print(f"  baseline  (eps=0.50, k={k:3d}): reach {reach(graph, loose.seeds):7.1f}"
+          f"  theta={loose.theta}")
+    print(f"  parallel-budget (eps=0.25, k={2*k:3d}): reach {reach(graph, tight.seeds):7.1f}"
+          f"  theta={tight.theta}")
+    print("  (the parallel implementations make the second configuration "
+          "cheaper than the first was for the paper's baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim: enables `pip install -e .` without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only exists so that
+offline environments lacking PEP 517 build frontends can still do an
+editable install through `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — fast and scalable influence maximization (CLUSTER 2019 reproduction).
+
+A faithful, pure-Python reproduction of Minutoli et al., *Fast and
+Scalable Implementations of Influence Maximization Algorithms* (IEEE
+CLUSTER 2019), the paper behind the Ripples framework.  The package
+provides:
+
+* the **IMM** algorithm of Tang et al. (2015) with the paper's optimized
+  one-directional sorted RRR-set layout (:func:`repro.imm.imm`);
+* the **multithreaded** variant with interval-partitioned,
+  synchronization-free seed selection (:func:`repro.parallel.imm_mt`);
+* the **distributed** MPI+OpenMP variant with leap-frog RNG streams and
+  allreduce-based seed selection (:func:`repro.mpi.imm_dist`);
+* IC and LT diffusion models, forward and reverse;
+* classic baselines (greedy-CELF Monte Carlo, CELF++, degree discount,
+  …) in :mod:`repro.baselines`;
+* the Section 5 biology case study in :mod:`repro.bio`;
+* the full experiment harness regenerating every table and figure of
+  the paper in :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import datasets, imm
+    graph = datasets.load("cit-HepTh")
+    result = imm(graph, k=50, eps=0.5, model="IC", seed=1)
+    print(result.seeds, result.total_time)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from . import (
+    baselines,
+    bio,
+    datasets,
+    diffusion,
+    experiments,
+    graph,
+    mpi,
+    parallel,
+    perf,
+    rng,
+    sampling,
+)
+from . import imm as imm_pkg  # the subpackage, kept importable by name
+from .diffusion import DiffusionModel, estimate_spread
+from .graph import CSRGraph
+from .imm import IMMResult, imm
+from .mpi import imm_dist
+from .parallel import imm_mt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "imm",
+    "imm_mt",
+    "imm_dist",
+    "IMMResult",
+    "CSRGraph",
+    "DiffusionModel",
+    "estimate_spread",
+    "graph",
+    "diffusion",
+    "sampling",
+    "rng",
+    "parallel",
+    "mpi",
+    "perf",
+    "baselines",
+    "bio",
+    "datasets",
+    "experiments",
+    "imm_pkg",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Baseline influence-maximization algorithms from the related work.
+
+The paper positions IMM against a decade of prior approaches
+(Section 2).  This subpackage implements the ones needed to reproduce
+the comparisons and to sanity-check IMM's output quality:
+
+* :func:`greedy_celf` — Kempe et al.'s greedy hill climbing with the
+  Monte-Carlo spread oracle, accelerated with Leskovec et al.'s CELF
+  lazy evaluation.  Exact same ``(1 - 1/e)`` guarantee; hopeless
+  runtime on big graphs — the motivation for RIS-style methods.
+* :func:`celf_pp` — Goyal et al.'s CELF++ refinement (tracks the
+  next-best candidate to skip re-evaluations).
+* :func:`high_degree`, :func:`single_discount`, :func:`degree_discount`
+  — the heuristics of Chen et al. (no guarantees; the paper's related
+  work notes exactly this trade-off).
+* :func:`pagerank_seeds` — PageRank-ranked seeding, a standard
+  centrality baseline.
+* :func:`ris` — Borgs et al.'s original Reverse Influence Sampling with
+  the edge-budget threshold (the precursor IMM replaces with θ
+  estimation).
+* :func:`tim_plus_theta` — TIM+'s KPT-based θ estimate (Tang et al.
+  2014), implemented for the ablation comparing estimator tightness.
+* :func:`build_sketches` / :func:`skim_seeds` — Cohen et al.'s combined
+  reachability sketches (bottom-k) as an influence oracle, plus a
+  SKIM-style greedy on top of it — the "two orders of magnitude"
+  speedup route the related work credits to per-node summaries.
+"""
+
+from .celf import celf_pp, greedy_celf
+from .degree import degree_discount, high_degree, single_discount
+from .pagerank import pagerank_seeds
+from .ris import ris
+from .sketches import ReachabilitySketches, build_sketches, skim_seeds
+from .tim import kpt_estimate, tim_plus, tim_plus_theta
+
+__all__ = [
+    "greedy_celf",
+    "celf_pp",
+    "high_degree",
+    "single_discount",
+    "degree_discount",
+    "pagerank_seeds",
+    "ris",
+    "kpt_estimate",
+    "tim_plus",
+    "tim_plus_theta",
+    "build_sketches",
+    "skim_seeds",
+    "ReachabilitySketches",
+]

@@ -1,0 +1,83 @@
+"""Degree-based seeding heuristics (Chen, Wang & Yang, KDD 2009).
+
+Fast heuristics with no approximation guarantee — the trade-off the
+paper's related-work section highlights.  All three return seeds in
+selection order:
+
+* :func:`high_degree` — top-``k`` out-degree vertices.
+* :func:`single_discount` — degree discounted by edges already pointing
+  into the chosen set.
+* :func:`degree_discount` — the IC-specific discount
+  ``d_v - 2 t_v - (d_v - t_v) t_v p`` where ``t_v`` counts chosen
+  neighbors; derived for a uniform activation probability ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph
+
+__all__ = ["high_degree", "single_discount", "degree_discount"]
+
+
+def _check_k(graph: CSRGraph, k: int) -> None:
+    if not 1 <= k <= graph.n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={graph.n}")
+
+
+def high_degree(graph: CSRGraph, k: int) -> np.ndarray:
+    """Top-``k`` vertices by out-degree (ties toward smaller ids)."""
+    _check_k(graph, k)
+    deg = np.diff(graph.out_indptr)
+    # stable sort on (-degree, id): argsort of -deg is stable w.r.t. id
+    order = np.argsort(-deg, kind="stable")
+    return order[:k].astype(np.int64)
+
+
+def single_discount(graph: CSRGraph, k: int) -> np.ndarray:
+    """SingleDiscount: each neighbor already seeded discounts one edge.
+
+    Iteratively picks the vertex with the highest discounted out-degree,
+    then decrements the discounted degree of every in-neighbor of the
+    pick (their edge toward the seeded vertex no longer counts).
+    """
+    _check_k(graph, k)
+    deg = np.diff(graph.out_indptr).astype(np.float64)
+    chosen = np.zeros(graph.n, dtype=bool)
+    seeds = np.empty(k, dtype=np.int64)
+    for i in range(k):
+        deg_masked = np.where(chosen, -np.inf, deg)
+        v = int(np.argmax(deg_masked))
+        seeds[i] = v
+        chosen[v] = True
+        deg[graph.in_neighbors(v)] -= 1.0
+    return seeds
+
+
+def degree_discount(graph: CSRGraph, k: int, p: float = 0.1) -> np.ndarray:
+    """DegreeDiscountIC with uniform activation probability ``p``.
+
+    Maintains ``t_v`` = number of already-seeded in-neighbors of ``v``
+    and the discounted degree ``dd_v = d_v - 2 t_v - (d_v - t_v) t_v p``.
+    """
+    _check_k(graph, k)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    d = np.diff(graph.out_indptr).astype(np.float64)
+    t = np.zeros(graph.n, dtype=np.float64)
+    dd = d.copy()
+    chosen = np.zeros(graph.n, dtype=bool)
+    seeds = np.empty(k, dtype=np.int64)
+    for i in range(k):
+        dd_masked = np.where(chosen, -np.inf, dd)
+        v = int(np.argmax(dd_masked))
+        seeds[i] = v
+        chosen[v] = True
+        # Every out-neighbor u of v gains a seeded in-neighbor.
+        for u in graph.out_neighbors(v).tolist():
+            if chosen[u]:
+                continue
+            t[u] += 1.0
+            dd[u] = d[u] - 2.0 * t[u] - (d[u] - t[u]) * t[u] * p
+    return seeds

@@ -1,0 +1,52 @@
+"""Biology case study (Section 5): influence maximization on inferred
+co-expression networks.
+
+The paper applies IMM to two multi-omic datasets — a soil-ecosystem
+metabolomic/metatranscriptomic study and a tumor proteomic/
+transcriptomic cohort — after inferring feature co-expression networks
+with GENIE3, then compares IMM's top-200 features against degree and
+betweenness centrality through Fisher's-exact-test pathway enrichment.
+
+Neither dataset is publicly reconstructable here, so (per DESIGN.md)
+this subpackage builds the closest synthetic equivalent that exercises
+the same pipeline end to end:
+
+* :mod:`expression` — synthetic expression matrices with *planted
+  functional modules* of three ecological types: disease/response
+  modules (cascading cross-module regulation → high influence),
+  housekeeping modules (dense, high-degree, self-contained), and bridge
+  features (high betweenness, low module coherence).
+* :mod:`coexpression` — a GENIE3-like per-target regulator-scoring
+  network inference (tree-ensemble importance replaced by normalized
+  correlation scores, the part of GENIE3's output the pipeline consumes).
+* :mod:`centrality` — degree and Brandes betweenness, the paper's two
+  comparison rankings.
+* :mod:`enrichment` — Fisher's exact test + Benjamini–Hochberg over a
+  pathway database containing the planted modules (so enrichment is
+  scoreable against ground truth).
+* :mod:`casestudy` — the end-to-end driver reproducing the Section 5
+  comparison.
+"""
+
+from .casestudy import CaseStudyResult, run_case_study
+from .centrality import betweenness_centrality, degree_centrality
+from .coexpression import infer_coexpression_network
+from .enrichment import EnrichmentResult, benjamini_hochberg, enrich, fisher_exact_greater
+from .expression import ExpressionDataset, make_expression_dataset
+from .pathways import PathwayDB, make_pathway_db
+
+__all__ = [
+    "make_expression_dataset",
+    "ExpressionDataset",
+    "infer_coexpression_network",
+    "degree_centrality",
+    "betweenness_centrality",
+    "enrich",
+    "EnrichmentResult",
+    "fisher_exact_greater",
+    "benjamini_hochberg",
+    "PathwayDB",
+    "make_pathway_db",
+    "run_case_study",
+    "CaseStudyResult",
+]

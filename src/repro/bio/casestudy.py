@@ -1,0 +1,136 @@
+"""End-to-end Section 5 case study driver.
+
+Pipeline (matching the paper's):
+
+1. build (synthetic) multi-omic expression data with planted modules,
+2. infer the GENIE3-like co-expression network,
+3. rank features three ways — IMM seed set (size ``k``), top-``k``
+   degree, top-``k`` betweenness,
+4. run Fisher-exact pathway enrichment for each ranking,
+5. report the enriched-pathway counts and the ground-truth labels of
+   each ranking's top pathways.
+
+The paper's findings to reproduce in *shape*: IMM's enriched count sits
+between betweenness (fewest) and degree (most), while IMM's **top**
+pathways are the disease/response ones — degree's top set mixes in
+housekeeping blocks and betweenness favors low-coherence bridges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..imm import imm
+from .centrality import betweenness_centrality, degree_centrality, top_k
+from .coexpression import infer_coexpression_network
+from .enrichment import EnrichmentResult, enrich
+from .expression import ExpressionDataset, make_expression_dataset
+from .pathways import PathwayDB, make_pathway_db
+
+__all__ = ["run_case_study", "CaseStudyResult"]
+
+
+@dataclass
+class CaseStudyResult:
+    """All outputs of one case-study run."""
+
+    dataset: ExpressionDataset
+    db: PathwayDB
+    k: int
+    imm_seeds: np.ndarray
+    degree_top: np.ndarray
+    betweenness_top: np.ndarray
+    imm_enrichment: EnrichmentResult
+    degree_enrichment: EnrichmentResult
+    betweenness_enrichment: EnrichmentResult
+
+    def counts(self) -> dict[str, int]:
+        """Enriched-pathway count per ranking (the paper's 372/614/159
+        comparison)."""
+        return {
+            "IMM": self.imm_enrichment.num_enriched,
+            "degree": self.degree_enrichment.num_enriched,
+            "betweenness": self.betweenness_enrichment.num_enriched,
+        }
+
+    def top_response_fraction(self, top: int = 10) -> dict[str, float]:
+        """Fraction of each ranking's top pathways that are planted
+        response ("disease") modules — the specificity comparison."""
+        out = {}
+        for label, res in (
+            ("IMM", self.imm_enrichment),
+            ("degree", self.degree_enrichment),
+            ("betweenness", self.betweenness_enrichment),
+        ):
+            labels = res.top_labels(top)
+            out[label] = sum(1 for x in labels if x == "response") / max(len(labels), 1)
+        return out
+
+    def overlap_with_degree(self) -> float:
+        """Fraction of IMM seeds also in the degree top-k (the paper
+        reports 9/30 = 30 % on the soil network)."""
+        return len(np.intersect1d(self.imm_seeds, self.degree_top)) / self.k
+
+
+def run_case_study(
+    name: str = "tumor",
+    k: int = 80,
+    eps: float = 0.5,
+    seed: int = 0,
+    *,
+    dataset: ExpressionDataset | None = None,
+    alpha: float = 0.05,
+    theta_cap: int | None = None,
+) -> CaseStudyResult:
+    """Run the full Section 5 comparison on one dataset.
+
+    Parameters
+    ----------
+    name:
+        ``"tumor"`` or ``"soil"`` (selects the synthetic dataset recipe;
+        ignored if ``dataset`` is supplied).
+    k:
+        Ranking size (paper: 200 on larger networks; the synthetic
+        networks are smaller, so the default is 80 — enough to cover
+        every planted response core with room to spill over).
+    eps, seed, theta_cap:
+        IMM parameters.
+    alpha:
+        Enrichment significance threshold.
+    """
+    if dataset is None:
+        if name == "soil":
+            dataset = make_expression_dataset(
+                "soil",
+                num_response_modules=3,
+                num_housekeeping_modules=3,
+                module_size=16,
+                num_bridge=80,
+                num_noise=100,
+                num_samples=48,
+                seed=seed + 1,
+            )
+        else:
+            dataset = make_expression_dataset("tumor", seed=seed + 1)
+    graph = infer_coexpression_network(dataset)
+    if not 1 <= k <= graph.n:
+        raise ValueError(f"need 1 <= k <= {graph.n}, got {k}")
+    db = make_pathway_db(dataset, seed=seed + 2)
+
+    result = imm(graph, k=k, eps=eps, model="IC", seed=seed, theta_cap=theta_cap)
+    deg_top = top_k(degree_centrality(graph), k)
+    btw_top = top_k(betweenness_centrality(graph), k)
+
+    return CaseStudyResult(
+        dataset=dataset,
+        db=db,
+        k=k,
+        imm_seeds=result.seeds,
+        degree_top=deg_top,
+        betweenness_top=btw_top,
+        imm_enrichment=enrich(result.seeds, db, alpha),
+        degree_enrichment=enrich(deg_top, db, alpha),
+        betweenness_enrichment=enrich(btw_top, db, alpha),
+    )

@@ -1,0 +1,97 @@
+"""GENIE3-like co-expression network inference.
+
+GENIE3 (Irrthum et al. 2010, reference [22] of the paper) scores, for
+each target feature, the importance of every other feature in a
+tree-ensemble regression of the target's expression; the scores become
+directed weighted edges ``regulator -> target``.  This module implements
+the same *interface contract* — per-target regulator importance scores,
+normalized, thresholded to the strongest ``d`` regulators per target —
+with correlation-based scores instead of random-forest importances
+(which the influence pipeline downstream cannot distinguish; see
+DESIGN.md's substitution table).
+
+Edge weights are mapped to activation probabilities in ``(0, p_max]``
+proportional to the normalized score, which is how the case study turns
+"co-expression strength" into diffusion probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph, from_edges
+from .expression import ExpressionDataset
+
+__all__ = ["infer_coexpression_network", "regulator_scores"]
+
+
+def regulator_scores(values: np.ndarray) -> np.ndarray:
+    """Per-target regulator importance matrix.
+
+    Parameters
+    ----------
+    values:
+        ``(features, samples)`` z-scored expression matrix.
+
+    Returns
+    -------
+    ``(features, features)`` array ``S`` with ``S[i, j]`` the importance
+    of regulator ``i`` for target ``j``: squared Pearson correlation —
+    the variance-explained analogue of a tree-ensemble importance —
+    with the diagonal zeroed.  Scores are kept on their absolute scale
+    (not per-target normalized) so that uncorrelated noise features do
+    not acquire strong edges: a noise target's best "regulator" has
+    ``r² ≈ 1/num_samples`` and gets a correspondingly tiny activation
+    probability.
+    """
+    f, s = values.shape
+    if s < 2:
+        raise ValueError("need at least two samples to correlate")
+    corr = (values @ values.T) / s
+    scores = np.clip(corr**2, 0.0, 1.0)
+    np.fill_diagonal(scores, 0.0)
+    return scores
+
+
+def infer_coexpression_network(
+    dataset: ExpressionDataset,
+    *,
+    regulators_per_target: int = 4,
+    p_max: float = 0.35,
+) -> CSRGraph:
+    """Infer a directed weighted co-expression network.
+
+    For every target, the ``regulators_per_target`` highest-scoring
+    regulators gain an edge ``regulator -> target`` whose activation
+    probability is ``p_max * r²`` — proportional to the variance the
+    regulator explains, so noise-to-noise "edges" are kept (GENIE3 also
+    outputs a complete ranking) but carry negligible probability.
+
+    Returns a :class:`~repro.graph.CSRGraph` over the dataset's
+    features, ready for :func:`repro.imm.imm`.
+    """
+    if regulators_per_target < 1:
+        raise ValueError("need at least one regulator per target")
+    if not 0.0 < p_max <= 1.0:
+        raise ValueError(f"p_max must be in (0, 1], got {p_max}")
+    scores = regulator_scores(dataset.values)
+    f = scores.shape[0]
+    d = min(regulators_per_target, f - 1)
+    # Top-d regulators per column.
+    top = np.argpartition(-scores, d - 1, axis=0)[:d, :]
+    src_parts, dst_parts, prob_parts = [], [], []
+    for j in range(f):
+        regs = top[:, j]
+        s = scores[regs, j]
+        keep = s > 0
+        regs, s = regs[keep], s[keep]
+        if len(regs) == 0:
+            continue
+        probs = p_max * s
+        src_parts.append(regs.astype(np.int64))
+        dst_parts.append(np.full(len(regs), j, dtype=np.int64))
+        prob_parts.append(probs)
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    prob = np.concatenate(prob_parts)
+    return from_edges(f, src, dst, prob)

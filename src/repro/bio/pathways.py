@@ -1,0 +1,107 @@
+"""Synthetic pathway database (the MSIG stand-in of Section 5).
+
+The paper tests the three rankings for statistical enrichment against
+MSigDB pathways.  Here the database contains:
+
+* one pathway per *planted module* of the expression dataset (the
+  ground-truth "disease" and "housekeeping" pathways), each with a
+  little membership noise so enrichment isn't trivially perfect, and
+* a configurable number of random decoy pathways.
+
+Because response-module pathways are labeled, the case study can score
+not just *how many* pathways each ranking enriches but whether the
+*top* enriched pathways are the disease-relevant ones — the paper's
+qualitative finding about IMM's specificity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rng import SplitMix64
+from .expression import ExpressionDataset
+
+__all__ = ["PathwayDB", "make_pathway_db"]
+
+
+@dataclass
+class PathwayDB:
+    """A named collection of feature-id sets.
+
+    Attributes
+    ----------
+    pathways:
+        Mapping name → sorted feature-id array.
+    labels:
+        Mapping name → ``"response"`` / ``"housekeeping"`` / ``"decoy"``.
+    universe_size:
+        Total number of features (the Fisher-test universe).
+    """
+
+    pathways: dict[str, np.ndarray] = field(default_factory=dict)
+    labels: dict[str, str] = field(default_factory=dict)
+    universe_size: int = 0
+
+    def names(self) -> list[str]:
+        return list(self.pathways)
+
+    def members(self, name: str) -> np.ndarray:
+        return self.pathways[name]
+
+
+def make_pathway_db(
+    dataset: ExpressionDataset,
+    *,
+    response_multiplicity: int = 2,
+    housekeeping_multiplicity: int = 3,
+    member_fraction: float = 0.7,
+    spurious: int = 3,
+    num_decoys: int = 30,
+    decoy_size: int = 20,
+    seed: int = 0,
+) -> PathwayDB:
+    """Build the pathway database for ``dataset``.
+
+    Every planted module yields several pathways, each a random
+    ``member_fraction`` subset of the module's core features plus
+    ``spurious`` random features.  Housekeeping modules yield *more*
+    pathways than response modules (``housekeeping_multiplicity`` vs
+    ``response_multiplicity``) — mirroring real pathway databases, where
+    core metabolic and housekeeping biology is covered by many
+    overlapping gene sets while disease-response signatures are fewer.
+    This multiplicity asymmetry is what lets a housekeeping-concentrated
+    ranking (degree) enrich *more* pathways in total even though a
+    response-concentrated ranking (IMM) finds the disease-relevant ones
+    — the paper's 614-vs-372-vs-159 pattern.
+
+    Decoys are uniform random feature sets.
+    """
+    if not 0.0 < member_fraction <= 1.0:
+        raise ValueError("member_fraction must be in (0, 1]")
+    if min(response_multiplicity, housekeeping_multiplicity) < 1:
+        raise ValueError("multiplicities must be at least 1")
+    rng = np.random.default_rng(SplitMix64(seed).split(0xDB).next_u64())
+    db = PathwayDB(universe_size=dataset.num_features)
+    num_modules = len(dataset.module_kind)
+    for mod in range(num_modules):
+        members = dataset.module_members(mod)
+        kind = dataset.module_kind[mod]
+        copies = (
+            response_multiplicity if kind == "response" else housekeeping_multiplicity
+        )
+        take = max(1, int(round(member_fraction * len(members))))
+        for c in range(copies):
+            subset = rng.choice(members, size=min(take, len(members)), replace=False)
+            extra = rng.choice(dataset.num_features, size=spurious, replace=False)
+            merged = np.unique(np.concatenate([subset, extra]))
+            name = f"{kind.upper()}_{mod:02d}_{chr(ord('A') + c)}"
+            db.pathways[name] = merged.astype(np.int64)
+            db.labels[name] = kind
+    for d in range(num_decoys):
+        members = rng.choice(dataset.num_features, size=decoy_size, replace=False)
+        name = f"DECOY_{d:02d}"
+        db.pathways[name] = np.sort(members).astype(np.int64)
+        db.labels[name] = "decoy"
+    return db

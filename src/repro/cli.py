@@ -1,0 +1,260 @@
+"""``repro-imm``: the command-line front end.
+
+Subcommands mirror the tool surface the paper's framework exposes:
+
+* ``repro-imm datasets`` — list the registered stand-ins with their
+  Table 2 metadata;
+* ``repro-imm run`` — run a chosen IMM variant on a dataset or edge
+  list, printing seeds, θ, phase breakdown and optional spread;
+* ``repro-imm spread`` — Monte-Carlo spread of an explicit seed set;
+* ``repro-imm sweep`` — IMM across several k values with one shared RRR
+  collection (the "multiple k values" workflow of the paper's intro);
+* ``repro-imm community`` — the community-decomposed extension;
+* ``repro-imm experiment`` — same as ``python -m repro.experiments``.
+
+Graphs come from the dataset registry (``--dataset``), SNAP edge lists
+(``--edgelist``), METIS files (``--metis``) or MatrixMarket coordinate
+files (``--mtx``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .community import community_imm
+from .datasets import load, names, spec
+from .diffusion import estimate_spread
+from .graph import graph_stats, lt_normalize, read_edgelist, read_matrix_market, read_metis
+from .imm import imm, imm_sweep
+from .mpi import imm_dist
+from .parallel import EDISON, LAPTOP, PUMA, imm_mt
+from .perf import profile_run
+
+_MACHINES = {"puma": PUMA, "edison": EDISON, "laptop": LAPTOP}
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load(args.dataset, args.model)
+    if getattr(args, "metis", None):
+        graph = read_metis(args.metis)
+    elif getattr(args, "mtx", None):
+        graph = read_matrix_market(args.mtx)
+    else:
+        graph = read_edgelist(args.edgelist)
+    if args.model.upper() == "LT":
+        graph = lt_normalize(graph)
+    return graph
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':18s} {'paper n':>10s} {'paper m':>12s} {'standin n':>10s} {'standin m':>10s}")
+    for name in names():
+        s = spec(name)
+        g = s.build()
+        print(
+            f"{name:18s} {s.paper_nodes:>10,d} {s.paper_edges:>12,d}"
+            f" {g.n:>10,d} {g.m:>10,d}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = graph_stats(graph)
+    print(f"graph: n={stats.nodes} m={stats.edges} avg_deg={stats.avg_degree:.2f}")
+
+    def execute():
+        if args.variant == "serial":
+            return imm(
+                graph,
+                k=args.k,
+                eps=args.eps,
+                model=args.model,
+                seed=args.seed,
+                layout=args.layout,
+                theta_cap=args.theta_cap,
+            )
+        if args.variant == "mt":
+            return imm_mt(
+                graph,
+                k=args.k,
+                eps=args.eps,
+                model=args.model,
+                num_threads=args.threads,
+                machine=_MACHINES[args.machine],
+                seed=args.seed,
+                theta_cap=args.theta_cap,
+            )
+        return imm_dist(
+            graph,
+            k=args.k,
+            eps=args.eps,
+            model=args.model,
+            num_nodes=args.nodes,
+            machine=_MACHINES[args.machine],
+            seed=args.seed,
+            theta_cap=args.theta_cap,
+        )
+
+    if args.profile:
+        result, report = profile_run(execute)
+        print(report)
+    else:
+        result = execute()
+    print(result.summary())
+    b = result.breakdown
+    for phase, seconds in b.as_dict().items():
+        print(f"  {phase:13s} {seconds:.4f}s")
+    print(f"seeds: {' '.join(map(str, result.seeds.tolist()))}")
+    if args.evaluate:
+        sp = estimate_spread(
+            graph, result.seeds, args.model, trials=args.trials, seed=args.seed + 1
+        )
+        print(f"expected spread: {sp.mean:.1f} ± {sp.stderr:.2f} ({sp.trials} trials)")
+    return 0
+
+
+def _cmd_spread(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    seeds = np.asarray([int(s) for s in args.seeds.split(",")], dtype=np.int64)
+    sp = estimate_spread(graph, seeds, args.model, trials=args.trials, seed=args.seed)
+    print(f"expected spread of {len(seeds)} seeds: {sp.mean:.1f} ± {sp.stderr:.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    ks = [int(x) for x in args.ks.split(",")]
+    results = imm_sweep(
+        graph,
+        ks,
+        args.eps,
+        model=args.model,
+        seed=args.seed,
+        theta_cap=args.theta_cap,
+    )
+    print(f"{'k':>5s} {'theta':>8s} {'samples':>8s} {'reused':>8s} {'est.spread':>11s}")
+    for res in results:
+        print(
+            f"{res.k:>5d} {res.theta:>8d} {res.num_samples:>8d}"
+            f" {res.extra['samples_reused']:>8d}"
+            f" {res.coverage * graph.n:>11.1f}"
+        )
+    return 0
+
+
+def _cmd_community(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    res = community_imm(
+        graph, k=args.k, eps=args.eps, model=args.model, seed=args.seed,
+        theta_cap=args.theta_cap,
+    )
+    print(f"communities used: {res.num_communities}")
+    print(f"allocation: {res.allocation}")
+    print(f"seeds: {' '.join(map(str, res.seeds.tolist()))}")
+    if args.evaluate:
+        sp = estimate_spread(
+            graph, res.seeds, args.model, trials=args.trials, seed=args.seed + 1
+        )
+        print(f"expected spread: {sp.mean:.1f} ± {sp.stderr:.2f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    forwarded = list(args.names)
+    if args.scale != "ci":
+        forwarded = ["--scale", args.scale] + forwarded
+    return experiments_main(forwarded)
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=names(), help="registered stand-in")
+    src.add_argument("--edgelist", help="path to a SNAP-style edge list")
+    src.add_argument("--metis", help="path to a METIS graph file")
+    src.add_argument("--mtx", help="path to a MatrixMarket coordinate file")
+    p.add_argument("--model", choices=("IC", "LT"), default="IC")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-imm",
+        description="Fast and scalable influence maximization (CLUSTER 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ds = sub.add_parser("datasets", help="list registered datasets")
+    p_ds.set_defaults(func=_cmd_datasets)
+
+    p_run = sub.add_parser("run", help="run an IMM variant")
+    _add_graph_args(p_run)
+    p_run.add_argument("--k", type=int, default=20)
+    p_run.add_argument("--eps", type=float, default=0.5)
+    p_run.add_argument(
+        "--variant", choices=("serial", "mt", "dist"), default="serial"
+    )
+    p_run.add_argument("--layout", choices=("sorted", "hypergraph"), default="sorted")
+    p_run.add_argument("--threads", type=int, default=20, help="mt threads")
+    p_run.add_argument("--nodes", type=int, default=8, help="dist nodes")
+    p_run.add_argument("--machine", choices=tuple(_MACHINES), default="puma")
+    p_run.add_argument("--theta-cap", type=int, default=None)
+    p_run.add_argument("--evaluate", action="store_true", help="MC-evaluate the seeds")
+    p_run.add_argument("--trials", type=int, default=500)
+    p_run.add_argument("--profile", action="store_true", help="cProfile the run")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sp = sub.add_parser("spread", help="Monte-Carlo spread of a seed set")
+    _add_graph_args(p_sp)
+    p_sp.add_argument("--seeds", required=True, help="comma-separated vertex ids")
+    p_sp.add_argument("--trials", type=int, default=1000)
+    p_sp.set_defaults(func=_cmd_spread)
+
+    p_sw = sub.add_parser(
+        "sweep", help="IMM for several k values, sharing one RRR collection"
+    )
+    _add_graph_args(p_sw)
+    p_sw.add_argument("--ks", required=True, help="comma-separated k values")
+    p_sw.add_argument("--eps", type=float, default=0.5)
+    p_sw.add_argument("--theta-cap", type=int, default=None)
+    p_sw.set_defaults(func=_cmd_sweep)
+
+    p_co = sub.add_parser(
+        "community", help="community-decomposed IMM (future-work extension)"
+    )
+    _add_graph_args(p_co)
+    p_co.add_argument("--k", type=int, default=20)
+    p_co.add_argument("--eps", type=float, default=0.5)
+    p_co.add_argument("--theta-cap", type=int, default=None)
+    p_co.add_argument("--evaluate", action="store_true")
+    p_co.add_argument("--trials", type=int, default=500)
+    p_co.set_defaults(func=_cmd_community)
+
+    p_ex = sub.add_parser("experiment", help="regenerate tables/figures")
+    p_ex.add_argument("names", nargs="*", default=[])
+    p_ex.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    p_ex.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into `head` etc. closed early — exit quietly the
+        # way well-behaved Unix tools do.
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

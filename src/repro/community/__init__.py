@@ -1,0 +1,28 @@
+"""Community-based influence maximization (the paper's future-work §ii).
+
+The paper's related work surveys approaches that exploit community
+structure (Wang et al., Chen et al., Halappanavar et al.) and lists
+"exploitation of ... input properties such as communities" as future
+work, while noting the known weakness: *"A major shortcoming of these
+methods is the inability to include the effects of inter-community
+edges since the subgraphs are disjoint."*
+
+This subpackage implements the approach so the trade-off is measurable:
+
+* :func:`label_propagation` — the standard near-linear-time community
+  detector used as preprocessing by those methods;
+* :func:`community_imm` — Halappanavar-et-al.-style decomposition:
+  detect communities, allocate the seed budget proportionally to
+  community size, run IMM independently inside each community, and
+  merge the per-community seed sets.
+
+The ablation benchmark (``benchmarks/bench_ablations.py``) compares
+spread quality and sampling work against whole-graph IMM: the
+decomposition cuts sampling cost but loses the inter-community spread —
+exactly the paper's argument for parallelizing exact IMM instead.
+"""
+
+from .communityimm import CommunityIMMResult, community_imm
+from .labelprop import label_propagation
+
+__all__ = ["label_propagation", "community_imm", "CommunityIMMResult"]

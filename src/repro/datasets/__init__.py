@@ -1,0 +1,24 @@
+"""Dataset registry: deterministic stand-ins for the paper's inputs.
+
+Table 2 evaluates on eight SNAP graphs (cit-HepTh through com-Orkut,
+up to 117M edges).  Without network access — and without native code to
+chew through 10\\ :sup:`8`-edge traversals — this registry provides
+**scaled-down synthetic stand-ins**, one per SNAP graph, that preserve
+what IMM's behaviour actually depends on:
+
+* the *ordering* of sizes and average degrees across the eight inputs
+  (so "speedups improve with input size" remains observable),
+* the degree character of each original (heavy-tailed for the social/
+  citation graphs, flat for the co-purchase/collaboration graphs),
+* a reverse-traversal branching factor (``avg_in_degree · E[p]``) in
+  the same near-critical regime that makes the paper's uniform-random
+  weights produce RRR sets much larger for IC than for LT.
+
+Every stand-in is deterministic in its registry seed.  The bio
+case-study networks of Section 5 live in :mod:`repro.bio`; the
+``*-net`` entries here expose them through the same loader.
+"""
+
+from .registry import REGISTRY, DatasetSpec, load, names, paper_table2_row, spec
+
+__all__ = ["load", "names", "spec", "REGISTRY", "DatasetSpec", "paper_table2_row"]

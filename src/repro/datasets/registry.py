@@ -1,0 +1,210 @@
+"""The dataset registry mapping SNAP names to synthetic stand-ins.
+
+Each :class:`DatasetSpec` records both the *paper-side* facts (the
+Table 2 columns for the original SNAP graph) and the *stand-in recipe*
+(generator, parameters, weight scale, seed).  ``scale_factor`` — the
+ratio of original to stand-in vertex count — is what the distributed
+memory model uses to translate the stand-in's modeled footprint back to
+paper scale when deciding simulated OOM kills (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graph import (
+    CSRGraph,
+    barabasi_albert,
+    lt_normalize,
+    rmat,
+    uniform_random_weights,
+    watts_strogatz,
+)
+
+__all__ = ["DatasetSpec", "REGISTRY", "load", "names", "spec", "paper_table2_row"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One registry entry: paper-side metadata + stand-in recipe."""
+
+    name: str
+    #: Table 2 columns of the original SNAP graph.
+    paper_nodes: int
+    paper_edges: int
+    paper_avg_degree: float
+    paper_max_degree: int
+    #: Table 2 reference runtimes/memory (IMM vs IMMOPT, eps=0.5, k=50);
+    #: ``None`` where the paper shows the ◦ (unmeasurable) symbol.
+    paper_imm_seconds: float | None
+    paper_immopt_seconds: float | None
+    paper_imm_mb: float | None
+    paper_immopt_mb: float | None
+    #: Stand-in recipe.
+    generator: Callable[..., CSRGraph]
+    params: dict = field(default_factory=dict)
+    weight_scale: float = 0.3
+    seed: int = 1
+
+    @property
+    def scale_factor(self) -> float:
+        """Original vertices per stand-in vertex (memory-model scaling)."""
+        g = self.build()
+        return self.paper_nodes / g.n
+
+    def build(self) -> CSRGraph:
+        """The unweighted stand-in topology (deterministic)."""
+        return self.generator(seed=self.seed, **self.params)
+
+
+def _entry(
+    name: str,
+    paper: tuple[int, int, float, int],
+    paper_perf: tuple[float | None, float | None, float | None, float | None],
+    generator: Callable[..., CSRGraph],
+    params: dict,
+    weight_scale: float,
+    seed: int,
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        paper_nodes=paper[0],
+        paper_edges=paper[1],
+        paper_avg_degree=paper[2],
+        paper_max_degree=paper[3],
+        paper_imm_seconds=paper_perf[0],
+        paper_immopt_seconds=paper_perf[1],
+        paper_imm_mb=paper_perf[2],
+        paper_immopt_mb=paper_perf[3],
+        generator=generator,
+        params=params,
+        weight_scale=weight_scale,
+        seed=seed,
+    )
+
+
+#: The eight Table 2 graphs, smallest to largest — stand-in sizes keep
+#: the original ordering of both n and average degree.  Weight scales
+#: put the reverse branching factor (avg_deg * scale / 2) near 0.9.
+REGISTRY: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        _entry(
+            "cit-HepTh",
+            (27_770, 352_807, 12.70, 2_468),
+            (8.00, 2.84, 357.23, 190.80),
+            barabasi_albert,
+            {"n": 800, "m_attach": 4},
+            weight_scale=0.22,
+            seed=11,
+        ),
+        _entry(
+            "soc-Epinions1",
+            (75_879, 508_837, 13.41, 3_079),
+            (41.59, 14.62, 2198.25, 1170.05),
+            barabasi_albert,
+            {"n": 1_200, "m_attach": 4},
+            weight_scale=0.22,
+            seed=12,
+        ),
+        _entry(
+            "com-Amazon",
+            (334_863, 925_872, 5.53, 549),
+            (521.04, 188.48, 19222.59, 10927.92),
+            watts_strogatz,
+            {"n": 2_000, "k_ring": 3, "beta": 0.1},
+            weight_scale=0.30,
+            seed=13,
+        ),
+        _entry(
+            "com-DBLP",
+            (317_080, 1_049_866, 6.62, 343),
+            (526.82, 170.32, 13260.18, 5547.77),
+            watts_strogatz,
+            {"n": 1_900, "k_ring": 3, "beta": 0.3},
+            weight_scale=0.30,
+            seed=14,
+        ),
+        _entry(
+            "com-YouTube",
+            (1_134_890, 2_987_624, 2.63, 28_754),
+            (1592.08, 511.77, 49710.07, 25785.04),
+            rmat,
+            {"scale": 12, "edge_factor": 3},
+            weight_scale=0.55,
+            seed=15,
+        ),
+        _entry(
+            "soc-Pokec",
+            (1_632_803, 30_622_564, 37.51, 20_518),
+            (5552.37, 2350.27, 63210.72, 51643.09),
+            barabasi_albert,
+            {"n": 2_500, "m_attach": 7},
+            weight_scale=0.13,
+            seed=16,
+        ),
+        _entry(
+            "soc-LiveJournal1",
+            (4_847_571, 68_993_773, 28.47, 22_889),
+            (16434.81, 3954.59, None, 64501.89),
+            rmat,
+            {"scale": 12, "edge_factor": 12},
+            weight_scale=0.15,
+            seed=17,
+        ),
+        _entry(
+            "com-Orkut",
+            (3_072_441, 117_185_083, 76.28, 33_313),
+            (28024.56, 9027.50, None, None),
+            barabasi_albert,
+            {"n": 3_000, "m_attach": 16},
+            weight_scale=0.055,
+            seed=18,
+        ),
+    ]
+}
+
+
+def names() -> list[str]:
+    """Registered dataset names, smallest original first (Table 2 order)."""
+    return list(REGISTRY)
+
+
+def spec(name: str) -> DatasetSpec:
+    """Look up a registry entry.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, for typo-friendly errors.
+    """
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(REGISTRY)}"
+        ) from None
+
+
+def load(name: str, model: str = "IC", weight_seed: int = 0) -> CSRGraph:
+    """Build a stand-in with edge probabilities ready for ``model``.
+
+    IC weights are ``U[0, weight_scale)`` per the registry entry; for
+    ``model="LT"`` the same weights are renormalized per vertex (the
+    paper's equivalent-model readjustment).
+    """
+    s = spec(name)
+    g = s.build()
+    g = uniform_random_weights(g, seed=weight_seed + s.seed, scale=s.weight_scale)
+    if model.upper() == "LT":
+        g = lt_normalize(g)
+    elif model.upper() != "IC":
+        raise ValueError(f"unknown model {model!r}")
+    return g
+
+
+def paper_table2_row(name: str) -> tuple:
+    """The original Table 2 dataset columns, for report side-by-sides."""
+    s = spec(name)
+    return (s.paper_nodes, s.paper_edges, s.paper_avg_degree, s.paper_max_degree)

@@ -1,0 +1,25 @@
+"""Network diffusion models: Independent Cascade and Linear Threshold.
+
+These are the two models ``M`` of the paper (Section 3): forward
+diffusion is "a probabilistic variant of BFS from the seed set"; this
+subpackage provides single-trial forward simulation for both models plus
+the Monte-Carlo spread estimator ``E[|I(S)|]`` used to produce Figure 1.
+
+The *reverse* direction (RRR-set sampling) lives in
+:mod:`repro.sampling`, because its data layout — not its probabilistic
+semantics — is the paper's contribution.
+"""
+
+from .base import DiffusionModel
+from .ic import ic_trial
+from .lt import lt_trial
+from .simulate import SpreadEstimate, estimate_spread, run_trial
+
+__all__ = [
+    "DiffusionModel",
+    "ic_trial",
+    "lt_trial",
+    "run_trial",
+    "estimate_spread",
+    "SpreadEstimate",
+]

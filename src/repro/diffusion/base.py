@@ -1,0 +1,37 @@
+"""Model tags shared across forward simulation and reverse sampling."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DiffusionModel"]
+
+
+class DiffusionModel(enum.Enum):
+    """The two local-influence models considered by the paper.
+
+    IC — Independent Cascade: a newly activated vertex ``u`` gets a
+    one-shot chance to activate each inactive out-neighbor ``v`` with
+    probability ``p(u, v)``, independently of history.
+
+    LT — Linear Threshold: each vertex ``v`` draws a threshold
+    ``theta_v ~ U[0, 1]`` once; ``v`` activates when the summed weight of
+    its active in-neighbors reaches ``theta_v``.  Edge weights into each
+    vertex must sum to at most one (see
+    :func:`repro.graph.weights.lt_normalize`).
+    """
+
+    IC = "IC"
+    LT = "LT"
+
+    @classmethod
+    def parse(cls, value: "DiffusionModel | str") -> "DiffusionModel":
+        """Accept a model instance or its case-insensitive name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown diffusion model {value!r}; expected 'IC' or 'LT'"
+            ) from None

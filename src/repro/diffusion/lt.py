@@ -1,0 +1,65 @@
+"""Forward Linear Threshold simulation (one trial).
+
+Every vertex ``v`` draws a threshold ``theta_v ~ U[0, 1]`` once per
+trial; ``v`` activates when the total in-edge weight from active
+neighbors reaches ``theta_v``.  A trial therefore maintains a running
+"accumulated weight" per vertex and pushes weight forward from each
+newly-activated frontier (the in-weights were normalized so that total
+incoming weight is at most one, making the threshold comparison a valid
+probability statement — see :func:`repro.graph.weights.lt_normalize`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..rng import SplitMix64
+
+__all__ = ["lt_trial"]
+
+
+def lt_trial(
+    graph: CSRGraph,
+    seeds: np.ndarray,
+    rng: SplitMix64,
+) -> np.ndarray:
+    """Run one LT diffusion trial and return the activated vertex ids.
+
+    Thresholds are drawn for all ``n`` vertices up front (one block), so
+    a trial's randomness is a deterministic function of the stream
+    position, mirroring how the reverse LT sampler consumes randomness.
+
+    Returns a sorted ``int64`` array of activated vertices.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if len(seeds) and (seeds.min() < 0 or seeds.max() >= graph.n):
+        raise ValueError("seed id out of range")
+    thresholds = rng.random_block(graph.n)
+    # A threshold of exactly 0 would let zero-weight vertices activate
+    # spuriously; U[0,1) makes that a measure-zero concern only for the
+    # accumulated == 0 case, which we exclude with a strict comparison
+    # below for accumulated > 0.
+    active = np.zeros(graph.n, dtype=bool)
+    active[seeds] = True
+    accumulated = np.zeros(graph.n, dtype=np.float64)
+    frontier = np.unique(seeds)
+    while len(frontier):
+        starts = graph.out_indptr[frontier]
+        stops = graph.out_indptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(stops - counts.cumsum(), counts) + np.arange(total)
+        dst = graph.out_indices[offsets].astype(np.int64)
+        w = graph.out_probs[offsets]
+        np.add.at(accumulated, dst, w)
+        newly = np.flatnonzero(
+            ~active & (accumulated > 0.0) & (accumulated >= thresholds)
+        )
+        if len(newly) == 0:
+            break
+        active[newly] = True
+        frontier = newly
+    return np.flatnonzero(active).astype(np.int64)

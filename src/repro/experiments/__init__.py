@@ -1,0 +1,41 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(scale=CI, seed=0) -> ExperimentResult``
+returning the rows/series the paper reports, plus a text rendering.
+Two parameter scales exist:
+
+* :data:`CI` — reduced parameters sized for a pure-Python single-core
+  run (minutes for the full suite).  The *shapes* the paper reports —
+  orderings, ratios, crossovers, saturations — are all expected to hold
+  at this scale and are what EXPERIMENTS.md records.
+* :data:`PAPER` — the paper's actual parameters (ε down to 0.13,
+  k up to 200, 20 threads, 1024 nodes).  Provided for completeness;
+  the sampling volume makes some of these configurations impractical
+  without native code, exactly the gap the calibration note for this
+  reproduction anticipated.
+
+Run everything from the command line::
+
+    python -m repro.experiments            # all experiments, CI scale
+    python -m repro.experiments table2 fig5
+"""
+
+from .common import CI, PAPER, ExperimentResult, Scale
+from . import bio as bio_experiment
+from . import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table2, table3
+
+ALL = {
+    "table2": table2,
+    "table3": table3,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "bio": bio_experiment,
+}
+
+__all__ = ["CI", "PAPER", "Scale", "ExperimentResult", "ALL"]

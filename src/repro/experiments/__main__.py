@@ -1,0 +1,68 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # everything, CI scale
+    python -m repro.experiments table2 fig5     # a subset
+    python -m repro.experiments --scale paper fig2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL
+from .common import CI, PAPER
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"which to run (default: all). Choices: {', '.join(ALL)}",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="parameter scale (default: ci; 'paper' is very slow in pure Python)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each experiment's rows as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(ALL)
+    unknown = [name for name in chosen if name not in ALL]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    scale = PAPER if args.scale == "paper" else CI
+    if args.csv_dir:
+        import pathlib
+
+        pathlib.Path(args.csv_dir).mkdir(parents=True, exist_ok=True)
+    for name in chosen:
+        start = time.perf_counter()
+        result = ALL[name].run(scale=scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.csv_dir:
+            import pathlib
+
+            result.to_csv(pathlib.Path(args.csv_dir) / f"{name}_{scale.name}.csv")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Section 5: the biology case-study comparison.
+
+Paper findings to reproduce in shape (cancer network): degree enriches
+the most pathways (614), IMM fewer (372), betweenness fewest (159) at
+adjusted p < 0.05 — but IMM's *top* pathways are the cancer-relevant
+ones while degree's and betweenness's are generic.  On the soil
+network, 30 % of the top-degree nodes were also picked by IMM.
+"""
+
+from __future__ import annotations
+
+from ..bio import run_case_study
+from .common import CI, ExperimentResult, Scale
+
+__all__ = ["run"]
+
+COLUMNS = [
+    "Dataset",
+    "Ranking",
+    "Enriched (adj p<0.05)",
+    "Top-8 response fraction",
+    "Overlap with degree",
+]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Run both case studies and tabulate the three-way comparison."""
+    result = ExperimentResult(
+        experiment="Section 5 — biology case study",
+        scale=scale.name,
+        columns=COLUMNS,
+        notes=(
+            f"k={scale.bio_k} (tumor) — synthetic co-expression networks with "
+            "planted response/housekeeping modules (see repro.bio)"
+        ),
+    )
+    for name in ("tumor", "soil"):
+        k = scale.bio_k if name == "tumor" else max(20, scale.bio_k // 2)
+        cs = run_case_study(name, k=k, seed=seed, theta_cap=scale.theta_cap)
+        counts = cs.counts()
+        fracs = cs.top_response_fraction(8)
+        overlap = cs.overlap_with_degree()
+        for ranking in ("IMM", "degree", "betweenness"):
+            result.rows.append(
+                [
+                    name,
+                    ranking,
+                    counts[ranking],
+                    round(fracs[ranking], 3),
+                    round(overlap, 2) if ranking == "IMM" else "",
+                ]
+            )
+    return result

@@ -1,0 +1,171 @@
+"""Shared experiment scaffolding: parameter scales and result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Scale", "CI", "PAPER", "ExperimentResult", "render_table"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One consistent set of experiment parameters.
+
+    The attribute names mirror where the paper uses each value; the CI
+    scale divides the sampling volume by roughly two orders of magnitude
+    while keeping every comparison structurally identical.
+    """
+
+    name: str
+    #: Table 2 / serial comparisons.
+    k_serial: int
+    eps_serial: float
+    #: Figure 1 spread curves: seed set sizes and the two accuracies.
+    fig1_k_grid: tuple[int, ...]
+    fig1_eps_pair: tuple[float, float]
+    fig1_trials: int
+    #: Figure 2 θ sweeps.
+    fig2_eps_grid: tuple[float, ...]
+    fig2_k_grid: tuple[int, ...]
+    #: Figures 3–4 phase breakdowns.
+    fig34_eps_grid: tuple[float, ...]
+    fig34_k_grid: tuple[int, ...]
+    fig34_k_fixed: int
+    fig34_eps_fixed: float
+    #: Figures 5–6 multithreaded scaling.
+    mt_threads: tuple[int, ...]
+    k_mt: int
+    eps_mt: float
+    #: Figures 7–8 distributed scaling.
+    puma_nodes: tuple[int, ...]
+    edison_nodes: tuple[int, ...]
+    k_dist: int
+    eps_dist: float
+    #: Datasets used by the heavyweight sweeps (Table 2 always uses all).
+    sweep_datasets: tuple[str, ...]
+    big_datasets: tuple[str, ...]
+    #: Safety cap on θ (None = uncapped, the paper's regime).
+    theta_cap: int | None
+    #: Bio case study ranking size.
+    bio_k: int
+
+
+#: Reduced parameters for single-core pure-Python runs (EXPERIMENTS.md).
+CI = Scale(
+    name="ci",
+    k_serial=20,
+    eps_serial=0.5,
+    fig1_k_grid=(5, 10, 20, 30, 40, 60, 80),
+    fig1_eps_pair=(0.5, 0.25),
+    fig1_trials=200,
+    fig2_eps_grid=(0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6),
+    fig2_k_grid=(10, 20, 40, 60, 80, 100),
+    fig34_eps_grid=(0.3, 0.35, 0.4, 0.45, 0.5),
+    fig34_k_grid=(10, 20, 30, 40, 50),
+    fig34_k_fixed=20,
+    fig34_eps_fixed=0.5,
+    mt_threads=(2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    k_mt=20,
+    eps_mt=0.5,
+    puma_nodes=(1, 2, 4, 8, 16),
+    edison_nodes=(64, 128, 256, 512, 1024),
+    k_dist=20,
+    eps_dist=0.3,
+    sweep_datasets=("cit-HepTh", "com-Amazon", "soc-Pokec", "com-Orkut"),
+    big_datasets=("com-YouTube", "soc-Pokec", "soc-LiveJournal1", "com-Orkut"),
+    theta_cap=60_000,
+    bio_k=80,
+)
+
+#: The paper's parameters (Section 4).  Running these in pure Python is
+#: possible but extremely slow for the tight-ε configurations — see the
+#: substitution notes in DESIGN.md.
+PAPER = Scale(
+    name="paper",
+    k_serial=50,
+    eps_serial=0.5,
+    fig1_k_grid=(10, 25, 50, 75, 100, 150, 200),
+    fig1_eps_pair=(0.5, 0.13),
+    fig1_trials=10_000,
+    fig2_eps_grid=(0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6),
+    fig2_k_grid=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    fig34_eps_grid=(0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5),
+    fig34_k_grid=tuple(range(10, 101, 5)),
+    fig34_k_fixed=50,
+    fig34_eps_fixed=0.5,
+    mt_threads=tuple(range(2, 21)),
+    k_mt=100,
+    eps_mt=0.5,
+    puma_nodes=(2, 4, 6, 8, 10, 12, 14, 16),
+    edison_nodes=(64, 128, 256, 512, 1024),
+    k_dist=200,
+    eps_dist=0.13,
+    sweep_datasets=(
+        "cit-HepTh",
+        "soc-Epinions1",
+        "com-Amazon",
+        "com-DBLP",
+        "com-YouTube",
+        "soc-Pokec",
+        "soc-LiveJournal1",
+        "com-Orkut",
+    ),
+    big_datasets=("com-YouTube", "soc-Pokec", "soc-LiveJournal1", "com-Orkut"),
+    theta_cap=None,
+    bio_k=200,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus metadata for one experiment run."""
+
+    experiment: str
+    scale: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Plain-text table (the same rows a figure would plot)."""
+        out = [f"== {self.experiment} (scale={self.scale}) =="]
+        if self.notes:
+            out.append(self.notes)
+        out.append(render_table(self.columns, self.rows))
+        return "\n".join(out)
+
+    def to_csv(self, path) -> None:
+        """Write the rows as CSV (empty cell for the paper's ◦ marker),
+        for plotting the figure from the regenerated data."""
+        import csv
+
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow(["" if v is None else v for v in row])
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "◦"  # the paper's marker for unmeasurable entries
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(columns: list[str], rows: list[list]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join([header, sep] + body)

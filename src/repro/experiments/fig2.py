@@ -1,0 +1,37 @@
+"""Figure 2: θ as a function of the approximation factor and k.
+
+Paper (cit-HepTh): θ grows nonlinearly as ε decreases (higher
+precision) and as k grows, quickly exceeding n — the observation that
+motivates both the compact RRR layout (memory) and the distributed
+sampling (θ ≫ n means sample parallelism dominates).
+"""
+
+from __future__ import annotations
+
+from ..datasets import load
+from ..imm import estimate_theta
+from .common import CI, ExperimentResult, Scale
+
+__all__ = ["run"]
+
+COLUMNS = ["eps", "k", "theta", "theta/n"]
+
+
+def run(scale: Scale = CI, seed: int = 0, dataset: str = "cit-HepTh") -> ExperimentResult:
+    """Regenerate the Figure 2 sweep (θ per (ε, k) grid point)."""
+    result = ExperimentResult(
+        experiment="Figure 2 — theta vs approximation factor and k",
+        scale=scale.name,
+        columns=COLUMNS,
+        notes=f"dataset={dataset}, IC model",
+    )
+    graph = load(dataset, "IC")
+    for eps in scale.fig2_eps_grid:
+        for k in scale.fig2_k_grid:
+            if k > graph.n:
+                continue
+            est = estimate_theta(
+                graph, k, eps, "IC", seed=seed, theta_cap=scale.theta_cap
+            )
+            result.rows.append([eps, k, est.theta, round(est.theta / graph.n, 2)])
+    return result

@@ -1,0 +1,23 @@
+"""Figure 3: phase breakdown as ε varies (k fixed, IC model).
+
+Paper: runtime rises steeply as ε decreases; Estimation and Sample
+dominate everywhere, and the Sample fraction grows with input size.
+"""
+
+from __future__ import annotations
+
+from .common import CI, ExperimentResult, Scale
+from .phases import phase_sweep
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure 3 sweep."""
+    return phase_sweep(
+        "Figure 3 — runtime vs eps (phase breakdown)",
+        vary="eps",
+        scale=scale,
+        seed=seed,
+        model="IC",
+    )

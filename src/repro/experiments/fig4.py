@@ -1,0 +1,24 @@
+"""Figure 4: phase breakdown as k varies (ε fixed, IC model).
+
+Paper: runtime grows with k (θ grows and the greedy selection runs
+more iterations), with the same Estimation/Sample dominance as
+Figure 3.
+"""
+
+from __future__ import annotations
+
+from .common import CI, ExperimentResult, Scale
+from .phases import phase_sweep
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure 4 sweep."""
+    return phase_sweep(
+        "Figure 4 — runtime vs k (phase breakdown)",
+        vary="k",
+        scale=scale,
+        seed=seed,
+        model="IC",
+    )

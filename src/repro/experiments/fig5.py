@@ -1,0 +1,18 @@
+"""Figure 5: multithreaded strong scaling under the LT model."""
+
+from __future__ import annotations
+
+from .common import CI, ExperimentResult, Scale
+from .mtscaling import mt_scaling
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure 5 thread sweep (LT)."""
+    return mt_scaling(
+        "Figure 5 — multithreaded strong scaling (LT)",
+        model="LT",
+        scale=scale,
+        seed=seed,
+    )

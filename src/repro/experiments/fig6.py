@@ -1,0 +1,18 @@
+"""Figure 6: multithreaded strong scaling under the IC model."""
+
+from __future__ import annotations
+
+from .common import CI, ExperimentResult, Scale
+from .mtscaling import mt_scaling
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure 6 thread sweep (IC)."""
+    return mt_scaling(
+        "Figure 6 — multithreaded strong scaling (IC)",
+        model="IC",
+        scale=scale,
+        seed=seed,
+    )

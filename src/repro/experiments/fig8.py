@@ -1,0 +1,29 @@
+"""Figure 8: distributed strong scaling on 64-1024 Edison nodes.
+
+Paper: with hyper-threading the largest run uses 49,152 threads; IC
+scales reasonably well to 1024 nodes, while LT flattens early — the
+small LT RRR sets leave too little work per thread.  The per-node
+memory on Edison is far smaller than Puma's, but at ≥64 nodes the
+partitioned collection fits everywhere (no OOM gaps in the paper's
+Figure 8 either).
+"""
+
+from __future__ import annotations
+
+from ..parallel import EDISON
+from .common import CI, ExperimentResult, Scale
+from .distscaling import dist_scaling
+
+__all__ = ["run"]
+
+
+def run(scale: Scale = CI, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure 8 sweep (Edison, IC and LT)."""
+    return dist_scaling(
+        "Figure 8 — distributed strong scaling (Edison, 64-1024 nodes)",
+        machine=EDISON,
+        node_counts=scale.edison_nodes,
+        scale=scale,
+        seed=seed,
+        apply_oom_model=False,
+    )

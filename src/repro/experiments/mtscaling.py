@@ -1,0 +1,64 @@
+"""Shared driver for the multithreaded strong-scaling figures (5 and 6).
+
+Sweeps the thread count on one Puma node (2–20 in the paper) for every
+dataset under a fixed (ε, k).  Figure 5 uses the LT model, Figure 6
+IC.  The paper's findings to reproduce: speedups improve with input
+size (up to 12.55× vs the 2-thread run for com-Orkut under IC);
+LT runs are 5–6× faster than IC in absolute time but scale worse
+because the tiny LT RRR sets leave too little parallel work.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load
+from ..parallel import PUMA, imm_mt
+from .common import CI, ExperimentResult, Scale
+
+__all__ = ["mt_scaling"]
+
+COLUMNS = ["Graph", "Threads", "Total (s)", "Speedup vs 2t", "Sample (s)", "SelectSeeds (s)"]
+
+
+def mt_scaling(
+    experiment: str,
+    model: str,
+    scale: Scale = CI,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the thread sweep for ``model`` over the sweep datasets."""
+    result = ExperimentResult(
+        experiment=experiment,
+        scale=scale.name,
+        columns=COLUMNS,
+        notes=(
+            f"{model} model, eps={scale.eps_mt}, k={scale.k_mt}, one Puma node; "
+            "modeled seconds; speedups relative to the 2-thread run as in the paper"
+        ),
+    )
+    for name in scale.sweep_datasets:
+        graph = load(name, model)
+        base = None
+        for threads in scale.mt_threads:
+            res = imm_mt(
+                graph,
+                k=scale.k_mt,
+                eps=scale.eps_mt,
+                model=model,
+                num_threads=threads,
+                machine=PUMA,
+                seed=seed,
+                theta_cap=scale.theta_cap,
+            )
+            if base is None:
+                base = res.total_time
+            result.rows.append(
+                [
+                    name,
+                    threads,
+                    round(res.total_time, 4),
+                    round(base / res.total_time, 2),
+                    round(res.breakdown.sample, 4),
+                    round(res.breakdown.select_seeds, 4),
+                ]
+            )
+    return result

@@ -1,0 +1,79 @@
+"""Shared driver for the phase-breakdown figures (3 and 4).
+
+Both figures run the 20-thread multithreaded IMM on every dataset and
+decompose the modeled runtime into the four phases; Figure 3 sweeps ε
+at fixed k, Figure 4 sweeps k at fixed ε.
+"""
+
+from __future__ import annotations
+
+from ..datasets import load
+from ..parallel import PUMA, imm_mt
+from .common import CI, ExperimentResult, Scale
+
+__all__ = ["phase_sweep"]
+
+COLUMNS = [
+    "Graph",
+    "eps",
+    "k",
+    "EstimateTheta",
+    "Sample",
+    "SelectSeeds",
+    "Other",
+    "Total (s)",
+]
+
+
+def phase_sweep(
+    experiment: str,
+    vary: str,
+    scale: Scale = CI,
+    seed: int = 0,
+    model: str = "IC",
+) -> ExperimentResult:
+    """Run the sweep with ``vary`` in ``{"eps", "k"}``.
+
+    Returns one row per (dataset, grid point) holding the modeled
+    per-phase seconds at 20 threads of Puma — the configuration of
+    Figures 3 and 4.
+    """
+    if vary not in ("eps", "k"):
+        raise ValueError(f"vary must be 'eps' or 'k', got {vary!r}")
+    result = ExperimentResult(
+        experiment=experiment,
+        scale=scale.name,
+        columns=COLUMNS,
+        notes=f"{model} model, 20 threads (Puma), modeled seconds",
+    )
+    for name in scale.sweep_datasets:
+        graph = load(name, model)
+        if vary == "eps":
+            grid = [(eps, scale.fig34_k_fixed) for eps in scale.fig34_eps_grid]
+        else:
+            grid = [(scale.fig34_eps_fixed, k) for k in scale.fig34_k_grid]
+        for eps, k in grid:
+            res = imm_mt(
+                graph,
+                k=k,
+                eps=eps,
+                model=model,
+                num_threads=20,
+                machine=PUMA,
+                seed=seed,
+                theta_cap=scale.theta_cap,
+            )
+            b = res.breakdown
+            result.rows.append(
+                [
+                    name,
+                    eps,
+                    k,
+                    round(b.estimate_theta, 4),
+                    round(b.sample, 4),
+                    round(b.select_seeds, 4),
+                    round(b.other, 4),
+                    round(b.total, 4),
+                ]
+            )
+    return result

@@ -1,0 +1,59 @@
+"""Graph substrate: CSR directed graphs, generators, weights and I/O.
+
+The influence-maximization kernels operate on a compressed-sparse-row
+(:class:`CSRGraph`) representation holding *both* adjacency directions:
+
+* the **out**-adjacency drives forward diffusion simulation, and
+* the **in**-adjacency drives the reverse probabilistic BFS
+  (``GenerateRR``) at the heart of IMM, which traverses incoming edges
+  from destination to source (Section 3.1 of the paper).
+
+Edge activation probabilities are attached to the graph per the paper's
+experimental setup: uniform random in ``[0, 1)`` for IC, and the
+equivalent renormalized weights for LT (:mod:`repro.graph.weights`).
+"""
+
+from .csr import CSRGraph
+from .build import from_edges, from_edge_list
+from .generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+from .io import read_edgelist, read_matrix_market, read_metis, write_edgelist
+from .stats import GraphStats, graph_stats
+from .weights import (
+    constant_weights,
+    lt_normalize,
+    uniform_random_weights,
+    weighted_cascade,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_edge_list",
+    "erdos_renyi",
+    "barabasi_albert",
+    "rmat",
+    "watts_strogatz",
+    "stochastic_block_model",
+    "complete_graph",
+    "path_graph",
+    "star_graph",
+    "read_edgelist",
+    "read_metis",
+    "read_matrix_market",
+    "write_edgelist",
+    "GraphStats",
+    "graph_stats",
+    "uniform_random_weights",
+    "constant_weights",
+    "weighted_cascade",
+    "lt_normalize",
+]

@@ -1,0 +1,127 @@
+"""Builders converting edge lists into :class:`~repro.graph.CSRGraph`.
+
+The builder sorts each vertex's neighbor list by id.  That ordering is
+load-bearing downstream: ``has_edge`` binary-searches it, and the IMMOPT
+RRR-set layout relies on sorted vertex lists for the interval binary
+searches of Algorithm 4 (see :mod:`repro.sampling.collection`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["from_edges", "from_edge_list"]
+
+
+def _csr_from_arrays(
+    n: int, src: np.ndarray, dst: np.ndarray, prob: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bucket edges by ``src`` into CSR arrays, neighbors sorted by id."""
+    order = np.lexsort((dst, src))
+    src, dst, prob = src[order], dst[order], prob[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    indptr = np.cumsum(indptr)
+    return indptr, dst.astype(np.int32), prob.astype(np.float64)
+
+
+def from_edges(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    prob: np.ndarray | float | None = None,
+    *,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from parallel edge arrays.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; all endpoints must be in ``[0, n)``.
+    src, dst:
+        Integer arrays of equal length giving the directed edges.
+    prob:
+        Per-edge activation probability array, a scalar applied to all
+        edges, or ``None`` (defaults to 0.1, the constant used by Tang et
+        al.'s experiments; the paper's own experiments re-weight with
+        :func:`repro.graph.weights.uniform_random_weights`).
+    dedup:
+        Drop duplicate ``(src, dst)`` pairs, keeping the first occurrence.
+        Self-loops are always dropped — they carry no influence.
+
+    Raises
+    ------
+    ValueError
+        On ragged inputs, endpoints out of range, or probabilities outside
+        ``[0, 1]``.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError("src and dst must be equal-length 1-D arrays")
+    if prob is None:
+        prob = np.full(len(src), 0.1, dtype=np.float64)
+    elif np.isscalar(prob):
+        prob = np.full(len(src), float(prob), dtype=np.float64)
+    else:
+        prob = np.asarray(prob, dtype=np.float64)
+        if prob.shape != src.shape:
+            raise ValueError("prob must match src/dst length")
+    if len(src) > 0:
+        if src.min(initial=0) < 0 or dst.min(initial=0) < 0:
+            raise ValueError("edge endpoints must be non-negative")
+        if src.max(initial=-1) >= n or dst.max(initial=-1) >= n:
+            raise ValueError(f"edge endpoint out of range for n={n}")
+        if prob.min(initial=0.0) < 0.0 or prob.max(initial=0.0) > 1.0:
+            raise ValueError("edge probabilities must lie in [0, 1]")
+
+    keep = src != dst
+    src, dst, prob = src[keep], dst[keep], prob[keep]
+    if dedup and len(src) > 0:
+        key = src * n + dst
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        src, dst, prob = src[first], dst[first], prob[first]
+
+    out_indptr, out_indices, out_probs = _csr_from_arrays(n, src, dst, prob)
+    in_indptr, in_indices, in_probs = _csr_from_arrays(n, dst, src, prob)
+    return CSRGraph(
+        n, out_indptr, out_indices, out_probs, in_indptr, in_indices, in_probs
+    )
+
+
+def from_edge_list(
+    n: int,
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    default_prob: float = 0.1,
+    *,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from an iterable of ``(u, v)`` or
+    ``(u, v, p)`` tuples (convenience wrapper over :func:`from_edges`)."""
+    srcs: list[int] = []
+    dsts: list[int] = []
+    probs: list[float] = []
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge  # type: ignore[misc]
+            p = default_prob
+        elif len(edge) == 3:
+            u, v, p = edge  # type: ignore[misc]
+        else:
+            raise ValueError(f"edge tuples must have 2 or 3 fields, got {edge!r}")
+        srcs.append(int(u))
+        dsts.append(int(v))
+        probs.append(float(p))
+    return from_edges(
+        n,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64),
+        dedup=dedup,
+    )

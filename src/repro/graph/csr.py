@@ -1,0 +1,189 @@
+"""Compressed-sparse-row directed graph with per-edge probabilities.
+
+Both adjacency directions are materialized because the IMM pipeline needs
+them for different kernels with opposite access patterns:
+
+* ``out_*`` arrays: forward diffusion (probabilistic BFS *from* a seed
+  set, Section 3 problem statement).
+* ``in_*`` arrays: reverse reachability sampling (``GenerateRR`` walks
+  incoming edges destination→source, Algorithm 3).
+
+All index arrays are ``int32`` (sufficient for graphs up to 2**31-1
+vertices/edges, far beyond what a single-node Python reproduction holds)
+and probabilities are ``float64``.  Keeping the neighbor lists of each
+vertex contiguous gives the cache-friendly traversal the paper's
+optimized layout is designed around.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable directed graph in CSR form, with edge probabilities.
+
+    Construct through :func:`repro.graph.from_edges` (or a generator in
+    :mod:`repro.graph.generators`) rather than directly; the constructor
+    validates but does not sort or deduplicate.
+
+    Attributes
+    ----------
+    n, m:
+        Number of vertices and directed edges.
+    out_indptr, out_indices, out_probs:
+        CSR of outgoing edges: the out-neighbors of ``u`` are
+        ``out_indices[out_indptr[u]:out_indptr[u+1]]`` with matching
+        activation probabilities in ``out_probs``.
+    in_indptr, in_indices, in_probs:
+        CSC view stored as a CSR of the transpose: the in-neighbors of
+        ``v`` (sources of edges into ``v``) with matching probabilities.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "out_indptr",
+        "out_indices",
+        "out_probs",
+        "in_indptr",
+        "in_indices",
+        "in_probs",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        out_probs: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_probs: np.ndarray,
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        if len(out_indptr) != n + 1 or len(in_indptr) != n + 1:
+            raise ValueError("indptr arrays must have length n + 1")
+        m = int(out_indptr[-1])
+        if len(out_indices) != m or len(out_probs) != m:
+            raise ValueError("out_indices/out_probs length must equal edge count")
+        if int(in_indptr[-1]) != m or len(in_indices) != m or len(in_probs) != m:
+            raise ValueError("in-direction arrays must describe the same edge count")
+        self.n = n
+        self.m = m
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.out_probs = out_probs
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_probs = in_probs
+
+    # -- basic queries -----------------------------------------------------
+
+    def out_degree(self, u: int | None = None):
+        """Out-degree of ``u``, or the full ``int64`` degree array."""
+        if u is None:
+            return np.diff(self.out_indptr).astype(np.int64)
+        return int(self.out_indptr[u + 1] - self.out_indptr[u])
+
+    def in_degree(self, v: int | None = None):
+        """In-degree of ``v``, or the full ``int64`` degree array."""
+        if v is None:
+            return np.diff(self.in_indptr).astype(np.int64)
+        return int(self.in_indptr[v + 1] - self.in_indptr[v])
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """View of the out-neighbor ids of ``u`` (no copy)."""
+        return self.out_indices[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def out_edge_probs(self, u: int) -> np.ndarray:
+        """View of the activation probabilities of ``u``'s out-edges."""
+        return self.out_probs[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """View of the in-neighbor (source) ids of ``v`` (no copy)."""
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def in_edge_probs(self, v: int) -> np.ndarray:
+        """View of the activation probabilities of ``v``'s in-edges."""
+        return self.in_probs[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(src, dst, prob)`` triples in out-CSR order."""
+        for u in range(self.n):
+            lo, hi = self.out_indptr[u], self.out_indptr[u + 1]
+            for j in range(lo, hi):
+                yield u, int(self.out_indices[j]), float(self.out_probs[j])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed edge (u, v) exists (binary search; the
+        builder keeps neighbor lists sorted)."""
+        nbrs = self.out_neighbors(u)
+        j = int(np.searchsorted(nbrs, v))
+        return j < len(nbrs) and int(nbrs[j]) == v
+
+    # -- derived graphs ------------------------------------------------------
+
+    def transpose(self) -> "CSRGraph":
+        """The reverse graph: every edge flipped, probabilities carried."""
+        return CSRGraph(
+            self.n,
+            self.in_indptr,
+            self.in_indices,
+            self.in_probs,
+            self.out_indptr,
+            self.out_indices,
+            self.out_probs,
+        )
+
+    def with_probs(
+        self, out_probs: np.ndarray, in_probs: np.ndarray
+    ) -> "CSRGraph":
+        """A graph sharing this topology with replaced edge probabilities
+        (used by the weight schemes in :mod:`repro.graph.weights`)."""
+        if len(out_probs) != self.m or len(in_probs) != self.m:
+            raise ValueError("probability arrays must have one entry per edge")
+        return CSRGraph(
+            self.n,
+            self.out_indptr,
+            self.out_indices,
+            out_probs,
+            self.in_indptr,
+            self.in_indices,
+            in_probs,
+        )
+
+    # -- memory model ---------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Bytes held by the adjacency arrays (used by the distributed
+        memory model, where every rank stores the whole graph)."""
+        return int(
+            self.out_indptr.nbytes
+            + self.out_indices.nbytes
+            + self.out_probs.nbytes
+            + self.in_indptr.nbytes
+            + self.in_indices.nbytes
+            + self.in_probs.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.out_indptr, other.out_indptr)
+            and np.array_equal(self.out_indices, other.out_indices)
+            and np.array_equal(self.out_probs, other.out_probs)
+        )
+
+    def __hash__(self) -> int:  # CSRGraph is mutable-array-backed; identity hash
+        return id(self)

@@ -1,0 +1,271 @@
+"""Edge-list I/O in the SNAP text format.
+
+The SNAP collection distributes graphs as whitespace-separated
+``src dst`` lines with ``#`` comments.  We read and write that format,
+plus an extended three-column ``src dst prob`` variant for weighted
+graphs, and renumber arbitrary vertex ids to a dense ``[0, n)`` range the
+way every IMM implementation (including Ripples) does on load.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist", "read_metis", "read_matrix_market"]
+
+
+def read_edgelist(
+    path: str | Path | io.TextIOBase,
+    *,
+    renumber: bool = True,
+    default_prob: float = 0.1,
+) -> CSRGraph:
+    """Read a SNAP-style edge list into a :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    path:
+        File path or open text stream.  Lines starting with ``#`` (or
+        ``%``, for Matrix-Market-adjacent dumps) are comments; blank
+        lines are skipped.  Each data line is ``src dst`` or
+        ``src dst prob``.
+    renumber:
+        Map the vertex ids appearing in the file onto ``[0, n)`` in
+        sorted order (SNAP ids are sparse).  With ``renumber=False`` the
+        ids are used directly and ``n = max_id + 1``.
+    default_prob:
+        Probability assigned to two-column lines.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (wrong column count, non-numeric fields).
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh: io.TextIOBase = open(path, "r", encoding="utf-8")  # noqa: SIM115
+        close = True
+    else:
+        fh = path
+    srcs: list[int] = []
+    dsts: list[int] = []
+    probs: list[float] = []
+    try:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped[0] in "#%":
+                continue
+            parts = stripped.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"line {lineno}: expected 2 or 3 columns, got {len(parts)}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                p = float(parts[2]) if len(parts) == 3 else default_prob
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: non-numeric field") from exc
+            srcs.append(u)
+            dsts.append(v)
+            probs.append(p)
+    finally:
+        if close:
+            fh.close()
+
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    prob = np.asarray(probs, dtype=np.float64)
+    if renumber:
+        ids = np.unique(np.concatenate([src, dst])) if len(src) else np.empty(0, np.int64)
+        n = len(ids)
+        src = np.searchsorted(ids, src)
+        dst = np.searchsorted(ids, dst)
+    else:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    return from_edges(n, src, dst, prob)
+
+
+def write_edgelist(
+    graph: CSRGraph,
+    path: str | Path | io.TextIOBase,
+    *,
+    with_probs: bool = False,
+) -> None:
+    """Write a graph as a SNAP-style edge list (round-trips with
+    :func:`read_edgelist` up to vertex renumbering)."""
+    close = False
+    if isinstance(path, (str, Path)):
+        fh: io.TextIOBase = open(path, "w", encoding="utf-8")  # noqa: SIM115
+        close = True
+    else:
+        fh = path
+    try:
+        fh.write(f"# repro graph: n={graph.n} m={graph.m}\n")
+        for u, v, p in graph.edges():
+            if with_probs:
+                fh.write(f"{u}\t{v}\t{p:.17g}\n")
+            else:
+                fh.write(f"{u}\t{v}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_metis(
+    path: str | Path | io.TextIOBase,
+    *,
+    default_prob: float = 0.1,
+) -> CSRGraph:
+    """Read a graph in METIS format (the other format Ripples accepts).
+
+    METIS files are 1-indexed adjacency lists: a header line
+    ``n m [fmt]`` followed by one line per vertex listing its neighbors
+    (with per-edge weights interleaved when ``fmt`` has the edge-weight
+    bit ``1`` set; weights are interpreted as activation probabilities).
+    ``%`` lines are comments.  METIS graphs are undirected: each listed
+    adjacency becomes a directed edge, so a symmetric file yields both
+    directions.
+
+    Raises
+    ------
+    ValueError
+        On a malformed header, vertex indices out of range, or vertex
+        lines missing/extra.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh: io.TextIOBase = open(path, "r", encoding="utf-8")  # noqa: SIM115
+        close = True
+    else:
+        fh = path
+    try:
+        # Keep blank lines: a blank adjacency line is an isolated vertex.
+        # Only comment lines are dropped, and leading blanks before the
+        # header are ignored.
+        raw = [line.rstrip("\n") for line in fh if not line.lstrip().startswith("%")]
+    finally:
+        if close:
+            fh.close()
+    while raw and not raw[0].strip():
+        raw.pop(0)
+    lines = [line.strip() for line in raw]
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    if len(header) not in (2, 3, 4):
+        raise ValueError(f"malformed METIS header: {lines[0]!r}")
+    n = int(header[0])
+    # Strip surplus trailing blanks (editors add them), but never below
+    # the declared vertex count — a blank vertex line is an isolated
+    # vertex, not filler.
+    while len(lines) - 1 > n and not lines[-1]:
+        lines.pop()
+    fmt = header[2] if len(header) >= 3 else "0"
+    has_edge_weights = len(fmt) >= 1 and fmt[-1] == "1"
+    if len(lines) - 1 != n:
+        raise ValueError(
+            f"METIS header declares {n} vertices but file has {len(lines) - 1} lines"
+        )
+    srcs: list[int] = []
+    dsts: list[int] = []
+    probs: list[float] = []
+    for u, line in enumerate(lines[1:]):
+        fields = line.split()
+        step = 2 if has_edge_weights else 1
+        if has_edge_weights and len(fields) % 2 != 0:
+            raise ValueError(f"vertex {u + 1}: odd field count with edge weights")
+        for i in range(0, len(fields), step):
+            v = int(fields[i])
+            if not 1 <= v <= n:
+                raise ValueError(f"vertex {u + 1}: neighbor {v} out of range")
+            w = float(fields[i + 1]) if has_edge_weights else default_prob
+            srcs.append(u)
+            dsts.append(v - 1)
+            probs.append(min(max(w, 0.0), 1.0))
+    return from_edges(
+        n,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64),
+    )
+
+
+def read_matrix_market(
+    path: str | Path | io.TextIOBase,
+    *,
+    default_prob: float = 0.1,
+) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as a directed graph.
+
+    Entry ``(i, j[, w])`` becomes the edge ``i -> j`` with activation
+    probability ``w`` clipped to ``[0, 1]`` (``default_prob`` for
+    pattern matrices); a ``symmetric`` qualifier adds both directions.
+    Only ``coordinate`` layouts are supported (an ``array`` matrix is
+    dense, not a graph).
+
+    Raises
+    ------
+    ValueError
+        On a missing/unsupported header or malformed entries.
+    """
+    close = False
+    if isinstance(path, (str, Path)):
+        fh: io.TextIOBase = open(path, "r", encoding="utf-8")  # noqa: SIM115
+        close = True
+    else:
+        fh = path
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("missing %%MatrixMarket header")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise ValueError("only coordinate MatrixMarket layouts are supported")
+        symmetric = "symmetric" in tokens
+        pattern = "pattern" in tokens
+        size_line = None
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            size_line = stripped
+            break
+        if size_line is None:
+            raise ValueError("missing size line")
+        rows, cols, nnz = (int(x) for x in size_line.split()[:3])
+        n = max(rows, cols)
+        srcs: list[int] = []
+        dsts: list[int] = []
+        probs: list[float] = []
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            fields = stripped.split()
+            i, j = int(fields[0]) - 1, int(fields[1]) - 1
+            if not (0 <= i < n and 0 <= j < n):
+                raise ValueError(f"entry ({i + 1}, {j + 1}) out of range")
+            w = default_prob if pattern or len(fields) < 3 else float(fields[2])
+            w = min(max(abs(w), 0.0), 1.0)
+            srcs.append(i)
+            dsts.append(j)
+            probs.append(w)
+            if symmetric and i != j:
+                srcs.append(j)
+                dsts.append(i)
+                probs.append(w)
+    finally:
+        if close:
+            fh.close()
+    return from_edges(
+        n,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64),
+    )

@@ -1,0 +1,64 @@
+"""Induced subgraphs (substrate for the community-based extension).
+
+The community-decomposition extension (the paper's future-work item on
+exploiting community structure) runs IMM independently inside each
+community, which requires extracting vertex-induced subgraphs with a
+mapping back to the original ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = ["induced_subgraph"]
+
+
+def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> tuple[CSRGraph, np.ndarray]:
+    """Extract the subgraph induced by ``vertices``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    vertices:
+        Vertex ids to keep (duplicates are collapsed; order is not
+        significant — the result is numbered by ascending original id).
+
+    Returns
+    -------
+    ``(subgraph, mapping)`` where ``mapping[i]`` is the original id of
+    the subgraph's vertex ``i``.  Edge probabilities are carried over.
+
+    Raises
+    ------
+    ValueError
+        If ``vertices`` is empty or contains out-of-range ids.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if len(vertices) == 0:
+        raise ValueError("an induced subgraph needs at least one vertex")
+    if vertices[0] < 0 or vertices[-1] >= graph.n:
+        raise ValueError("vertex id out of range")
+    keep = np.zeros(graph.n, dtype=bool)
+    keep[vertices] = True
+    new_id = np.full(graph.n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices))
+
+    src_of_edge = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.out_indptr)
+    )
+    dst_of_edge = graph.out_indices.astype(np.int64)
+    mask = keep[src_of_edge] & keep[dst_of_edge]
+    return (
+        from_edges(
+            len(vertices),
+            new_id[src_of_edge[mask]],
+            new_id[dst_of_edge[mask]],
+            graph.out_probs[mask],
+            dedup=False,
+        ),
+        vertices,
+    )

@@ -1,0 +1,123 @@
+"""Edge-probability schemes from the paper's experimental setup.
+
+Section 4 of the paper: *"the edge weights for probabilistic BFS are
+generated uniformly at random in the range [0, 1]"* for the IC model,
+while *"for the linear threshold (LT) diffusion model, the weights are
+readjusted such that the sum of the probabilities of traversing one of
+the neighboring edges and of not traversing any of them, is one"*.
+
+This module provides those two schemes plus the two standard alternatives
+used by prior work and by our baselines:
+
+* :func:`constant_weights` — the fixed ``p = 0.1`` of Tang et al. (the
+  paper notes its runtimes differ from [5] for exactly this reason);
+* :func:`weighted_cascade` — ``p(u, v) = 1 / indegree(v)`` (Kempe et
+  al.'s weighted-cascade model), which is already LT-normalized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import SplitMix64
+from .csr import CSRGraph
+
+__all__ = [
+    "uniform_random_weights",
+    "constant_weights",
+    "weighted_cascade",
+    "lt_normalize",
+]
+
+
+def _scatter_out_probs(graph: CSRGraph, in_probs: np.ndarray) -> np.ndarray:
+    """Derive the out-CSR probability array from per-in-edge values.
+
+    Weight schemes that operate per destination vertex (LT normalization,
+    weighted cascade) naturally produce probabilities in in-CSR order;
+    this helper produces the matching out-CSR array so that both
+    directions stay consistent.
+    """
+    n = graph.n
+    # Reconstruct (src, dst) for the in-CSR ordering, then map each in-edge
+    # to its position in the out-CSR via lexicographic ranking: out-CSR is
+    # sorted by (src, dst) and in-CSR by (dst, src); both orders are unique
+    # per edge because the builder deduplicates.
+    dst_of_in = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.in_indptr))
+    src_of_in = graph.in_indices.astype(np.int64)
+    # Position of each in-edge in (src, dst) sorted order == out-CSR slot.
+    order = np.lexsort((dst_of_in, src_of_in))
+    out_probs = np.empty(graph.m, dtype=np.float64)
+    out_probs[:] = in_probs[order]
+    return out_probs
+
+
+def uniform_random_weights(graph: CSRGraph, seed: int = 0, scale: float = 1.0) -> CSRGraph:
+    """Assign i.i.d. ``U[0, scale)`` activation probabilities (paper setup, IC).
+
+    The paper draws weights uniformly from ``[0, 1]``.  ``scale`` shrinks
+    the range: the dataset stand-ins use it to keep the reverse-BFS
+    branching factor (``avg_in_degree * scale / 2``) near the paper's
+    *relative* workload regime while staying tractable in pure Python —
+    see the substitution table in DESIGN.md.
+
+    Probabilities are drawn per edge keyed on the canonical out-CSR edge
+    slot, so the assignment is deterministic in ``seed`` and identical
+    across ranks that each hold a full graph replica.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    rng = SplitMix64(seed).split(0xED6E)
+    out_probs = rng.random_block(graph.m) * scale
+    # Mirror into in-CSR order.  ``order[r]`` is the in-CSR slot of the
+    # edge ranked ``r`` in (src, dst) lexicographic order, which is by
+    # construction that edge's out-CSR slot — so scatter, don't gather.
+    n = graph.n
+    dst_of_in = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.in_indptr))
+    src_of_in = graph.in_indices.astype(np.int64)
+    order = np.lexsort((dst_of_in, src_of_in))  # out-slot r -> in-slot order[r]
+    in_probs = np.empty(graph.m, dtype=np.float64)
+    in_probs[order] = out_probs
+    return graph.with_probs(out_probs, in_probs)
+
+
+def constant_weights(graph: CSRGraph, p: float = 0.1) -> CSRGraph:
+    """Assign the same probability ``p`` to every edge (Tang et al. setup)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    out_probs = np.full(graph.m, p, dtype=np.float64)
+    in_probs = np.full(graph.m, p, dtype=np.float64)
+    return graph.with_probs(out_probs, in_probs)
+
+
+def weighted_cascade(graph: CSRGraph) -> CSRGraph:
+    """Assign ``p(u, v) = 1 / indegree(v)`` (weighted-cascade model).
+
+    The in-weights of every vertex then sum to exactly one, so this scheme
+    is a valid LT weighting as-is.
+    """
+    indeg = np.diff(graph.in_indptr).astype(np.float64)
+    with np.errstate(divide="ignore"):
+        per_vertex = np.where(indeg > 0, 1.0 / np.maximum(indeg, 1.0), 0.0)
+    in_probs = np.repeat(per_vertex, np.diff(graph.in_indptr))
+    out_probs = _scatter_out_probs(graph, in_probs)
+    return graph.with_probs(out_probs, in_probs)
+
+
+def lt_normalize(graph: CSRGraph) -> CSRGraph:
+    """Renormalize in-edge weights for the Linear Threshold model.
+
+    For each vertex ``v`` with in-weights ``w_1..w_d`` summing to ``W``:
+    if ``W > 1`` the weights are scaled by ``1/W`` so that the probability
+    of "one in-neighbor activates v" plus the probability of "none does"
+    equals one — the paper's equivalent-model construction after Kempe et
+    al.  Vertices with ``W <= 1`` are left untouched (the residual
+    ``1 - W`` is the no-activation mass).
+    """
+    sums = np.zeros(graph.n, dtype=np.float64)
+    dst_of_in = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.in_indptr))
+    np.add.at(sums, dst_of_in, graph.in_probs)
+    scale_per_vertex = np.where(sums > 1.0, 1.0 / np.maximum(sums, 1e-300), 1.0)
+    in_probs = graph.in_probs * scale_per_vertex[dst_of_in]
+    out_probs = _scatter_out_probs(graph, in_probs)
+    return graph.with_probs(out_probs, in_probs)

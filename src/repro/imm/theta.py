@@ -1,0 +1,205 @@
+"""``EstimateTheta`` (Algorithm 2): how many RRR sets are enough.
+
+The paper's Algorithm 2 defers the formulas ``f`` and ``f'`` to Tang et
+al. (SIGMOD 2015); we implement those exactly.  The estimation is a
+martingale-style doubling search: for ``x = 1, 2, ...`` it hypothesizes
+that the unknown optimum ``OPT >= n / 2^x``, draws just enough samples
+to test the hypothesis (``θ_x = λ' / (n / 2^x)``), runs the greedy
+selector, and accepts when the observed coverage certifies a lower bound
+``LB`` on ``OPT``.  The final sample count is ``θ = λ* / LB``.
+
+Formulas (Tang et al. 2015, Lemmas 6–7; ``ℓ`` inflated by
+``1 + ln 2 / ln n`` so the union bound over all rounds still yields
+``1 - 1/n^ℓ`` overall):
+
+    ε' = √2 · ε
+    λ' = (2 + ⅔ ε') · (ln C(n,k) + ℓ ln n + ln log₂ n) · n / ε'²
+    α  = √(ℓ ln n + ln 2)
+    β  = √((1 − 1/e) · (ln C(n,k) + ℓ ln n + ln 2))
+    λ* = 2n · ((1 − 1/e)·α + β)² / ε²
+
+All sampling done during estimation is *kept*: Algorithm 1's subsequent
+``Sample`` call only tops the collection up to θ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..diffusion import DiffusionModel
+from ..graph import CSRGraph
+from ..perf.counters import WorkCounters
+from ..sampling import RRRCollection, RRRSampler, SortedRRRCollection, sample_batch
+from .select import select_seeds
+
+__all__ = ["logcnk", "lambda_prime", "lambda_star", "estimate_theta", "ThetaEstimate"]
+
+
+def logcnk(n: int, k: int) -> float:
+    """``ln C(n, k)`` via log-gamma (exact enough for all n, overflow-free)."""
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def _inflated_l(n: int, l: float) -> float:
+    """Tang et al. set ℓ ← ℓ·(1 + ln 2 / ln n) so the failure probability
+    of all estimation rounds together stays below ``1/n^ℓ``."""
+    return l * (1.0 + math.log(2) / math.log(n))
+
+
+def lambda_prime(n: int, k: int, eps: float, l: float) -> float:
+    """The per-round sample-budget constant λ' of the doubling search."""
+    eps_p = math.sqrt(2.0) * eps
+    log_terms = logcnk(n, k) + l * math.log(n) + math.log(max(math.log2(n), 1.0))
+    return (2.0 + 2.0 / 3.0 * eps_p) * log_terms * n / (eps_p * eps_p)
+
+
+def lambda_star(n: int, k: int, eps: float, l: float) -> float:
+    """The final sample-budget constant λ* (θ = λ* / LB)."""
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    alpha = math.sqrt(l * math.log(n) + math.log(2))
+    beta = math.sqrt(one_minus_inv_e * (logcnk(n, k) + l * math.log(n) + math.log(2)))
+    return 2.0 * n * (one_minus_inv_e * alpha + beta) ** 2 / (eps * eps)
+
+
+@dataclass
+class ThetaEstimate:
+    """Output of :func:`estimate_theta`.
+
+    Attributes
+    ----------
+    theta:
+        The required number of RRR sets.
+    lb:
+        Certified lower bound on ``OPT`` (1.0 when no round accepted).
+    collection:
+        The samples drawn during estimation (reused by Algorithm 1).
+    rounds:
+        Number of doubling-search rounds executed.
+    coverage_history:
+        ``(theta_x, fraction_covered)`` per round, for diagnostics and
+        the Figure 2 sweeps.
+    """
+
+    theta: int
+    lb: float
+    collection: RRRCollection
+    rounds: int
+    coverage_history: list[tuple[int, float]] = field(default_factory=list)
+
+
+def estimate_theta(
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel | str = DiffusionModel.IC,
+    seed: int = 0,
+    l: float = 1.0,
+    *,
+    collection: RRRCollection | None = None,
+    sampler: RRRSampler | None = None,
+    counters: WorkCounters | None = None,
+    theta_cap: int | None = None,
+    trace: list | None = None,
+    num_ranks: int = 1,
+) -> ThetaEstimate:
+    """Estimate θ and return it with the samples drawn along the way.
+
+    Parameters
+    ----------
+    graph, k, eps, model, seed:
+        The influence-maximization instance.  ``eps`` controls the
+        approximation factor ``1 - 1/e - eps`` (smaller ⇒ more samples,
+        Figure 2); must lie in ``(0, 1 - 1/e)`` to keep the guarantee
+        meaningful.
+    l:
+        Confidence exponent: the guarantee holds with probability
+        ``1 - 1/n^l`` (the paper and Tang et al. use ``l = 1``).
+    collection:
+        Destination collection (defaults to a fresh
+        :class:`SortedRRRCollection`); the parallel drivers pass their
+        own so estimation samples are stored in the partitioned layout.
+    sampler:
+        Optional shared :class:`RRRSampler` scratch.
+    counters:
+        Optional work ledger to update.
+    theta_cap:
+        Optional hard ceiling on θ (used by benchmarks to bound runtime;
+        a capped run loses the approximation guarantee and says so in
+        the result).
+    trace:
+        Optional list receiving ``("sample", SampleBatch)`` and
+        ``("select", SelectionResult)`` events in execution order.  The
+        simulated-parallel drivers replay these meters through the
+        machine cost models to charge the EstimateTheta phase.
+    num_ranks:
+        Vertex-interval rank count forwarded to the selection kernel so
+        the per-rank work meters in the trace reflect the intended
+        parallel decomposition.  Does not affect the selected seeds.
+
+    Raises
+    ------
+    ValueError
+        If the instance is degenerate (``n < 2``, ``k < 1``, ``k > n``)
+        or ``eps`` is out of range.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"IMM needs at least 2 vertices, got n={n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    model = DiffusionModel.parse(model)
+    if collection is None:
+        collection = SortedRRRCollection(n)
+    if sampler is None:
+        sampler = RRRSampler(graph, model)
+
+    l_eff = _inflated_l(n, l)
+    eps_p = math.sqrt(2.0) * eps
+    lam_p = lambda_prime(n, k, eps, l_eff)
+    lam_s = lambda_star(n, k, eps, l_eff)
+
+    lb = 1.0
+    history: list[tuple[int, float]] = []
+    rounds = 0
+    max_x = max(1, int(math.ceil(math.log2(n))) - 1)
+    for x in range(1, max_x + 1):
+        rounds += 1
+        y = n / (2.0**x)
+        theta_x = int(math.ceil(lam_p / y))
+        if theta_cap is not None:
+            theta_x = min(theta_x, theta_cap)
+        batch = sample_batch(graph, model, collection, theta_x, seed, sampler=sampler)
+        if counters is not None:
+            counters.edges_examined += batch.edges_examined
+            counters.samples_generated += batch.count
+        if trace is not None:
+            trace.append(("sample", batch))
+        sel = select_seeds(collection, n, k, num_ranks=num_ranks)
+        if counters is not None:
+            counters.entries_scanned += sel.entries_scanned
+            counters.counter_updates += sel.counter_updates
+        if trace is not None:
+            trace.append(("select", sel))
+        frac = sel.covered_samples / max(len(collection), 1)
+        history.append((theta_x, frac))
+        if n * frac >= (1.0 + eps_p) * y:
+            lb = n * frac / (1.0 + eps_p)
+            break
+        if theta_cap is not None and theta_x >= theta_cap:
+            break
+
+    theta = int(math.ceil(lam_s / lb))
+    if theta_cap is not None:
+        theta = min(theta, theta_cap)
+    return ThetaEstimate(
+        theta=theta,
+        lb=lb,
+        collection=collection,
+        rounds=rounds,
+        coverage_history=history,
+    )

@@ -1,0 +1,43 @@
+"""Distributed-memory IMM (the paper's MPI+OpenMP implementation).
+
+No MPI launcher exists in this environment, so — per DESIGN.md — the
+distributed variant runs as an in-process **SPMD simulation**: every
+rank's program is a Python generator that ``yield``\\ s collective
+operations; the :func:`run_spmd` runtime advances all ranks in lockstep,
+*actually combines* their buffers (so an ``allreduce`` sum is
+bit-identical to real MPI), and records the communication volume that
+the α–β cost model prices into simulated seconds.
+
+Fidelity to Section 3.2 of the paper:
+
+* every rank holds a full replica of the input graph;
+* the θ samples are evenly partitioned across ranks;
+* RNG streams are split across ranks — either with the paper's
+  leap-frog LCG (``rng_scheme="leapfrog"``) or with per-sample
+  counter-based streams (``rng_scheme="per-sample"``, the default,
+  which additionally makes the seed set independent of the rank count);
+* seed selection keeps an ``n``-counter array per rank, aggregated with
+  an All-Reduce per greedy iteration (communication ``O(k n lg p)``);
+* a per-rank memory model (graph replica + local RRR partition) feeds a
+  simulated OOM killer, reproducing the missing points of Figure 7.
+"""
+
+from .comm import Allgather, Allreduce, Barrier, Bcast, CommStats, run_spmd
+from .costmodel import allreduce_seconds, collective_seconds
+from .distributed import SimulatedOOMError, imm_dist
+from .partitioned import PartitionedBatch, partitioned_rr_batch
+
+__all__ = [
+    "run_spmd",
+    "Allreduce",
+    "Allgather",
+    "Bcast",
+    "Barrier",
+    "CommStats",
+    "allreduce_seconds",
+    "collective_seconds",
+    "imm_dist",
+    "SimulatedOOMError",
+    "partitioned_rr_batch",
+    "PartitionedBatch",
+]

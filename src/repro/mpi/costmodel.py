@@ -1,0 +1,42 @@
+"""α–β (latency–bandwidth) pricing of the collectives.
+
+The standard LogP-family model for a tree-structured collective over
+``p`` ranks moving ``nbytes`` per rank:
+
+    T = ceil(log2 p) · (α + β · nbytes)
+
+This is the model underlying the paper's ``O(k · n · lg p)``
+communication complexity for the distributed seed selection (one
+All-Reduce of the ``n`` counters per greedy iteration), so pricing the
+recorded traffic with it reproduces the communication component of
+Figures 7–8 by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..parallel.machine import MachineSpec
+
+__all__ = ["allreduce_seconds", "collective_seconds"]
+
+
+def allreduce_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> float:
+    """Modeled seconds for one allreduce of ``nbytes`` per rank."""
+    return collective_seconds(machine, num_ranks, nbytes)
+
+
+def collective_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> float:
+    """Tree-collective time: ``ceil(lg p) * (alpha + beta * nbytes)``.
+
+    ``num_ranks == 1`` costs nothing (the single-rank code path skips
+    communication entirely, as MPI implementations do).
+    """
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    if nbytes < 0:
+        raise ValueError("payload size must be non-negative")
+    if num_ranks == 1:
+        return 0.0
+    hops = math.ceil(math.log2(num_ranks))
+    return hops * (machine.alpha + machine.beta * nbytes)

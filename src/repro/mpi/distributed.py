@@ -1,0 +1,376 @@
+"""``imm_dist``: the hybrid MPI+OpenMP IMM of Section 3.2.
+
+Every rank executes the full Algorithm 1 control flow on its own slice
+of the sample space:
+
+* **Sampling** — the θ samples are partitioned across ranks (strided
+  ownership: rank ``r`` generates global sample indices ``r, r+p, ...``,
+  a balanced partition that stays stable as θ grows across estimation
+  rounds).  Each rank holds a full graph replica and draws its own
+  random numbers — either from the per-sample counter streams (default;
+  makes the seed set independent of ``p``) or from the paper's
+  leap-frog LCG substreams (``rng_scheme="leapfrog"``).
+
+* **Seed selection** — each rank counts vertex memberships over its
+  local partition ``R_r``; one All-Reduce produces the global counters;
+  every iteration picks the argmax locally (identical on all ranks),
+  purges the local partition, and All-Reduces the decrements —
+  ``O(k · n · lg p)`` communication, exactly the paper's scheme.
+
+* **Memory model** — a rank whose modeled resident set (graph replica +
+  local RRR partition + counter arrays) exceeds the node's DRAM raises
+  :class:`SimulatedOOMError`, reproducing the Linux-OOM-killed runs
+  that appear as missing points in Figure 7.
+
+The collectives are executed for real (bit-exact sums) by
+:func:`repro.mpi.comm.run_spmd`; the phase times are modeled from
+per-rank work meters, intra-node OpenMP speedup, and the α–β collective
+costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..diffusion import DiffusionModel
+from ..graph import CSRGraph
+from ..imm.result import IMMResult
+from ..imm.theta import _inflated_l, lambda_prime, lambda_star
+from ..perf.counters import WorkCounters
+from ..perf.memory import MemoryModel
+from ..perf.timers import PhaseTimer
+from ..rng import Lcg64, sample_stream, spawn_streams
+from ..sampling import RRRSampler, SortedRRRCollection
+from ..parallel.machine import PUMA, MachineSpec
+from .comm import Allreduce, run_spmd
+from .costmodel import collective_seconds
+
+__all__ = ["imm_dist", "SimulatedOOMError"]
+
+
+class SimulatedOOMError(MemoryError):
+    """A rank's modeled resident set exceeded the node memory.
+
+    Mirrors the paper's observation that "points missing in Figures 7c
+    and 7d are experiments that were killed by the Linux Out of Memory
+    killer" — the experiment harness records these as absent points.
+    """
+
+    def __init__(self, rank: int, needed: int, limit: int) -> None:
+        super().__init__(
+            f"rank {rank}: modeled footprint {_fmt_bytes(needed)} exceeds "
+            f"node memory {_fmt_bytes(limit)}"
+        )
+        self.rank = rank
+        self.needed = needed
+        self.limit = limit
+
+
+def _fmt_bytes(value: int) -> str:
+    """Human-readable byte count (stand-ins are MiB-scale, clusters GiB)."""
+    for unit, factor in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+        if value >= factor:
+            return f"{value / factor:.2f} {unit}"
+    return f"{value} B"
+
+
+@dataclass
+class _RankRecord:
+    """Work meters one rank reports back to the pricing driver."""
+
+    seeds: np.ndarray | None = None
+    covered: int = 0
+    theta: int = 0
+    lb: float = 1.0
+    local_samples: int = 0
+    collection_bytes: int = 0
+    edges_total: int = 0
+    #: per estimation round: (local sampling edges, local selection entries)
+    round_meters: list[tuple[int, int]] = field(default_factory=list)
+    final_sample_edges: int = 0
+    final_select_entries: int = 0
+    rounds: int = 0
+
+
+def _dist_select(
+    collection: SortedRRRCollection, n: int, k: int
+) -> Generator:
+    """Distributed greedy selection (generator; use ``yield from``).
+
+    Returns ``(seeds, covered_total, local_entries_scanned)``.
+    """
+    flat, indptr, sample_of = collection.flattened()
+    num_local = len(collection)
+    local_counts = np.bincount(flat, minlength=n).astype(np.int64)
+    entries = int(collection.total_entries)
+    global_counts = yield Allreduce(local_counts)
+    global_counts = np.asarray(global_counts, dtype=np.int64).copy()
+
+    vert_order = np.argsort(flat, kind="stable")
+    vert_counts = np.bincount(flat, minlength=n)
+    vert_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(vert_counts, out=vert_indptr[1:])
+    sample_alive = np.ones(num_local, dtype=bool)
+
+    seeds = np.empty(k, dtype=np.int64)
+    covered_local = 0
+    for i in range(k):
+        v = int(np.argmax(global_counts))
+        seeds[i] = v
+        positions = vert_order[vert_indptr[v] : vert_indptr[v + 1]]
+        hit = sample_of[positions]
+        killed = hit[sample_alive[hit]]
+        decrement = np.zeros(n, dtype=np.int64)
+        if len(killed):
+            sample_alive[killed] = False
+            covered_local += len(killed)
+            starts = indptr[killed]
+            stops = indptr[killed + 1]
+            counts = stops - starts
+            total = int(counts.sum())
+            entry_idx = np.repeat(stops - np.cumsum(counts), counts) + np.arange(total)
+            decrement = np.bincount(flat[entry_idx], minlength=n).astype(np.int64)
+            entries += total
+        delta = yield Allreduce(decrement)
+        global_counts -= np.asarray(delta, dtype=np.int64)
+        global_counts[v] = -1
+    covered_total = yield Allreduce(covered_local)
+    return seeds, int(covered_total), entries
+
+
+def _make_rank_program(
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel,
+    seed: int,
+    l: float,
+    rng_scheme: str,
+    theta_cap: int | None,
+    mem_limit: int | None,
+    records: list[_RankRecord],
+):
+    """Build the SPMD rank program closure for :func:`run_spmd`."""
+    n = graph.n
+    l_eff = _inflated_l(n, l)
+    eps_p = math.sqrt(2.0) * eps
+    lam_p = lambda_prime(n, k, eps, l_eff)
+    lam_s = lambda_star(n, k, eps, l_eff)
+    max_x = max(1, int(math.ceil(math.log2(n))) - 1)
+
+    def program(rank: int, size: int) -> Generator:
+        rec = records[rank]
+        collection = SortedRRRCollection(n)
+        sampler = RRRSampler(graph, model)
+        lcg: Lcg64 | None = None
+        if rng_scheme == "leapfrog":
+            lcg = spawn_streams(seed, size)[rank]
+        next_global = 0  # first global sample index not yet considered
+
+        def extend_to(theta_target: int) -> int:
+            """Generate this rank's share of samples in [next_global, θ)."""
+            nonlocal next_global
+            edges = 0
+            for j in range(next_global, theta_target):
+                if j % size != rank:
+                    continue
+                if lcg is not None:
+                    root = lcg.randint(0, n)
+                    verts, e = sampler.generate(root, lcg)
+                else:
+                    stream = sample_stream(seed, j)
+                    root = stream.randint(0, n)
+                    verts, e = sampler.generate(root, stream)
+                collection.append(verts)
+                edges += e
+            next_global = max(next_global, theta_target)
+            if mem_limit is not None:
+                footprint = MemoryModel.for_rank(graph, collection).total
+                if footprint > mem_limit:
+                    raise SimulatedOOMError(rank, footprint, mem_limit)
+            return edges
+
+        # --- EstimateTheta (Algorithm 2, replicated control flow) --------
+        lb = 1.0
+        for x in range(1, max_x + 1):
+            rec.rounds += 1
+            y = n / (2.0**x)
+            theta_x = int(math.ceil(lam_p / y))
+            if theta_cap is not None:
+                theta_x = min(theta_x, theta_cap)
+            round_edges = extend_to(theta_x)
+            seeds, covered_total, entries = yield from _dist_select(collection, n, k)
+            rec.round_meters.append((round_edges, entries))
+            rec.edges_total += round_edges
+            frac = covered_total / max(theta_x, 1)
+            if n * frac >= (1.0 + eps_p) * y:
+                lb = n * frac / (1.0 + eps_p)
+                break
+            if theta_cap is not None and theta_x >= theta_cap:
+                break
+        theta = int(math.ceil(lam_s / lb))
+        if theta_cap is not None:
+            theta = min(theta, theta_cap)
+        rec.theta, rec.lb = theta, lb
+
+        # --- Sample (top-up to θ) -----------------------------------------
+        rec.final_sample_edges = extend_to(theta)
+        rec.edges_total += rec.final_sample_edges
+
+        # --- SelectSeeds ----------------------------------------------------
+        seeds, covered_total, entries = yield from _dist_select(collection, n, k)
+        rec.final_select_entries = entries
+        rec.seeds = seeds
+        rec.covered = covered_total
+        rec.local_samples = len(collection)
+        rec.collection_bytes = collection.nbytes_model()
+        return rank
+
+    return program
+
+
+def imm_dist(
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel | str = DiffusionModel.IC,
+    num_nodes: int = 2,
+    machine: MachineSpec = PUMA,
+    threads_per_node: int | None = None,
+    seed: int = 0,
+    l: float = 1.0,
+    *,
+    rng_scheme: str = "per-sample",
+    theta_cap: int | None = None,
+    mem_per_node: int | None = None,
+) -> IMMResult:
+    """Run the distributed IMM and return modeled-time results.
+
+    Parameters
+    ----------
+    graph, k, eps, model, seed, l, theta_cap:
+        As in :func:`repro.imm.imm`.
+    num_nodes:
+        Cluster nodes = MPI ranks (one rank per node, OpenMP inside, the
+        paper's hybrid configuration).
+    machine:
+        Hardware model; :data:`~repro.parallel.machine.PUMA` or
+        :data:`~repro.parallel.machine.EDISON`.
+    threads_per_node:
+        OpenMP threads per rank (default: all the node offers — with
+        SMT on Edison, matching the paper's hyper-threaded runs).
+    rng_scheme:
+        ``"per-sample"`` (default, rank-count-invariant output) or
+        ``"leapfrog"`` (the paper's TRNG-style LCG splitting).
+    mem_per_node:
+        Override of the node DRAM for the simulated OOM killer (the
+        experiment harness uses it to scale limits to stand-in graphs).
+
+    Raises
+    ------
+    SimulatedOOMError
+        If any rank's modeled footprint exceeds the node memory.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if rng_scheme not in ("per-sample", "leapfrog"):
+        raise ValueError(f"unknown rng_scheme {rng_scheme!r}")
+    model = DiffusionModel.parse(model)
+    if threads_per_node is None:
+        threads_per_node = machine.threads_per_node
+    if not 1 <= threads_per_node <= machine.threads_per_node:
+        raise ValueError(
+            f"threads_per_node must be in [1, {machine.threads_per_node}]"
+        )
+    mem_limit = machine.mem_per_node if mem_per_node is None else mem_per_node
+
+    records = [_RankRecord() for _ in range(num_nodes)]
+    program = _make_rank_program(
+        graph, k, eps, model, seed, l, rng_scheme, theta_cap, mem_limit, records
+    )
+    wall = PhaseTimer()
+    with wall.phase("Other"):
+        _, comm_stats = run_spmd(num_nodes, program)
+
+    # ---- price the phases ----------------------------------------------
+    n = graph.n
+    eff = machine.effective_threads(threads_per_node)
+    t_sel_comm = (k + 1) * collective_seconds(
+        machine, num_nodes, 8 * n
+    ) + collective_seconds(machine, num_nodes, 8)
+
+    def sample_seconds(edges_per_rank: list[int]) -> float:
+        makespan = max(edges_per_rank) * machine.t_edge / eff
+        return makespan + threads_per_node * machine.thread_overhead
+
+    def select_seconds(entries_per_rank: list[int]) -> float:
+        local = max(entries_per_rank) * machine.t_update / eff
+        argmax = k * (n / eff) * machine.t_update
+        return local + argmax + t_sel_comm
+
+    sim = PhaseTimer()
+    rounds = max(rec.rounds for rec in records)
+    for i in range(rounds):
+        round_edges = [
+            rec.round_meters[i][0] if i < len(rec.round_meters) else 0
+            for rec in records
+        ]
+        round_entries = [
+            rec.round_meters[i][1] if i < len(rec.round_meters) else 0
+            for rec in records
+        ]
+        sim.charge("EstimateTheta", sample_seconds(round_edges))
+        sim.charge("EstimateTheta", select_seconds(round_entries))
+    sim.charge("Sample", sample_seconds([rec.final_sample_edges for rec in records]))
+    sim.charge(
+        "SelectSeeds", select_seconds([rec.final_select_entries for rec in records])
+    )
+    sim.charge("Other", graph.n * machine.t_update + 2 * machine.alpha)
+
+    rec0 = records[0]
+    counters = WorkCounters(
+        edges_examined=sum(rec.edges_total for rec in records),
+        samples_generated=sum(rec.local_samples for rec in records),
+        entries_scanned=sum(
+            rec.final_select_entries + sum(m[1] for m in rec.round_meters)
+            for rec in records
+        ),
+        counter_updates=sum(
+            rec.final_select_entries + sum(m[1] for m in rec.round_meters)
+            for rec in records
+        ),
+        allreduce_calls=comm_stats.calls,
+        allreduce_elements=comm_stats.payload_bytes // 8,
+    )
+    assert rec0.seeds is not None
+    return IMMResult(
+        seeds=rec0.seeds,
+        k=k,
+        epsilon=eps,
+        model=model.value,
+        layout="sorted",
+        theta=rec0.theta,
+        num_samples=sum(rec.local_samples for rec in records),
+        coverage=rec0.covered / max(rec0.theta, 1),
+        lb=rec0.lb,
+        breakdown=sim.breakdown(),
+        counters=counters,
+        memory_bytes=max(rec.collection_bytes for rec in records),
+        simulated=True,
+        ranks=num_nodes * threads_per_node,
+        extra={
+            "machine": machine.name,
+            "num_nodes": num_nodes,
+            "threads_per_node": threads_per_node,
+            "rng_scheme": rng_scheme,
+            "comm_calls": comm_stats.calls,
+            "comm_bytes": comm_stats.payload_bytes,
+            "measured_breakdown": wall.breakdown(),
+            "per_rank_samples": [rec.local_samples for rec in records],
+            "theta_capped": theta_cap is not None and rec0.theta >= theta_cap,
+        },
+    )

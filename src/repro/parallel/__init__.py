@@ -1,0 +1,39 @@
+"""Shared-memory parallel IMM (the paper's OpenMP implementation).
+
+This environment offers a single CPU core and no OpenMP, so — per the
+substitution record in DESIGN.md — the multithreaded variant executes
+the *real* partitioned algorithm (identical kernels, identical seeds)
+while charging **modeled** time from per-rank work meters and a
+calibrated :class:`MachineSpec`.  The model captures exactly the effects
+the paper discusses:
+
+* sampling scales with the per-thread makespan of RRR-set generation
+  (LPT assignment over measured per-sample edge counts);
+* seed selection scales with the largest vertex-interval workload plus
+  the per-sample binary searches (Algorithm 4's decomposition);
+* small inputs stop scaling because the greedy selection and
+  per-iteration max-reductions dominate (the Figure 5/6 observation);
+* every phase keeps a small serial fraction, so speedups saturate.
+
+The machine catalog (:data:`PUMA`, :data:`EDISON`, :data:`LAPTOP`)
+encodes the two clusters of Section 4.
+"""
+
+from .cost import CostModel
+from .machine import EDISON, LAPTOP, PUMA, MachineSpec
+from .metering import lpt_makespan
+from .partition import block_bounds, block_partition, owner_of
+from .shared import imm_mt
+
+__all__ = [
+    "MachineSpec",
+    "PUMA",
+    "EDISON",
+    "LAPTOP",
+    "CostModel",
+    "imm_mt",
+    "block_partition",
+    "block_bounds",
+    "owner_of",
+    "lpt_makespan",
+]

@@ -1,0 +1,104 @@
+"""Cost model: converting work meters into simulated seconds.
+
+One :class:`CostModel` instance binds a :class:`MachineSpec` and a
+thread count and prices the three kinds of work the IMM phases perform:
+
+* **Sampling** — per-thread makespan over measured per-sample edge
+  counts (LPT schedule), at ``t_edge`` seconds per edge.
+* **Counting/purging** — Algorithm 4's interval-partitioned counter
+  updates: the slowest rank's updates at ``t_update`` plus its binary
+  searches at ``t_search``.
+* **Max-reductions** — each greedy iteration scans ``n / p`` counters
+  per rank then combines partial maxima in a ``log2 p`` tree.
+
+Every phase additionally pays the fork/join ``thread_overhead`` and an
+Amdahl ``serial_fraction`` of its single-thread work — the two terms
+that flatten the Figure 5/6 curves for small inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..imm.select import SelectionResult
+from ..sampling.sampler import SampleBatch
+from .machine import MachineSpec
+from .metering import lpt_makespan
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices metered work for ``threads`` workers on ``machine``."""
+
+    machine: MachineSpec
+    threads: int
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("need at least one thread")
+
+    # -- phase pricing -------------------------------------------------------
+
+    def sample_seconds(self, batch: SampleBatch) -> float:
+        """Simulated seconds for one parallel sampling batch."""
+        m = self.machine
+        eff = m.effective_threads(self.threads)
+        serial_work = batch.edges_examined * m.t_edge
+        if self.threads == 1:
+            return serial_work + self._region_overhead()
+        per_thread = lpt_makespan(
+            batch.per_sample_edges.astype(np.float64) * m.t_edge,
+            # Makespan over *physical* workers; SMT discount applied as a
+            # throughput factor below.
+            self.threads,
+        )
+        parallel = per_thread * (self.threads / eff)
+        return (
+            m.serial_fraction * serial_work
+            + (1.0 - m.serial_fraction) * parallel
+            + self._region_overhead()
+        )
+
+    def select_seconds(self, sel: SelectionResult, n: int, k: int) -> float:
+        """Simulated seconds for one seed-selection invocation.
+
+        Uses the per-rank meters produced with ``num_ranks ==
+        self.threads``; when the meters were produced for a different
+        rank count (e.g. a serial selection), the totals are re-priced
+        under an even split — a safe approximation because counter work
+        is near-uniform across vertex intervals.
+        """
+        m = self.machine
+        eff = m.effective_threads(self.threads)
+        if sel.num_ranks == self.threads:
+            update_work = float(sel.per_rank_entries.max(initial=0)) * m.t_update
+            search_work = float(sel.per_rank_searches.max(initial=0)) * m.t_search
+        else:
+            update_work = sel.counter_updates / self.threads * m.t_update
+            search_work = float(sel.per_rank_searches.sum()) * m.t_search
+        per_rank = (update_work + search_work) * (self.threads / eff)
+        # Greedy max reduction: k rounds of (n/p scan + log2 p combine).
+        argmax = k * (
+            (n / eff) * m.t_update
+            + np.log2(max(self.threads, 2)) * m.thread_overhead
+        )
+        serial_work = (
+            sel.counter_updates * m.t_update
+            + float(sel.per_rank_searches.max(initial=0)) * m.t_search
+        )
+        if self.threads == 1:
+            return serial_work + k * n * m.t_update + self._region_overhead()
+        return (
+            m.serial_fraction * serial_work
+            + (1.0 - m.serial_fraction) * per_rank
+            + argmax
+            + self._region_overhead()
+        )
+
+    def _region_overhead(self) -> float:
+        """Fork/join cost of one parallel region."""
+        return self.threads * self.machine.thread_overhead

@@ -1,0 +1,148 @@
+"""Machine models for the two clusters of the paper's evaluation.
+
+Section 4, experimental setup:
+
+* **Puma** — two 10-core Intel Xeon E5-2680 v2 at 2.8 GHz per node
+  (hyper-threading disabled), 768 GB per node, InfiniBand FDR 4x.
+* **Edison** (NERSC) — two 12-core Ivy Bridge at 2.4 GHz per node,
+  hyper-threading available, 64 GB per node, Cray Aries interconnect
+  with Dragonfly topology.
+
+The per-operation costs below are calibrated constants, not
+measurements: their absolute scale sets "simulated seconds" and their
+*ratios* (edge traversal vs counter update vs network latency) determine
+every scaling shape the experiments reproduce.  Edge traversal cost is
+of the order of a DRAM-latency-bound pointer chase (the sampling kernel
+is memory-bound, Section 3.2); counter updates stream contiguously and
+are ~an order of magnitude cheaper; Aries has lower latency and higher
+bandwidth than the FDR fabric, but Edison nodes have far less memory —
+which is why Figure 7's large-graph low-node-count runs die of OOM on
+neither cluster's fat nodes but Figure 8 can run 1024 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "PUMA", "EDISON", "LAPTOP"]
+
+_GB = 1024**3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware parameters consumed by the cost and memory models.
+
+    Attributes
+    ----------
+    name:
+        Display name (appears in experiment reports).
+    cores_per_node:
+        Physical cores per node.
+    smt:
+        Hardware threads per core usable by the runs (1 = HT off, as on
+        Puma; 2 on Edison).
+    mem_per_node:
+        Bytes of DRAM per node; exceeded ⇒ the simulated OOM killer
+        terminates the run (Figure 7's missing points).
+    t_edge:
+        Seconds per in-edge examined during RRR generation (memory-
+        latency bound).
+    t_update:
+        Seconds per vertex-counter update during seed selection
+        (streaming, cache-friendly in the sorted layout).
+    t_search:
+        Seconds per binary-search probe step.
+    alpha:
+        Network latency per collective hop (seconds).
+    beta:
+        Seconds per byte per hop of collective payload.
+    thread_overhead:
+        Fixed seconds per spawned thread per parallel region (fork/join
+        cost; what stops small inputs from scaling).
+    serial_fraction:
+        Fraction of each phase's single-thread work that does not
+        parallelize (Amdahl term: per-round bookkeeping, allocation).
+    smt_efficiency:
+        Throughput factor of the second hardware thread (an SMT sibling
+        adds ~30 % rather than doubling).
+    """
+
+    name: str
+    cores_per_node: int
+    smt: int
+    mem_per_node: int
+    t_edge: float
+    t_update: float
+    t_search: float
+    alpha: float
+    beta: float
+    thread_overhead: float = 5.0e-6
+    serial_fraction: float = 0.015
+    smt_efficiency: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1 or self.smt < 1:
+            raise ValueError("core and SMT counts must be positive")
+        if min(self.t_edge, self.t_update, self.t_search, self.alpha, self.beta) < 0:
+            raise ValueError("cost constants must be non-negative")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial fraction must be in [0, 1)")
+
+    @property
+    def threads_per_node(self) -> int:
+        """Maximum schedulable threads per node."""
+        return self.cores_per_node * self.smt
+
+    def effective_threads(self, threads: int) -> float:
+        """Throughput-equivalent thread count, discounting SMT siblings.
+
+        The first ``cores_per_node`` threads contribute 1.0 each; any
+        further (hyper-)threads contribute :attr:`smt_efficiency`.
+        """
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        physical = min(threads, self.cores_per_node)
+        extra = max(0, threads - self.cores_per_node)
+        return physical + self.smt_efficiency * extra
+
+
+#: Puma: big-memory cluster, HT disabled (Section 4 setup).
+PUMA = MachineSpec(
+    name="Puma",
+    cores_per_node=20,
+    smt=1,
+    mem_per_node=768 * _GB,
+    t_edge=5.0e-8,
+    t_update=6.0e-9,
+    t_search=8.0e-9,
+    alpha=2.0e-6,
+    beta=1.8e-10,  # ~5.5 GB/s effective per hop (FDR 4x with MPI overheads)
+)
+
+#: Edison: NERSC Cray XC30 — less memory, HT on, faster interconnect,
+#: slightly slower cores (2.4 vs 2.8 GHz).
+EDISON = MachineSpec(
+    name="Edison",
+    cores_per_node=24,
+    smt=2,
+    mem_per_node=64 * _GB,
+    t_edge=5.8e-8,
+    t_update=7.0e-9,
+    t_search=9.3e-9,
+    alpha=1.1e-6,
+    beta=1.0e-10,  # Aries: ~10 GB/s effective per hop
+)
+
+#: A workstation-scale reference machine for examples and tests.
+LAPTOP = MachineSpec(
+    name="Laptop",
+    cores_per_node=8,
+    smt=2,
+    mem_per_node=16 * _GB,
+    t_edge=4.0e-8,
+    t_update=5.0e-9,
+    t_search=7.0e-9,
+    alpha=5.0e-7,
+    beta=5.0e-11,
+)

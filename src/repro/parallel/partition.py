@@ -1,0 +1,58 @@
+"""Block partitioning helpers (Algorithm 4's interval decomposition).
+
+Both parallel variants partition work into contiguous blocks:
+
+* seed selection assigns thread ``t`` the vertex interval
+  ``[n*t/p, n*(t+1)/p)`` so counter updates need no synchronization;
+* distributed sampling assigns rank ``r`` a contiguous block of the
+  global sample indices ``[0, theta)``.
+
+The formulas match the paper's pseudocode (integer division, so blocks
+differ in size by at most one and exactly cover the range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_bounds", "block_partition", "owner_of"]
+
+
+def block_bounds(total: int, num_ranks: int) -> np.ndarray:
+    """Boundary array ``b`` with rank ``t`` owning ``[b[t], b[t+1])``.
+
+    ``b[t] = total * t // num_ranks`` — the exact expression of
+    Algorithm 4 (``vl = |V| * t / p``).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    t = np.arange(num_ranks + 1, dtype=np.int64)
+    return (total * t) // num_ranks
+
+
+def block_partition(total: int, rank: int, num_ranks: int) -> tuple[int, int]:
+    """The half-open range ``[lo, hi)`` owned by ``rank``."""
+    if not 0 <= rank < num_ranks:
+        raise ValueError(f"rank {rank} out of range for {num_ranks} ranks")
+    return (total * rank) // num_ranks, (total * (rank + 1)) // num_ranks
+
+
+def owner_of(index: int | np.ndarray, total: int, num_ranks: int):
+    """Rank owning ``index`` under the block partition (scalar or array).
+
+    Inverse of :func:`block_partition`: computed by searching the
+    boundary array, so it is exact even when blocks are uneven.
+    """
+    bounds = block_bounds(total, num_ranks)
+    result = np.searchsorted(bounds, index, side="right") - 1
+    if np.isscalar(index) or np.ndim(index) == 0:
+        idx = int(index)
+        if not 0 <= idx < total:
+            raise ValueError(f"index {idx} out of range [0, {total})")
+        return int(result)
+    arr = np.asarray(index)
+    if len(arr) and (arr.min() < 0 or arr.max() >= total):
+        raise ValueError("index out of range")
+    return result

@@ -1,0 +1,34 @@
+"""Instrumentation: phase timers, work counters and memory accounting.
+
+Every runtime figure in the paper decomposes execution into four phases —
+*EstimateTheta*, *Sample*, *SelectSeeds* and *Other* — and Table 2 adds a
+peak-memory column.  This subpackage provides the measurement plumbing:
+
+* :class:`PhaseTimer` accumulates wall-clock and/or simulated seconds per
+  named phase (the parallel implementations charge modeled time, the
+  serial ones measure real time; both flow through the same object).
+* :class:`WorkCounters` tallies algorithmic work (edges examined,
+  counter updates) that the machine cost models convert to time.
+* :mod:`repro.perf.memory` accounts the resident bytes of the RRR
+  layouts and of graph replicas, standing in for the paper's Valgrind
+  Massif instrumentation.
+"""
+
+from .counters import WorkCounters
+from .layoutmodel import modeled_serial_breakdown
+from .memory import MemoryModel, collection_bytes, graph_bytes, peak_rss_bytes
+from .profiling import profile_run
+from .timers import PHASES, PhaseBreakdown, PhaseTimer
+
+__all__ = [
+    "PhaseTimer",
+    "PhaseBreakdown",
+    "PHASES",
+    "WorkCounters",
+    "MemoryModel",
+    "collection_bytes",
+    "graph_bytes",
+    "peak_rss_bytes",
+    "profile_run",
+    "modeled_serial_breakdown",
+]

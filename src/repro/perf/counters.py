@@ -1,0 +1,64 @@
+"""Algorithmic work counters.
+
+The parallel implementations in this reproduction execute the real
+algorithms but charge *modeled* time derived from hardware-independent
+work measures.  :class:`WorkCounters` is the ledger: the sampling kernels
+report edges examined, the seed-selection kernels report counter
+updates and entries scanned, and the machine models in
+:mod:`repro.parallel.machine` convert the totals to seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkCounters"]
+
+
+@dataclass
+class WorkCounters:
+    """Mutable tally of algorithmic work for one run.
+
+    Attributes
+    ----------
+    edges_examined:
+        In-edges touched by ``GenerateRR`` traversals (sampling work).
+    samples_generated:
+        Number of RRR sets produced.
+    entries_scanned:
+        RRR incidence entries read during seed selection (counting +
+        purge scans).
+    counter_updates:
+        Increment/decrement operations applied to the per-vertex
+        counters of Algorithm 4.
+    allreduce_calls / allreduce_elements:
+        Collective-communication volume of the distributed variant
+        (``O(k * n * lg p)`` total traffic).
+    """
+
+    edges_examined: int = 0
+    samples_generated: int = 0
+    entries_scanned: int = 0
+    counter_updates: int = 0
+    allreduce_calls: int = 0
+    allreduce_elements: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        """Accumulate ``other`` into this ledger (used when combining
+        per-rank meters into a run total)."""
+        self.edges_examined += other.edges_examined
+        self.samples_generated += other.samples_generated
+        self.entries_scanned += other.entries_scanned
+        self.counter_updates += other.counter_updates
+        self.allreduce_calls += other.allreduce_calls
+        self.allreduce_elements += other.allreduce_elements
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "edges_examined": self.edges_examined,
+            "samples_generated": self.samples_generated,
+            "entries_scanned": self.entries_scanned,
+            "counter_updates": self.counter_updates,
+            "allreduce_calls": self.allreduce_calls,
+            "allreduce_elements": self.allreduce_elements,
+        }

@@ -1,0 +1,100 @@
+"""Serial layout cost model: why the hypergraph layout loses.
+
+The paper attributes IMM\\ :sup:`OPT`'s 2.4–4.2× serial advantage to the
+compact one-directional RRR representation (Section 3.1 + Table 2).
+The mechanism is memory traffic, not instruction count:
+
+* the hypergraph layout **writes every incidence twice** at insertion —
+  once into the sample's vertex list (streaming) and once into the
+  vertex's sample list (a random-access write into one of ``n``
+  growing containers: a cache miss per entry);
+* its seed selection walks the inverted index — again one dependent
+  random access per incidence — whereas the sorted layout streams
+  contiguous vertex lists in cache order (the paper's stated design
+  goal) at streaming cost;
+* the reference sampler tracks visited vertices in a hash set (one
+  probe per examined edge, ~two dependent accesses), where the
+  optimized sampler uses an epoch-stamped flat array (streaming-class
+  check) — the per-edge cost gap that dominates because sampling
+  examines an order of magnitude more edges than it stores vertices.
+
+This module prices both layouts with the same per-operation constants
+used by every parallel model in :mod:`repro.parallel.machine`
+(``t_edge`` ≈ a DRAM-latency access, ``t_update`` ≈ a streaming
+update), so the Table 2 *time* comparison can be reproduced on modeled
+seconds even though vectorized Python execution hides cache behaviour
+(the wall-clock columns are reported alongside; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .timers import PhaseBreakdown
+
+if TYPE_CHECKING:  # avoid a circular package import at runtime
+    from ..imm.result import IMMResult
+    from ..parallel.machine import MachineSpec
+
+__all__ = ["modeled_serial_breakdown"]
+
+
+def modeled_serial_breakdown(result: IMMResult, machine: MachineSpec) -> PhaseBreakdown:
+    """Modeled single-thread phase seconds for a serial :func:`~repro.imm.imm` run.
+
+    Uses the run's work counters; the layout stored in
+    ``result.layout`` selects the pricing rules described in the module
+    docstring.  The model total is distributed over the four phases in
+    the proportions the run actually measured, preserving the paper's
+    attribution convention.
+
+    Raises
+    ------
+    ValueError
+        If the result does not come from a serial run (``ranks != 1``)
+        or carries an unknown layout tag.
+    """
+    if result.ranks != 1:
+        raise ValueError("layout model prices serial runs only")
+    c = result.counters
+    t_edge, t_update = machine.t_edge, machine.t_update
+    samples = max(c.samples_generated, 1)
+    # entries_scanned counts the counting pass plus purges (~2x the
+    # stored incidences), so half of it approximates insertion volume.
+    stored_entries = c.entries_scanned / 2.0
+    avg_size = max(stored_entries / samples, 1.0)
+
+    if result.layout == "hypergraph":
+        # Reference sampler: every examined edge pays the traversal
+        # access plus a hash-set visited probe (~two dependent DRAM
+        # accesses: bucket + node chase).
+        sampling = c.edges_examined * (3.0 * t_edge)
+        # Double insertion: streaming write + random-access inverted write.
+        insertion = stored_entries * (t_update + t_edge)
+        # Selection walks the inverted index: random access per entry.
+        selection = c.counter_updates * t_edge
+    elif result.layout == "sorted":
+        # Optimized sampler: traversal access plus an epoch-stamp check
+        # in a flat array (streaming-class).
+        sampling = c.edges_examined * (t_edge + t_update)
+        # Single streaming write plus the per-sample sort.
+        insertion = stored_entries * t_update * (1.0 + math.log2(avg_size))
+        # Cache-ordered counting and purging.
+        selection = c.counter_updates * t_update
+    else:
+        raise ValueError(f"unknown layout {result.layout!r}")
+    # k argmax scans over the n counters per selection invocation.
+    invocations = result.extra.get("estimation_rounds", 0) + 1
+    n = int(result.extra.get("n", 0))
+    argmax = invocations * result.k * n * t_update
+
+    measured = result.breakdown
+    total_measured = max(measured.total, 1e-12)
+    total_model = sampling + insertion + selection + argmax
+    return PhaseBreakdown(
+        estimate_theta=total_model * (measured.estimate_theta / total_measured),
+        sample=total_model * (measured.sample / total_measured),
+        select_seeds=total_model * (measured.select_seeds / total_measured),
+        other=total_model * (measured.other / total_measured),
+    )

@@ -1,0 +1,100 @@
+"""Memory accounting: the reproduction's stand-in for Valgrind Massif.
+
+Table 2 compares the peak memory of the reference hypergraph layout
+(IMM) against the paper's one-directional layout (IMM\\ :sup:`OPT`),
+measured with Massif on the C++ codes.  Re-measuring Python heap bytes
+would mostly measure CPython object overhead, so the comparison here is
+*analytic*: each collection layout knows the bytes its C++ equivalent
+would hold (see :mod:`repro.sampling.collection`), and the distributed
+memory model adds the per-rank graph replica — which is what determines
+the OOM-killed configurations visible as gaps in Figure 7.
+
+:func:`peak_rss_bytes` is also provided for callers who want the real
+interpreter-level number (via ``tracemalloc``), clearly separated from
+the modeled one.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..graph import CSRGraph
+from ..sampling.collection import RRRCollection
+
+__all__ = ["MemoryModel", "collection_bytes", "graph_bytes", "peak_rss_bytes"]
+
+
+def collection_bytes(collection: RRRCollection) -> int:
+    """Modeled bytes of an RRR collection (layout-specific)."""
+    return collection.nbytes_model()
+
+
+def graph_bytes(graph: CSRGraph) -> int:
+    """Modeled bytes of one full CSR graph replica.
+
+    Models the C++ CSR with 8-byte offsets, 4-byte vertex ids and 4-byte
+    ``float`` edge weights, both directions — the replica every MPI rank
+    holds in the paper's distributed design.
+    """
+    per_direction = 8 * (graph.n + 1) + (4 + 4) * graph.m
+    return 2 * per_direction
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-rank resident-set model for a distributed IMM run.
+
+    ``rank_bytes = graph_replica + local_collection + counters`` where
+    the counter arrays are the ``n``-element local and global tallies of
+    the distributed seed selection (8 bytes each).
+    """
+
+    graph_replica: int
+    collection: int
+    counters: int
+
+    @property
+    def total(self) -> int:
+        return self.graph_replica + self.collection + self.counters
+
+    @classmethod
+    def for_rank(
+        cls, graph: CSRGraph, collection: RRRCollection
+    ) -> "MemoryModel":
+        return cls(
+            graph_replica=graph_bytes(graph),
+            collection=collection_bytes(collection),
+            counters=2 * 8 * graph.n,
+        )
+
+
+@contextmanager
+def peak_rss_bytes() -> Iterator[list[int]]:
+    """Measure real interpreter peak allocation over a block.
+
+    Yields a single-element list whose value after the block is the peak
+    traced bytes::
+
+        with peak_rss_bytes() as peak:
+            run()
+        print(peak[0])
+
+    Uses ``tracemalloc``; the overhead is significant (the paper makes
+    the same observation about Massif, marking unmeasurable runs with a
+    circle in Table 2).
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    out = [0]
+    try:
+        yield out
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        out[0] = peak
+        if not was_tracing:
+            tracemalloc.stop()

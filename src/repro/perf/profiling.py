@@ -1,0 +1,44 @@
+"""Lightweight cProfile wrapper for the CLI's ``--profile`` option.
+
+The HPC-Python guidance this project follows is explicit: *no
+optimization without measuring*.  :func:`profile_run` wraps any callable
+with ``cProfile`` and returns the top-N cumulative-time rows as text, so
+``repro-imm run --profile`` can show where an IMM invocation spends its
+time (on every input we profiled, sampling dominates — matching the
+paper's observation that the Sample phase is the scaling bottleneck).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+__all__ = ["profile_run"]
+
+
+def profile_run(
+    fn: Callable[..., Any],
+    *args: Any,
+    top: int = 20,
+    sort: str = "cumulative",
+    **kwargs: Any,
+) -> tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the ``pstats`` text
+    for the ``top`` hottest entries sorted by ``sort``.
+    """
+    if top <= 0:
+        raise ValueError("top must be positive")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(sort).print_stats(top)
+    return result, buf.getvalue()

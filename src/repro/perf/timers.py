@@ -1,0 +1,124 @@
+"""Phase timing in the paper's four-phase decomposition.
+
+Figures 3–8 all present runtime split into **EstimateTheta**, **Sample**,
+**SelectSeeds** and **Other**.  Two conventions from the paper are
+honored here:
+
+* The ``Sample`` phase only accounts the *final* invocation from
+  Algorithm 1's skeleton; the sampling performed inside ``EstimateTheta``
+  is charged to the estimation phase ("the cost of the calls to Sample
+  from within the Estimation function are included as part of the
+  'Estimation' bars").
+* ``Other`` is the remainder: total minus the three named phases.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "PhaseBreakdown", "PHASES"]
+
+#: Canonical phase names, in the order the paper's figure legends use.
+PHASES = ("EstimateTheta", "Sample", "SelectSeeds", "Other")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Immutable snapshot of a run's per-phase seconds."""
+
+    estimate_theta: float
+    sample: float
+    select_seeds: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.estimate_theta + self.sample + self.select_seeds + self.other
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "EstimateTheta": self.estimate_theta,
+            "Sample": self.sample,
+            "SelectSeeds": self.select_seeds,
+            "Other": self.other,
+        }
+
+    def scaled(self, factor: float) -> "PhaseBreakdown":
+        """A breakdown with every phase multiplied by ``factor``."""
+        return PhaseBreakdown(
+            self.estimate_theta * factor,
+            self.sample * factor,
+            self.select_seeds * factor,
+            self.other * factor,
+        )
+
+    def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            self.estimate_theta + other.estimate_theta,
+            self.sample + other.sample,
+            self.select_seeds + other.select_seeds,
+            self.other + other.other,
+        )
+
+
+class PhaseTimer:
+    """Accumulates seconds per phase; wall-clock or charged explicitly.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("EstimateTheta"):
+            ...
+        timer.charge("Sample", simulated_seconds)   # modeled time
+        breakdown = timer.breakdown()
+
+    Nested phases are rejected — the paper's decomposition is flat, and
+    accidental nesting would double-count.
+    """
+
+    def __init__(self) -> None:
+        self._acc: dict[str, float] = {name: 0.0 for name in PHASES}
+        self._active: str | None = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block of real execution under phase ``name``."""
+        self._check(name)
+        if self._active is not None:
+            raise RuntimeError(
+                f"phase {name!r} started while {self._active!r} is active"
+            )
+        self._active = name
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] += time.perf_counter() - start
+            self._active = None
+
+    def charge(self, name: str, seconds: float) -> None:
+        """Add modeled (simulated) seconds to phase ``name``."""
+        self._check(name)
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time ({seconds}) to {name!r}")
+        self._acc[name] += seconds
+
+    def seconds(self, name: str) -> float:
+        self._check(name)
+        return self._acc[name]
+
+    def breakdown(self) -> PhaseBreakdown:
+        return PhaseBreakdown(
+            estimate_theta=self._acc["EstimateTheta"],
+            sample=self._acc["Sample"],
+            select_seeds=self._acc["SelectSeeds"],
+            other=self._acc["Other"],
+        )
+
+    @staticmethod
+    def _check(name: str) -> None:
+        if name not in PHASES:
+            raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")

@@ -1,0 +1,38 @@
+"""Pseudo-random number generation substrate.
+
+The distributed IMM implementation in the paper (Section 3.2) relies on
+splitting a single linear congruential generator (LCG) sequence across MPI
+ranks with the *leap-frog* method, following Bauke & Mertens (TRNG).  This
+subpackage provides:
+
+``Lcg64``
+    A 64-bit LCG with O(log n) jump-ahead and exact leap-frog substreams.
+    Substream *i* of *p* produces elements ``i, i+p, i+2p, ...`` of the
+    parent sequence, so the union of all substreams is exactly the serial
+    sequence (a property the test suite verifies).
+
+``SplitMix64``
+    A counter-based splittable generator used for seeding and for
+    per-sample streams: sample *j* of a run always sees the same stream no
+    matter which rank or thread generates it, which makes parallel runs
+    bit-reproducible and independent of the degree of parallelism.
+
+``sample_stream`` / ``spawn_streams``
+    Convenience helpers that derive independent child streams from a
+    master seed.
+"""
+
+from .lcg import LCG64_DEFAULT_A, LCG64_DEFAULT_C, Lcg64, lcg_affine_power
+from .splitmix import SplitMix64, mix64
+from .streams import sample_stream, spawn_streams
+
+__all__ = [
+    "Lcg64",
+    "LCG64_DEFAULT_A",
+    "LCG64_DEFAULT_C",
+    "lcg_affine_power",
+    "SplitMix64",
+    "mix64",
+    "sample_stream",
+    "spawn_streams",
+]

@@ -1,0 +1,226 @@
+"""64-bit linear congruential generator with leap-frog stream splitting.
+
+The recurrence is ``s[j+1] = (a * s[j] + c) mod 2**64``.  Composing the
+affine map ``x -> a*x + c`` with itself ``t`` times yields another affine
+map ``x -> A*x + C`` with
+
+    A = a**t  (mod 2**64)
+    C = c * (a**(t-1) + ... + a + 1)  (mod 2**64)
+
+which is the basis both for O(log t) jump-ahead and for the leap-frog
+decomposition used by the paper's distributed sampler: rank *i* of *p*
+starts from the state advanced ``i`` steps and then iterates the
+``t = p``-fold composed map, so it produces exactly the elements
+``i, i+p, i+2p, ...`` of the master sequence (Bauke & Mertens 2006).
+
+Batch generation is vectorized with NumPy: from the closed form
+
+    s[j] = A_j * s0 + C_j,   A_j = a**j,  C_j = c * sum_{i<j} a**i
+
+the per-element constants ``A_j`` are a cumulative product and ``C_j`` a
+cumulative affine sum, both computed with wrap-around ``uint64``
+arithmetic, so drawing a block of N variates costs O(N) NumPy work with
+no Python-level loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Lcg64", "LCG64_DEFAULT_A", "LCG64_DEFAULT_C", "lcg_affine_power"]
+
+#: Knuth's MMIX multiplier / increment, a full-period choice mod 2**64.
+LCG64_DEFAULT_A = 6364136223846793005
+LCG64_DEFAULT_C = 1442695040888963407
+
+_M64 = (1 << 64) - 1
+_INV_2_53 = 1.0 / float(1 << 53)
+
+
+def lcg_affine_power(a: int, c: int, t: int) -> tuple[int, int]:
+    """Return ``(A, C)`` such that t applications of ``x -> a x + c`` equal
+    one application of ``x -> A x + C`` (mod 2**64).
+
+    Runs in O(log t) using the standard square-and-multiply recurrence on
+    affine maps.  ``t = 0`` yields the identity ``(1, 0)``.
+    """
+    if t < 0:
+        raise ValueError(f"affine power requires t >= 0, got {t}")
+    A, C = 1, 0
+    base_a, base_c = a & _M64, c & _M64
+    while t > 0:
+        if t & 1:
+            # (A, C) := (base_a, base_c) ∘ (A, C)
+            A, C = (base_a * A) & _M64, (base_a * C + base_c) & _M64
+        # (base) := (base) ∘ (base)
+        base_c = (base_a * base_c + base_c) & _M64
+        base_a = (base_a * base_a) & _M64
+        t >>= 1
+    return A, C
+
+
+class Lcg64:
+    """A 64-bit LCG stream with jump-ahead and leap-frog substreams.
+
+    Parameters
+    ----------
+    seed:
+        Initial state.  Any Python int; reduced mod 2**64.
+    a, c:
+        Multiplier and increment of the *stride-1 master sequence*.  The
+        defaults are Knuth's MMIX constants (full period mod 2**64).
+
+    Notes
+    -----
+    Instances created through :meth:`leapfrog` keep a reference to the
+    master ``(a, c)`` pair, so further splitting always refers back to the
+    master sequence stride (matching TRNG semantics, where ``split`` is
+    applied once per rank on identical generator objects).
+    """
+
+    __slots__ = ("_a", "_c", "_state", "_master_a", "_master_c", "_stride", "_offset")
+
+    def __init__(
+        self,
+        seed: int = 0x853C49E6748FEA9B,
+        a: int = LCG64_DEFAULT_A,
+        c: int = LCG64_DEFAULT_C,
+    ) -> None:
+        self._master_a = a & _M64
+        self._master_c = c & _M64
+        self._a = self._master_a
+        self._c = self._master_c
+        self._state = seed & _M64
+        self._stride = 1
+        self._offset = 0
+
+    # -- construction ---------------------------------------------------
+
+    def leapfrog(self, rank: int, size: int) -> "Lcg64":
+        """Return the substream producing elements ``rank, rank+size, ...``
+        of this generator's *current* sequence.
+
+        This is the Leap Frog method of TRNG used by the paper's
+        distributed sampler: all ``size`` substreams partition the serial
+        sequence exactly, which preserves the algorithm's probabilistic
+        guarantees under any degree of parallelism.
+        """
+        if size <= 0:
+            raise ValueError(f"leapfrog size must be positive, got {size}")
+        if not 0 <= rank < size:
+            raise ValueError(f"leapfrog rank must be in [0, {size}), got {rank}")
+        child = Lcg64(0, self._master_a, self._master_c)
+        child._a, child._c = lcg_affine_power(self._a, self._c, size)
+        # The generator outputs *after* advancing, so the child's state
+        # must be the pre-image of its first output under the size-fold
+        # map: state = inv_size(affine^(rank+1)(parent_state)).  The
+        # multiplier of a full-period LCG is odd, hence invertible
+        # modulo 2**64.
+        skip_a, skip_c = lcg_affine_power(self._a, self._c, rank + 1)
+        first_output_state = (skip_a * self._state + skip_c) & _M64
+        a_inv = pow(child._a, -1, 1 << 64)
+        child._state = (a_inv * (first_output_state - child._c)) & _M64
+        child._stride = self._stride * size
+        child._offset = self._offset + rank * self._stride
+        return child
+
+    def clone(self) -> "Lcg64":
+        """Return an independent copy at the same position."""
+        child = Lcg64(self._state, self._master_a, self._master_c)
+        child._a, child._c = self._a, self._c
+        child._stride = self._stride
+        child._offset = self._offset
+        return child
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        """The state that will produce the next output."""
+        return self._state
+
+    @property
+    def stride(self) -> int:
+        """Distance between consecutive outputs in the master sequence."""
+        return self._stride
+
+    @property
+    def offset(self) -> int:
+        """Master-sequence index of the next output."""
+        return self._offset
+
+    # -- scalar generation ------------------------------------------------
+
+    def next_u64(self) -> int:
+        """Advance one step and return the new 64-bit state as the output."""
+        self._state = (self._a * self._state + self._c) & _M64
+        self._offset += self._stride
+        return self._state
+
+    def random(self) -> float:
+        """One uniform float in ``[0, 1)`` from the top 53 state bits."""
+        return (self.next_u64() >> 11) * _INV_2_53
+
+    def randint(self, lo: int, hi: int) -> int:
+        """One integer uniform over ``[lo, hi)`` (bias ~2**-64, standard
+        for Monte-Carlo use; the paper's sampler draws source vertices the
+        same way)."""
+        if hi <= lo:
+            raise ValueError(f"empty range [{lo}, {hi})")
+        return lo + self.next_u64() % (hi - lo)
+
+    def jump(self, t: int) -> None:
+        """Skip ``t`` outputs in O(log t)."""
+        if t < 0:
+            raise ValueError("cannot jump backwards")
+        A, C = lcg_affine_power(self._a, self._c, t)
+        self._state = (A * self._state + C) & _M64
+        self._offset += t * self._stride
+
+    # -- vectorized generation --------------------------------------------
+
+    def next_u64_block(self, n: int) -> np.ndarray:
+        """Return the next ``n`` raw outputs as a ``uint64`` array.
+
+        Uses the closed-form affine expansion so the whole block is
+        produced by cumulative ``uint64`` products/sums (wrap-around
+        arithmetic), avoiding a Python-level loop.
+        """
+        if n < 0:
+            raise ValueError("block size must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        a = np.uint64(self._a)
+        c = np.uint64(self._c)
+        # NumPy unsigned arithmetic wraps mod 2**64 silently, which is
+        # exactly the ring the recurrence lives in.
+        # powers[j] = a**(j+1); geometric[j] = sum_{i<=j} a**i
+        powers = np.multiply.accumulate(np.full(n, a, dtype=np.uint64))
+        geom = np.empty(n, dtype=np.uint64)
+        geom[0] = np.uint64(1)
+        if n > 1:
+            geom[1:] = powers[:-1]
+        geom = np.add.accumulate(geom)
+        out = powers * np.uint64(self._state) + geom * c
+        self._state = int(out[-1])
+        self._offset += n * self._stride
+        return out
+
+    def random_block(self, n: int) -> np.ndarray:
+        """Return ``n`` uniforms in ``[0, 1)`` as a ``float64`` array."""
+        raw = self.next_u64_block(n)
+        return (raw >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+    def randint_block(self, lo: int, hi: int, n: int) -> np.ndarray:
+        """Return ``n`` integers uniform over ``[lo, hi)`` as ``int64``."""
+        if hi <= lo:
+            raise ValueError(f"empty range [{lo}, {hi})")
+        raw = self.next_u64_block(n)
+        span = np.uint64(hi - lo)
+        return (raw % span).astype(np.int64) + lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Lcg64(state={self._state:#x}, stride={self._stride}, "
+            f"offset={self._offset})"
+        )

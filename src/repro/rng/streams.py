@@ -1,0 +1,46 @@
+"""Stream-partitioning helpers shared by the parallel samplers.
+
+Two idioms are supported, mirroring the two parallel implementations in
+the paper:
+
+* :func:`spawn_streams` — TRNG-style **leap-frog** decomposition of one
+  LCG master stream into ``p`` rank streams (Section 3.2 of the paper).
+* :func:`sample_stream` — per-sample counter-based streams keyed by the
+  global sample index.  This is the stronger reproducibility discipline
+  used by the rest of this library: the RRR set with global index ``j``
+  is identical no matter which rank computes it, so seed sets do not
+  change with the processor count (verified by the test suite).
+"""
+
+from __future__ import annotations
+
+from .lcg import Lcg64
+from .splitmix import SplitMix64
+
+__all__ = ["spawn_streams", "sample_stream"]
+
+
+def spawn_streams(seed: int, size: int) -> list[Lcg64]:
+    """Split one LCG sequence into ``size`` leap-frog substreams.
+
+    Rank ``i``'s stream produces elements ``i, i+size, i+2*size, ...`` of
+    the master sequence seeded with ``seed``; together the substreams are
+    a disjoint cover of the serial stream, preserving the approximation
+    guarantees of the randomized algorithm under parallel execution.
+    """
+    if size <= 0:
+        raise ValueError(f"need at least one stream, got {size}")
+    master = Lcg64(seed)
+    return [master.leapfrog(rank, size) for rank in range(size)]
+
+
+def sample_stream(seed: int, sample_index: int) -> SplitMix64:
+    """Return the dedicated stream for the RRR sample ``sample_index``.
+
+    A pure function of ``(seed, sample_index)``: parallel schedule,
+    batching and rank count cannot change which random numbers a given
+    sample consumes.
+    """
+    if sample_index < 0:
+        raise ValueError(f"sample index must be non-negative, got {sample_index}")
+    return SplitMix64(seed).split(sample_index)

@@ -1,0 +1,36 @@
+"""Random Reverse Reachable (RRR) set sampling and storage.
+
+This subpackage implements Algorithm 3 of the paper and the data-layout
+contribution of Section 3.1:
+
+* :func:`generate_rr` / :class:`RRRSampler` — the ``GenerateRR`` kernel:
+  a probabilistic BFS over *incoming* edges from a random source vertex,
+  sampling each edge lazily instead of materializing the subgraph ``g``.
+  The traversal differs per diffusion model: IC explores every in-edge
+  independently; LT follows at most one in-edge per vertex (which is why
+  LT RRR sets are much smaller — the effect behind Figures 5 vs 6).
+
+* :class:`SortedRRRCollection` — the paper's optimized one-directional
+  layout (IMM\\ :sup:`OPT`): each sample stored once as a vertex list
+  sorted by id, enabling contiguous counting and binary-searched interval
+  scans during seed selection.
+
+* :class:`HypergraphRRRCollection` — the reference layout of Tang et
+  al.'s implementation: every (sample, vertex) incidence stored twice
+  (hyperedge list + per-vertex membership index), faster for seed
+  removal but ~2x the memory (the Table 2 comparison).
+"""
+
+from .collection import HypergraphRRRCollection, RRRCollection, SortedRRRCollection
+from .rrr import RRRSampler, generate_rr
+from .sampler import SampleBatch, sample_batch
+
+__all__ = [
+    "generate_rr",
+    "RRRSampler",
+    "RRRCollection",
+    "SortedRRRCollection",
+    "HypergraphRRRCollection",
+    "sample_batch",
+    "SampleBatch",
+]

@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    from_edge_list,
+    lt_normalize,
+    path_graph,
+    star_graph,
+    uniform_random_weights,
+)
+
+
+@pytest.fixture(scope="session")
+def ba_graph():
+    """A small heavy-tailed digraph with uniform random IC weights."""
+    return uniform_random_weights(barabasi_albert(300, 3, seed=7), seed=3, scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def ba_graph_lt(ba_graph):
+    """The LT-normalized version of :func:`ba_graph`."""
+    return lt_normalize(ba_graph)
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A sparse Erdős–Rényi digraph with constant weights."""
+    from repro.graph import constant_weights
+
+    return constant_weights(erdos_renyi(150, 0.03, seed=5), 0.2)
+
+
+@pytest.fixture()
+def tiny_graph():
+    """A 5-vertex hand-built graph with known structure.
+
+    Edges (prob): 0->1 (1.0), 0->2 (1.0), 1->3 (1.0), 2->3 (0.0), 3->4 (1.0)
+    """
+    return from_edge_list(
+        5,
+        [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 0.0), (3, 4, 1.0)],
+    )
+
+
+@pytest.fixture()
+def path5():
+    """Directed path over 5 vertices, default probabilities."""
+    return path_graph(5)
+
+
+@pytest.fixture()
+def star10():
+    """Star with hub 0 and 9 spokes."""
+    return star_graph(10)
+
+
+@pytest.fixture()
+def k4():
+    """Complete digraph on 4 vertices."""
+    return complete_graph(4)
+
+
+def assert_valid_seed_set(seeds: np.ndarray, n: int, k: int) -> None:
+    """Common assertions on a seed set: size, range, uniqueness."""
+    assert len(seeds) == k
+    assert len(np.unique(seeds)) == k
+    assert seeds.min() >= 0
+    assert seeds.max() < n

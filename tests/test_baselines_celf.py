@@ -1,0 +1,80 @@
+"""Tests for the Monte-Carlo greedy baselines (repro.baselines.celf)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import celf_pp, greedy_celf
+from repro.diffusion import estimate_spread
+from repro.graph import constant_weights, path_graph, star_graph, uniform_random_weights
+from repro.graph.generators import barabasi_albert
+
+from conftest import assert_valid_seed_set
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return uniform_random_weights(barabasi_albert(60, 2, seed=3), seed=2, scale=0.4)
+
+
+class TestGreedyCelf:
+    def test_valid_seed_set(self, small_graph):
+        res = greedy_celf(small_graph, 4, trials=30, seed=1)
+        assert_valid_seed_set(res.seeds, small_graph.n, 4)
+        assert res.oracle_calls >= small_graph.n  # initial pass at minimum
+        assert len(res.gains) == 4
+
+    def test_gains_monotone_nonincreasing(self, small_graph):
+        """Submodularity: recorded marginal gains decrease (within MC noise)."""
+        res = greedy_celf(small_graph, 5, trials=50, seed=1)
+        for a, b in zip(res.gains, res.gains[1:]):
+            assert b <= a + 2.0  # slack for Monte-Carlo noise
+
+    def test_picks_obvious_hub(self):
+        g = constant_weights(star_graph(20), 0.9)
+        res = greedy_celf(g, 1, trials=40, seed=1)
+        assert res.seeds.tolist() == [0]
+
+    def test_quality_close_to_imm(self, small_graph):
+        """Both optimize the same objective; spreads should be similar."""
+        from repro.imm import imm
+
+        celf_res = greedy_celf(small_graph, 4, trials=60, seed=1)
+        imm_res = imm(small_graph, k=4, eps=0.5, seed=1)
+        celf_spread = estimate_spread(
+            small_graph, celf_res.seeds, "IC", trials=300, seed=7
+        ).mean
+        imm_spread = estimate_spread(
+            small_graph, imm_res.seeds, "IC", trials=300, seed=7
+        ).mean
+        assert celf_spread == pytest.approx(imm_spread, rel=0.2)
+
+    def test_lazy_evaluation_saves_calls(self, small_graph):
+        """CELF's raison d'être: far fewer oracle calls than naive greedy
+        (which would need n calls per round)."""
+        res = greedy_celf(small_graph, 4, trials=20, seed=1)
+        naive_calls = small_graph.n * 4
+        assert res.oracle_calls < naive_calls
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            greedy_celf(small_graph, 0)
+        with pytest.raises(ValueError):
+            greedy_celf(small_graph, 3, trials=0)
+
+
+class TestCelfPP:
+    def test_same_seeds_as_celf(self, small_graph):
+        """Both are exact lazy greedy under identical oracles."""
+        a = greedy_celf(small_graph, 4, trials=30, seed=1)
+        b = celf_pp(small_graph, 4, trials=30, seed=1)
+        np.testing.assert_array_equal(a.seeds, b.seeds)
+
+    def test_valid_output(self, small_graph):
+        res = celf_pp(small_graph, 3, trials=20, seed=2)
+        assert_valid_seed_set(res.seeds, small_graph.n, 3)
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            celf_pp(small_graph, 0)
+        with pytest.raises(ValueError):
+            celf_pp(small_graph, 2, trials=0)

@@ -1,0 +1,152 @@
+"""Tests for the degree/PageRank/RIS/TIM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    degree_discount,
+    high_degree,
+    kpt_estimate,
+    pagerank_seeds,
+    ris,
+    single_discount,
+    tim_plus_theta,
+)
+from repro.baselines.pagerank import pagerank_scores
+from repro.graph import (
+    complete_graph,
+    constant_weights,
+    from_edge_list,
+    path_graph,
+    star_graph,
+)
+
+from conftest import assert_valid_seed_set
+
+
+class TestHighDegree:
+    def test_star_hub_first(self):
+        assert high_degree(star_graph(10), 1).tolist() == [0]
+
+    def test_order_and_ties(self):
+        # 0 and 1 both have out-degree 2; tie goes to the smaller id.
+        g = from_edge_list(4, [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert high_degree(g, 3).tolist() == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            high_degree(star_graph(5), 0)
+
+
+class TestDiscountHeuristics:
+    def test_single_discount_spreads_selection(self):
+        # Two disjoint stars: after taking hub A, hub B must follow even
+        # if A's spokes have residual degree.
+        edges = [(0, i) for i in range(1, 6)] + [(6, i) for i in range(7, 12)]
+        g = from_edge_list(12, edges)
+        seeds = single_discount(g, 2)
+        assert set(seeds.tolist()) == {0, 6}
+
+    def test_degree_discount_on_clique(self):
+        # In a clique every pick discounts the others; selection still
+        # returns k distinct vertices.
+        g = complete_graph(6)
+        seeds = degree_discount(g, 3, p=0.2)
+        assert_valid_seed_set(seeds, 6, 3)
+
+    def test_degree_discount_prefers_hub(self):
+        seeds = degree_discount(star_graph(15), 1)
+        assert seeds.tolist() == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            single_discount(star_graph(5), 99)
+        with pytest.raises(ValueError):
+            degree_discount(star_graph(5), 2, p=1.5)
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self, ba_graph):
+        scores = pagerank_scores(ba_graph)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_cycle(self):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        scores = pagerank_scores(g)
+        np.testing.assert_allclose(scores, 0.25, atol=1e-6)
+
+    def test_matches_networkx(self, ba_graph):
+        nx = pytest.importorskip("networkx")
+        g_nx = nx.DiGraph()
+        g_nx.add_nodes_from(range(ba_graph.n))
+        g_nx.add_edges_from((u, v) for u, v, _ in ba_graph.edges())
+        expected = nx.pagerank(g_nx, alpha=0.85, tol=1e-12)
+        got = pagerank_scores(ba_graph)
+        for v in range(ba_graph.n):
+            assert got[v] == pytest.approx(expected[v], abs=1e-6)
+
+    def test_seeds_valid(self, ba_graph):
+        seeds = pagerank_seeds(ba_graph, 5)
+        assert_valid_seed_set(seeds, ba_graph.n, 5)
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ValueError):
+            pagerank_scores(ba_graph, damping=1.0)
+        with pytest.raises(ValueError):
+            pagerank_scores(ba_graph, tol=0.0)
+        with pytest.raises(ValueError):
+            pagerank_seeds(ba_graph, 0)
+
+
+class TestRIS:
+    def test_budget_controls_samples(self, ba_graph):
+        small = ris(ba_graph, 3, seed=1, budget_constant=1e-4)
+        large = ris(ba_graph, 3, seed=1, budget_constant=1e-3)
+        assert large.num_samples > small.num_samples
+        assert small.edges_examined >= 0
+
+    def test_max_samples_cap(self, ba_graph):
+        res = ris(ba_graph, 3, seed=1, budget_constant=10.0, max_samples=50)
+        assert res.num_samples <= 50
+
+    def test_valid_seed_set(self, ba_graph):
+        res = ris(ba_graph, 4, seed=1, budget_constant=1e-3)
+        assert_valid_seed_set(res.seeds, ba_graph.n, 4)
+        assert 0.0 <= res.coverage <= 1.0
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ValueError):
+            ris(ba_graph, 0)
+        with pytest.raises(ValueError):
+            ris(ba_graph, 3, eps=0.0)
+
+
+class TestTIM:
+    def test_kpt_within_spread_bounds(self, ba_graph):
+        res = kpt_estimate(ba_graph, 5, seed=1)
+        # KPT estimates the expected spread of a random k-seed set: at
+        # least 1, at most n.
+        assert 1.0 <= res.kpt <= ba_graph.n
+        assert res.samples_used > 0
+
+    def test_theta_positive_and_decreasing_in_eps(self, ba_graph):
+        tight = tim_plus_theta(ba_graph, 5, 0.3, seed=1)
+        loose = tim_plus_theta(ba_graph, 5, 0.6, seed=1)
+        assert tight > loose > 0
+
+    def test_tim_theta_larger_than_imm(self, ba_graph):
+        """TIM+'s KPT bound is looser than IMM's martingale LB, so its θ
+        is larger — the estimator-tightness result IMM's paper claims."""
+        from repro.imm import estimate_theta
+
+        imm_theta = estimate_theta(ba_graph, 5, 0.5, "IC", seed=1).theta
+        tim_theta = tim_plus_theta(ba_graph, 5, 0.5, seed=1)
+        assert tim_theta > imm_theta
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ValueError):
+            kpt_estimate(ba_graph, 0)
+        with pytest.raises(ValueError):
+            tim_plus_theta(ba_graph, 3, 1.5)
+        with pytest.raises(ValueError):
+            kpt_estimate(constant_weights(path_graph(2), 0.5), 3)

@@ -1,0 +1,94 @@
+"""Tests for the sketch-based influence oracle (repro.baselines.sketches)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_sketches, skim_seeds
+from repro.diffusion import estimate_spread
+from repro.graph import (
+    barabasi_albert,
+    constant_weights,
+    path_graph,
+    star_graph,
+    uniform_random_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return uniform_random_weights(barabasi_albert(80, 2, seed=3), seed=2, scale=0.4)
+
+
+class TestBuildSketches:
+    def test_deterministic(self, small_graph):
+        a = build_sketches(small_graph, num_instances=4, k=8, seed=1)
+        b = build_sketches(small_graph, num_instances=4, k=8, seed=1)
+        assert a.estimate(np.array([0, 5])) == b.estimate(np.array([0, 5]))
+
+    def test_deterministic_cascade_exact(self):
+        # p = 1 path: Reach(v) is exact and small, so estimates are exact.
+        g = constant_weights(path_graph(6), 1.0)
+        sk = build_sketches(g, num_instances=2, k=8, seed=1)
+        assert sk.estimate(np.array([0])) == pytest.approx(6.0)
+        assert sk.estimate(np.array([5])) == pytest.approx(1.0)
+        assert sk.estimate(np.array([3])) == pytest.approx(3.0)
+
+    def test_p_zero_graph(self):
+        g = constant_weights(star_graph(10), 0.0)
+        sk = build_sketches(g, num_instances=2, k=4, seed=1)
+        assert sk.estimate(np.array([0])) == pytest.approx(1.0)
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            build_sketches(small_graph, num_instances=0)
+        with pytest.raises(ValueError):
+            build_sketches(small_graph, k=1)
+
+
+class TestOracle:
+    def test_matches_monte_carlo(self, small_graph):
+        """The paper's related work: sketches answer influence queries at
+        simulation-level accuracy.  Compare against 600 MC trials."""
+        sk = build_sketches(small_graph, num_instances=48, k=24, seed=1)
+        for seeds in (np.array([0]), np.array([0, 1, 2]), np.array([10, 30, 50])):
+            est = sk.estimate(seeds)
+            mc = estimate_spread(small_graph, seeds, "IC", trials=600, seed=5).mean
+            assert est == pytest.approx(mc, rel=0.30, abs=2.5)
+
+    def test_monotone_in_seeds(self, small_graph):
+        sk = build_sketches(small_graph, num_instances=16, k=16, seed=1)
+        single = sk.estimate(np.array([0]))
+        double = sk.estimate(np.array([0, 1]))
+        assert double >= single - 1e-9
+
+    def test_validation(self, small_graph):
+        sk = build_sketches(small_graph, num_instances=2, k=4, seed=1)
+        with pytest.raises(ValueError):
+            sk.estimate(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            sk.estimate(np.array([1000]))
+
+
+class TestSkim:
+    def test_valid_seed_set(self, small_graph):
+        seeds = skim_seeds(small_graph, 4, num_instances=12, sketch_k=12, seed=1)
+        assert len(seeds) == 4
+        assert len(np.unique(seeds)) == 4
+
+    def test_picks_obvious_hub(self):
+        g = constant_weights(star_graph(15), 0.95)
+        seeds = skim_seeds(g, 1, num_instances=8, sketch_k=8, seed=1)
+        assert seeds.tolist() == [0]
+
+    def test_quality_near_imm(self, small_graph):
+        from repro.imm import imm
+
+        skim = skim_seeds(small_graph, 4, num_instances=24, sketch_k=16, seed=1)
+        exact = imm(small_graph, k=4, eps=0.5, seed=1).seeds
+        s_skim = estimate_spread(small_graph, skim, "IC", trials=300, seed=9).mean
+        s_imm = estimate_spread(small_graph, exact, "IC", trials=300, seed=9).mean
+        assert s_skim >= 0.85 * s_imm
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            skim_seeds(small_graph, 0)

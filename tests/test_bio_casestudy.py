@@ -1,0 +1,62 @@
+"""Tests for the end-to-end Section 5 case study (repro.bio.casestudy)."""
+
+import numpy as np
+import pytest
+
+from repro.bio import make_expression_dataset, run_case_study
+
+
+@pytest.fixture(scope="module")
+def mini_result():
+    ds = make_expression_dataset(
+        "tumor",
+        num_response_modules=2,
+        num_housekeeping_modules=2,
+        module_size=8,
+        response_shadows=3,
+        housekeeping_shadows=4,
+        response_shadow_noise=1.2,
+        housekeeping_shadow_noise=1.7,
+        num_bridge=10,
+        num_noise=40,
+        num_samples=40,
+        seed=6,
+    )
+    return run_case_study("tumor", k=16, seed=6, dataset=ds, theta_cap=20_000)
+
+
+class TestRunCaseStudy:
+    def test_result_structure(self, mini_result):
+        res = mini_result
+        assert len(res.imm_seeds) == 16
+        assert len(res.degree_top) == 16
+        assert len(res.betweenness_top) == 16
+        counts = res.counts()
+        assert set(counts) == {"IMM", "degree", "betweenness"}
+        assert all(c >= 0 for c in counts.values())
+
+    def test_top_response_fraction_range(self, mini_result):
+        fracs = mini_result.top_response_fraction(5)
+        assert all(0.0 <= f <= 1.0 for f in fracs.values())
+
+    def test_overlap_with_degree_range(self, mini_result):
+        assert 0.0 <= mini_result.overlap_with_degree() <= 1.0
+
+    def test_imm_seeds_favor_response_modules(self, mini_result):
+        """The influence signal: IMM's seeds should hit response cores
+        more than a uniform selection would."""
+        mo = mini_result.dataset.module_of
+        in_response = (mo[mini_result.imm_seeds] >= 0) & (
+            mo[mini_result.imm_seeds] < 2
+        )
+        response_core_fraction = 16 / mini_result.dataset.num_features
+        assert in_response.mean() > 2 * response_core_fraction
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            run_case_study("tumor", k=10**6, seed=1)
+
+    def test_soil_recipe_runs(self):
+        res = run_case_study("soil", k=12, seed=2, theta_cap=10_000)
+        assert res.dataset.name == "soil"
+        assert len(res.imm_seeds) == 12

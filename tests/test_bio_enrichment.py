@@ -1,0 +1,164 @@
+"""Tests for pathway enrichment statistics (repro.bio.enrichment)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.bio import (
+    benjamini_hochberg,
+    enrich,
+    fisher_exact_greater,
+    make_expression_dataset,
+    make_pathway_db,
+)
+
+
+class TestFisherExact:
+    def test_matches_scipy_fisher(self):
+        # 2x2 table: overlap, selected-not-in-pathway, pathway-not-
+        # selected, neither.
+        overlap, selected, pathway, universe = 8, 50, 30, 1000
+        table = [
+            [overlap, selected - overlap],
+            [pathway - overlap, universe - selected - pathway + overlap],
+        ]
+        _, expected = scipy_stats.fisher_exact(table, alternative="greater")
+        got = fisher_exact_greater(overlap, selected, pathway, universe)
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_overlap_is_certain(self):
+        assert fisher_exact_greater(0, 10, 10, 100) == pytest.approx(1.0)
+
+    def test_full_overlap_is_tiny(self):
+        p = fisher_exact_greater(10, 10, 10, 1000)
+        assert p < 1e-15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fisher_exact_greater(5, 4, 10, 100)  # overlap > selected
+        with pytest.raises(ValueError):
+            fisher_exact_greater(-1, 4, 10, 100)
+        with pytest.raises(ValueError):
+            fisher_exact_greater(1, 4, 10, 0)
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        p = np.array([0.01, 0.04, 0.03, 0.005])
+        adj = benjamini_hochberg(p)
+        # sorted: 0.005, 0.01, 0.03, 0.04 -> raw BH: 0.02, 0.02, 0.04, 0.04
+        assert adj[np.argsort(p)].tolist() == pytest.approx([0.02, 0.02, 0.04, 0.04])
+
+    def test_monotone_in_input_order(self):
+        p = np.array([0.5, 0.001, 0.2])
+        adj = benjamini_hochberg(p)
+        assert adj[1] <= adj[2] <= adj[0]
+
+    def test_clipped_at_one(self):
+        adj = benjamini_hochberg(np.array([0.9, 0.95]))
+        assert adj.max() <= 1.0
+
+    def test_empty(self):
+        assert len(benjamini_hochberg(np.empty(0))) == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            benjamini_hochberg(np.zeros((2, 2)))
+
+
+class TestEnrich:
+    @pytest.fixture(scope="class")
+    def db(self):
+        ds = make_expression_dataset(
+            "tumor",
+            num_response_modules=2,
+            num_housekeeping_modules=1,
+            module_size=8,
+            response_shadows=1,
+            housekeeping_shadows=1,
+            num_bridge=2,
+            num_noise=30,
+            num_samples=30,
+            seed=5,
+        )
+        return ds, make_pathway_db(ds, num_decoys=5, seed=5)
+
+    def test_planted_selection_enriches_its_pathway(self, db):
+        ds, pdb = db
+        selected = ds.module_members(0)  # the whole module
+        result = enrich(selected, pdb)
+        top_name, top_label, overlap, p, adj = result.table[0]
+        assert top_label == "response"
+        assert top_name.startswith("RESPONSE_00")
+        assert adj < 0.05
+        assert result.num_enriched >= 1
+
+    def test_random_selection_enriches_nothing(self, db):
+        ds, pdb = db
+        rng = np.random.default_rng(1)
+        selected = rng.choice(ds.num_features, size=8, replace=False)
+        result = enrich(selected, pdb)
+        # random 8-of-~80 rarely survives BH at 0.05
+        assert result.num_enriched <= 1
+
+    def test_top_labels(self, db):
+        ds, pdb = db
+        result = enrich(ds.module_members(0), pdb)
+        assert result.top_labels(3)[0] == "response"
+
+    def test_validation(self, db):
+        ds, pdb = db
+        with pytest.raises(ValueError):
+            enrich(np.array([ds.num_features + 5]), pdb)
+        with pytest.raises(ValueError):
+            enrich(np.array([0]), pdb, alpha=1.0)
+
+
+class TestMakePathwayDB:
+    def test_structure(self):
+        ds = make_expression_dataset(
+            "tumor",
+            num_response_modules=2,
+            num_housekeeping_modules=2,
+            module_size=6,
+            response_shadows=1,
+            housekeeping_shadows=1,
+            num_bridge=2,
+            num_noise=5,
+            num_samples=20,
+            seed=3,
+        )
+        db = make_pathway_db(
+            ds,
+            response_multiplicity=2,
+            housekeeping_multiplicity=3,
+            num_decoys=4,
+            seed=3,
+        )
+        labels = list(db.labels.values())
+        assert labels.count("response") == 2 * 2
+        assert labels.count("housekeeping") == 2 * 3
+        assert labels.count("decoy") == 4
+        assert db.universe_size == ds.num_features
+        for name in db.names():
+            members = db.members(name)
+            assert len(members) > 0
+            assert members.max() < ds.num_features
+
+    def test_validation(self):
+        ds = make_expression_dataset(
+            "tumor",
+            num_response_modules=1,
+            num_housekeeping_modules=1,
+            module_size=4,
+            response_shadows=1,
+            housekeeping_shadows=1,
+            num_bridge=1,
+            num_noise=3,
+            num_samples=20,
+            seed=1,
+        )
+        with pytest.raises(ValueError):
+            make_pathway_db(ds, member_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_pathway_db(ds, response_multiplicity=0)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic omics generator (repro.bio.expression)."""
+
+import numpy as np
+import pytest
+
+from repro.bio import make_expression_dataset
+
+
+@pytest.fixture(scope="module")
+def mini():
+    return make_expression_dataset(
+        "tumor",
+        num_response_modules=2,
+        num_housekeeping_modules=2,
+        module_size=5,
+        response_shadows=2,
+        housekeeping_shadows=3,
+        num_bridge=4,
+        num_noise=10,
+        num_samples=30,
+        seed=1,
+    )
+
+
+class TestMakeExpressionDataset:
+    def test_shape_accounting(self, mini):
+        cores = 4 * 5
+        shadows = 2 * 5 * 2 + 2 * 5 * 3
+        expected = cores + shadows + 4 + 10
+        assert mini.num_features == expected
+        assert mini.num_samples == 30
+        assert mini.values.shape == (expected, 30)
+        assert len(mini.feature_names) == expected
+        assert len(mini.module_of) == expected
+
+    def test_rows_z_scored(self, mini):
+        means = mini.values.mean(axis=1)
+        stds = mini.values.std(axis=1)
+        np.testing.assert_allclose(means, 0.0, atol=1e-9)
+        np.testing.assert_allclose(stds, 1.0, atol=1e-6)
+
+    def test_module_membership(self, mini):
+        for mod in range(4):
+            members = mini.module_members(mod)
+            assert len(members) == 5
+        assert (mini.module_of == -1).sum() == 2 * 5 * 2 + 2 * 5 * 3 + 4 + 10
+
+    def test_module_kinds(self, mini):
+        assert mini.module_kind == ["response", "response", "housekeeping", "housekeeping"]
+
+    def test_deterministic(self):
+        a = make_expression_dataset("tumor", num_noise=5, seed=3)
+        b = make_expression_dataset("tumor", num_noise=5, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_data(self):
+        a = make_expression_dataset("tumor", num_noise=5, seed=3)
+        b = make_expression_dataset("tumor", num_noise=5, seed=4)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_core_shadow_correlation_exceeds_core_core(self, mini):
+        """The influence asymmetry the case study depends on: a response
+        core correlates with its shadows more than with module peers."""
+        # Response module 0 cores are features 0..4; its shadows start at
+        # the shadow block in order (2 per core).
+        core = mini.values[0]
+        shadow_block_start = 20
+        shadow0 = mini.values[shadow_block_start]
+        peer = mini.values[1]
+        corr = lambda a, b: abs(float(np.corrcoef(a, b)[0, 1]))  # noqa: E731
+        assert corr(core, shadow0) > corr(core, peer)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_expression_dataset(module_size=1)
+        with pytest.raises(ValueError):
+            make_expression_dataset(num_samples=2)
+        with pytest.raises(ValueError):
+            make_expression_dataset(cascade_strength=1.0)
+        with pytest.raises(ValueError):
+            make_expression_dataset(response_shadows=-1)
+
+    def test_soil_naming(self):
+        soil = make_expression_dataset("soil", num_noise=3, seed=1)
+        assert any(name.startswith("M") for name in soil.feature_names)
+        tumor = make_expression_dataset("tumor", num_noise=3, seed=1)
+        assert any(name.startswith("P") for name in tumor.feature_names)

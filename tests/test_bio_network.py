@@ -1,0 +1,120 @@
+"""Tests for co-expression inference and centralities (repro.bio)."""
+
+import numpy as np
+import pytest
+
+from repro.bio import (
+    betweenness_centrality,
+    degree_centrality,
+    infer_coexpression_network,
+    make_expression_dataset,
+)
+from repro.bio.centrality import top_k
+from repro.bio.coexpression import regulator_scores
+from repro.graph import from_edge_list, path_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def mini_ds():
+    return make_expression_dataset(
+        "tumor",
+        num_response_modules=2,
+        num_housekeeping_modules=2,
+        module_size=5,
+        response_shadows=2,
+        housekeeping_shadows=3,
+        num_bridge=4,
+        num_noise=10,
+        num_samples=40,
+        seed=2,
+    )
+
+
+class TestRegulatorScores:
+    def test_shape_and_diagonal(self, mini_ds):
+        s = regulator_scores(mini_ds.values)
+        assert s.shape == (mini_ds.num_features, mini_ds.num_features)
+        assert np.all(np.diag(s) == 0.0)
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            regulator_scores(np.zeros((3, 1)))
+
+
+class TestInferNetwork:
+    def test_structure(self, mini_ds):
+        g = infer_coexpression_network(mini_ds, regulators_per_target=3)
+        assert g.n == mini_ds.num_features
+        # every vertex has at most 3 in-edges (top-3 regulators)
+        assert g.in_degree().max() <= 3
+        assert g.out_probs.min() >= 0.0
+        assert g.out_probs.max() <= 0.35
+
+    def test_no_self_loops(self, mini_ds):
+        g = infer_coexpression_network(mini_ds)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_noise_targets_get_weak_edges(self, mini_ds):
+        g = infer_coexpression_network(mini_ds)
+        noise_ids = range(mini_ds.num_features - 10, mini_ds.num_features)
+        for v in noise_ids:
+            probs = g.in_edge_probs(v)
+            if len(probs):
+                assert probs.max() < 0.1  # r^2 ~ 1/samples
+
+    def test_core_has_strong_shadow_edges(self, mini_ds):
+        g = infer_coexpression_network(mini_ds)
+        # response core 0's shadows are the first shadow rows (ids 20, 21)
+        assert g.has_edge(0, 20) or g.has_edge(20, 0)
+
+    def test_validation(self, mini_ds):
+        with pytest.raises(ValueError):
+            infer_coexpression_network(mini_ds, regulators_per_target=0)
+        with pytest.raises(ValueError):
+            infer_coexpression_network(mini_ds, p_max=0.0)
+
+
+class TestDegreeCentrality:
+    def test_counts_both_directions(self):
+        g = star_graph(5)
+        deg = degree_centrality(g)
+        assert deg[0] == 4  # hub: 4 out, 0 in
+        assert deg[1] == 1
+
+    def test_top_k(self):
+        scores = np.array([3.0, 9.0, 9.0, 1.0])
+        assert top_k(scores, 2).tolist() == [1, 2]
+        with pytest.raises(ValueError):
+            top_k(scores, 0)
+
+
+class TestBetweenness:
+    def test_path_graph_analytic(self):
+        # Directed path 0->1->2->3->4: bc(v) = paths through v.
+        g = path_graph(5)
+        bc = betweenness_centrality(g, normalized=False)
+        # vertex 1 lies on paths 0->2, 0->3, 0->4 = 3; vertex 2 on 0->3,
+        # 0->4, 1->3, 1->4 = 4; symmetric for 3.
+        assert bc.tolist() == [0.0, 3.0, 4.0, 3.0, 0.0]
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(3)
+        n = 40
+        edges = [(int(u), int(v)) for u, v in rng.integers(0, n, (150, 2)) if u != v]
+        g = from_edge_list(n, edges)
+        g_nx = nx.DiGraph()
+        g_nx.add_nodes_from(range(n))
+        g_nx.add_edges_from((u, v) for u, v, _ in g.edges())
+        expected = nx.betweenness_centrality(g_nx, normalized=True)
+        got = betweenness_centrality(g, normalized=True)
+        for v in range(n):
+            assert got[v] == pytest.approx(expected[v], abs=1e-9)
+
+    def test_star_center_dominates(self):
+        # bidirectional star: all spoke-to-spoke paths cross the hub
+        edges = [(0, i) for i in range(1, 8)] + [(i, 0) for i in range(1, 8)]
+        g = from_edge_list(8, edges)
+        bc = betweenness_centrality(g)
+        assert bc[0] > bc[1:].max()

@@ -1,0 +1,202 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def edgelist_file(tmp_path):
+    path = tmp_path / "g.txt"
+    lines = ["# tiny test graph"]
+    # a denser ring so IMM has something to chew on
+    n = 40
+    for i in range(n):
+        lines.append(f"{i} {(i + 1) % n} 0.4")
+        lines.append(f"{i} {(i + 2) % n} 0.3")
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_dataset_and_edgelist_exclusive(self, edgelist_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "cit-HepTh", "--edgelist", edgelist_file]
+            )
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cit-HepTh" in out and "com-Orkut" in out
+
+    def test_run_serial_on_edgelist(self, edgelist_file, capsys):
+        code = main(
+            [
+                "run",
+                "--edgelist",
+                edgelist_file,
+                "--k",
+                "3",
+                "--eps",
+                "0.5",
+                "--theta-cap",
+                "500",
+                "--evaluate",
+                "--trials",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds:" in out
+        assert "expected spread" in out
+
+    def test_run_mt_variant(self, edgelist_file, capsys):
+        code = main(
+            [
+                "run",
+                "--edgelist",
+                edgelist_file,
+                "--variant",
+                "mt",
+                "--threads",
+                "4",
+                "--k",
+                "3",
+                "--theta-cap",
+                "500",
+            ]
+        )
+        assert code == 0
+        assert "(simulated)" in capsys.readouterr().out
+
+    def test_run_dist_variant(self, edgelist_file, capsys):
+        code = main(
+            [
+                "run",
+                "--edgelist",
+                edgelist_file,
+                "--variant",
+                "dist",
+                "--nodes",
+                "2",
+                "--k",
+                "3",
+                "--theta-cap",
+                "500",
+            ]
+        )
+        assert code == 0
+
+    def test_run_lt_model(self, edgelist_file):
+        assert (
+            main(
+                [
+                    "run",
+                    "--edgelist",
+                    edgelist_file,
+                    "--model",
+                    "LT",
+                    "--k",
+                    "2",
+                    "--theta-cap",
+                    "500",
+                ]
+            )
+            == 0
+        )
+
+    def test_run_with_profile(self, edgelist_file, capsys):
+        code = main(
+            [
+                "run",
+                "--edgelist",
+                edgelist_file,
+                "--k",
+                "2",
+                "--theta-cap",
+                "200",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        assert "cumulative" in capsys.readouterr().out
+
+    def test_spread_command(self, edgelist_file, capsys):
+        code = main(
+            [
+                "spread",
+                "--edgelist",
+                edgelist_file,
+                "--seeds",
+                "0,5,10",
+                "--trials",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "expected spread of 3 seeds" in capsys.readouterr().out
+
+
+class TestNewSubcommands:
+    def test_sweep_command(self, edgelist_file, capsys):
+        code = main(
+            [
+                "sweep",
+                "--edgelist",
+                edgelist_file,
+                "--ks",
+                "2,4",
+                "--theta-cap",
+                "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reused" in out
+
+    def test_community_command(self, edgelist_file, capsys):
+        code = main(
+            [
+                "community",
+                "--edgelist",
+                edgelist_file,
+                "--k",
+                "3",
+                "--theta-cap",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "communities used" in capsys.readouterr().out
+
+    def test_metis_input(self, tmp_path, capsys):
+        path = tmp_path / "g.metis"
+        # a 4-cycle, both directions
+        path.write_text("4 4\n2 4\n1 3\n2 4\n1 3\n")
+        code = main(
+            ["run", "--metis", str(path), "--k", "2", "--theta-cap", "200"]
+        )
+        assert code == 0
+
+    def test_mtx_input(self, tmp_path, capsys):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "5 5 4\n2 1 0.5\n3 2 0.5\n4 3 0.5\n5 4 0.5\n"
+        )
+        code = main(
+            ["run", "--mtx", str(path), "--k", "2", "--theta-cap", "200"]
+        )
+        assert code == 0

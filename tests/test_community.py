@@ -1,0 +1,107 @@
+"""Tests for the community-based extension (repro.community)."""
+
+import numpy as np
+import pytest
+
+from repro.community import community_imm, label_propagation
+from repro.community.communityimm import _allocate_budget
+from repro.diffusion import estimate_spread
+from repro.graph import stochastic_block_model, uniform_random_weights
+from repro.imm import imm
+
+
+@pytest.fixture(scope="module")
+def sbm_graph():
+    """Two dense blocks, sparse between: planted community structure."""
+    g = stochastic_block_model([60, 60], 0.25, 0.004, seed=3)
+    return uniform_random_weights(g, seed=1, scale=0.25)
+
+
+class TestLabelPropagation:
+    def test_recovers_planted_blocks(self, sbm_graph):
+        labels = label_propagation(sbm_graph, seed=1)
+        # within each planted block the dominant label covers most vertices
+        for block in (slice(0, 60), slice(60, 120)):
+            block_labels = labels[block]
+            _, counts = np.unique(block_labels, return_counts=True)
+            assert counts.max() >= 45
+        # and the two blocks mostly carry different labels
+        dom0 = np.bincount(labels[:60]).argmax()
+        dom1 = np.bincount(labels[60:]).argmax()
+        assert dom0 != dom1
+
+    def test_deterministic(self, sbm_graph):
+        a = label_propagation(sbm_graph, seed=5)
+        b = label_propagation(sbm_graph, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_dense(self, sbm_graph):
+        labels = label_propagation(sbm_graph, seed=1)
+        assert labels.min() == 0
+        assert set(np.unique(labels)) == set(range(labels.max() + 1))
+
+    def test_empty_graph(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(0, [])
+        assert len(label_propagation(g)) == 0
+
+    def test_validation(self, sbm_graph):
+        with pytest.raises(ValueError):
+            label_propagation(sbm_graph, max_rounds=0)
+
+
+class TestAllocateBudget:
+    def test_sums_to_k(self):
+        sizes = np.array([50, 30, 20], dtype=np.int64)
+        alloc = _allocate_budget(sizes, 10)
+        assert alloc.sum() == 10
+        assert alloc[0] >= alloc[1] >= alloc[2]
+
+    def test_capacity_respected(self):
+        sizes = np.array([2, 98], dtype=np.int64)
+        alloc = _allocate_budget(sizes, 10)
+        assert alloc[0] <= 2
+        assert alloc.sum() == 10
+
+    def test_exact_proportional_case(self):
+        alloc = _allocate_budget(np.array([60, 40], dtype=np.int64), 5)
+        assert alloc.tolist() == [3, 2]
+
+
+class TestCommunityIMM:
+    def test_valid_seed_set(self, sbm_graph):
+        res = community_imm(sbm_graph, k=8, eps=0.5, seed=2)
+        assert len(res.seeds) == 8
+        assert len(np.unique(res.seeds)) == 8
+        assert res.num_communities >= 1
+
+    def test_seeds_split_across_blocks(self, sbm_graph):
+        """Proportional allocation puts seeds in both planted blocks."""
+        res = community_imm(sbm_graph, k=8, eps=0.5, seed=2)
+        in_first = (res.seeds < 60).sum()
+        assert 1 <= in_first <= 7
+
+    def test_quality_close_to_whole_graph_imm(self, sbm_graph):
+        """With near-disjoint communities the decomposition loses little
+        (its advertised sweet spot)."""
+        comm = community_imm(sbm_graph, k=8, eps=0.5, seed=2)
+        full = imm(sbm_graph, k=8, eps=0.5, seed=2)
+        s_comm = estimate_spread(sbm_graph, comm.seeds, "IC", trials=200, seed=7).mean
+        s_full = estimate_spread(sbm_graph, full.seeds, "IC", trials=200, seed=7).mean
+        assert s_comm >= 0.8 * s_full
+
+    def test_custom_labels(self, sbm_graph):
+        labels = np.zeros(sbm_graph.n, dtype=np.int64)
+        labels[60:] = 1
+        res = community_imm(sbm_graph, k=6, eps=0.5, seed=1, labels=labels)
+        assert set(res.allocation) == {0, 1}
+        assert sum(res.allocation.values()) == 6
+
+    def test_validation(self, sbm_graph):
+        with pytest.raises(ValueError):
+            community_imm(sbm_graph, k=0, eps=0.5)
+        with pytest.raises(ValueError):
+            community_imm(
+                sbm_graph, k=3, eps=0.5, labels=np.zeros(3, dtype=np.int64)
+            )

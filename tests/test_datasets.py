@@ -1,0 +1,89 @@
+"""Tests for the dataset registry (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import REGISTRY, load, names, paper_table2_row, spec
+from repro.graph import graph_stats
+
+
+class TestRegistry:
+    def test_all_eight_table2_graphs_present(self):
+        assert names() == [
+            "cit-HepTh",
+            "soc-Epinions1",
+            "com-Amazon",
+            "com-DBLP",
+            "com-YouTube",
+            "soc-Pokec",
+            "soc-LiveJournal1",
+            "com-Orkut",
+        ]
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            spec("com-Facebook")
+
+    def test_paper_metadata_matches_table2(self):
+        s = spec("cit-HepTh")
+        assert s.paper_nodes == 27_770
+        assert s.paper_edges == 352_807
+        assert paper_table2_row("com-Orkut") == (3_072_441, 117_185_083, 76.28, 33_313)
+
+    def test_paper_reference_runtimes_recorded(self):
+        s = spec("com-Orkut")
+        assert s.paper_imm_seconds == 28024.56
+        assert s.paper_immopt_seconds == 9027.50
+        # the ◦ cells of Table 2
+        assert s.paper_imm_mb is None and s.paper_immopt_mb is None
+
+    def test_scale_factor(self):
+        s = spec("cit-HepTh")
+        assert s.scale_factor == s.paper_nodes / s.build().n
+
+
+class TestStandins:
+    def test_deterministic(self):
+        assert load("cit-HepTh") == load("cit-HepTh")
+
+    def test_size_ordering_preserved(self):
+        """Stand-in sizes keep the original smallest-to-largest order of
+        vertex counts within each generator family — and edge counts
+        globally track the originals' ordering of the extremes."""
+        ms = {name: load(name).m for name in names()}
+        assert ms["com-Orkut"] == max(ms.values())  # largest original
+        assert ms["cit-HepTh"] == min(ms.values())  # smallest original
+
+    def test_avg_degree_ordering_preserved(self):
+        """The originals' avg-degree ordering (Orkut > Pokec > LJ >
+        Epinions/cit > DBLP/Amazon > YouTube) survives scaling."""
+        avg = {name: graph_stats(load(name)).avg_degree for name in names()}
+        assert avg["com-Orkut"] > avg["soc-Pokec"] > avg["soc-LiveJournal1"]
+        assert avg["soc-LiveJournal1"] > avg["com-DBLP"]
+        assert avg["com-YouTube"] == min(avg.values())
+
+    def test_lt_weights_normalized(self):
+        g = load("cit-HepTh", model="LT")
+        for v in range(g.n):
+            assert g.in_edge_probs(v).sum() <= 1.0 + 1e-9
+
+    def test_ic_weights_within_scale(self):
+        s = spec("soc-Pokec")
+        g = load("soc-Pokec", model="IC")
+        assert g.out_probs.max() < s.weight_scale
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            load("cit-HepTh", model="SIR")
+
+    def test_weight_seed_changes_probs_not_topology(self):
+        a = load("cit-HepTh", weight_seed=0)
+        b = load("cit-HepTh", weight_seed=1)
+        assert np.array_equal(a.out_indices, b.out_indices)
+        assert not np.array_equal(a.out_probs, b.out_probs)
+
+    def test_heavy_tail_standins_skewed(self):
+        """Graphs standing in for social networks keep degree skew; the
+        co-purchase stand-ins stay flat."""
+        assert graph_stats(load("soc-Epinions1")).degree_skew > 5
+        assert graph_stats(load("com-Amazon")).degree_skew < 3

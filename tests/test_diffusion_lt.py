@@ -1,0 +1,68 @@
+"""Tests for forward Linear Threshold simulation (repro.diffusion.lt)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import lt_trial
+from repro.graph import constant_weights, from_edge_list, lt_normalize, path_graph, star_graph
+from repro.rng import SplitMix64
+
+
+class TestLTTrial:
+    def test_seeds_always_active(self, tiny_graph):
+        out = lt_trial(tiny_graph, np.array([4]), SplitMix64(0))
+        assert 4 in out.tolist()
+
+    def test_weight_one_cascades_fully(self):
+        # In-weight 1.0 ≥ any threshold in [0, 1): deterministic cascade.
+        g = constant_weights(path_graph(6), 1.0)
+        out = lt_trial(g, np.array([0]), SplitMix64(1))
+        assert out.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_weight_zero_never_activates(self):
+        g = constant_weights(star_graph(8), 0.0)
+        out = lt_trial(g, np.array([0]), SplitMix64(2))
+        assert out.tolist() == [0]
+
+    def test_activation_frequency_matches_weight(self):
+        # Single in-edge with weight w: P[activate] = P[threshold <= w] = w.
+        g = from_edge_list(2, [(0, 1, 0.3)])
+        hits = sum(
+            1 in lt_trial(g, np.array([0]), SplitMix64(i)).tolist()
+            for i in range(3000)
+        )
+        assert 0.27 < hits / 3000 < 0.33
+
+    def test_accumulation_across_neighbors(self):
+        # Vertex 2 has in-weights 0.5 + 0.5 from both seeds: always active.
+        g = from_edge_list(3, [(0, 2, 0.5), (1, 2, 0.5)])
+        for i in range(50):
+            out = lt_trial(g, np.array([0, 1]), SplitMix64(i))
+            assert 2 in out.tolist()
+
+    def test_deterministic_per_stream(self, ba_graph_lt):
+        a = lt_trial(ba_graph_lt, np.array([1]), SplitMix64(9))
+        b = lt_trial(ba_graph_lt, np.array([1]), SplitMix64(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_out_of_range_seed_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            lt_trial(tiny_graph, np.array([5]), SplitMix64(0))
+
+    def test_empty_seed_set(self, tiny_graph):
+        out = lt_trial(tiny_graph, np.empty(0, np.int64), SplitMix64(0))
+        assert len(out) == 0
+
+    def test_lt_smaller_than_ic_on_same_weights(self, ba_graph, ba_graph_lt):
+        # The paper's observation behind Figures 5/6: LT spreads (and RRR
+        # sets) are much smaller than IC on comparable weights.
+        from repro.diffusion import ic_trial
+
+        ic_sizes = [
+            len(ic_trial(ba_graph, np.array([0]), SplitMix64(i))) for i in range(100)
+        ]
+        lt_sizes = [
+            len(lt_trial(ba_graph_lt, np.array([0]), SplitMix64(i)))
+            for i in range(100)
+        ]
+        assert np.mean(lt_sizes) <= np.mean(ic_sizes)

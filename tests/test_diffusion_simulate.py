@@ -1,0 +1,75 @@
+"""Tests for the Monte-Carlo spread estimator (repro.diffusion.simulate)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import DiffusionModel, estimate_spread, run_trial
+from repro.graph import constant_weights, from_edge_list, path_graph
+from repro.rng import SplitMix64
+
+
+class TestDiffusionModelParse:
+    def test_accepts_enum_and_strings(self):
+        assert DiffusionModel.parse("ic") is DiffusionModel.IC
+        assert DiffusionModel.parse("LT") is DiffusionModel.LT
+        assert DiffusionModel.parse(DiffusionModel.IC) is DiffusionModel.IC
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown diffusion model"):
+            DiffusionModel.parse("SIR")
+
+
+class TestRunTrial:
+    def test_dispatches_ic(self, tiny_graph):
+        out = run_trial(tiny_graph, np.array([0]), "IC", SplitMix64(1))
+        assert 0 in out.tolist()
+
+    def test_dispatches_lt(self, tiny_graph):
+        out = run_trial(tiny_graph, np.array([0]), "LT", SplitMix64(1))
+        assert 0 in out.tolist()
+
+
+class TestEstimateSpread:
+    def test_analytic_two_vertex(self):
+        # E[spread of {0}] on a single p=0.4 edge is 1 + 0.4.
+        g = from_edge_list(2, [(0, 1, 0.4)])
+        est = estimate_spread(g, np.array([0]), "IC", trials=4000, seed=1)
+        assert est.mean == pytest.approx(1.4, abs=0.05)
+
+    def test_deterministic_in_seed(self, ba_graph):
+        a = estimate_spread(ba_graph, np.array([0]), "IC", trials=50, seed=2)
+        b = estimate_spread(ba_graph, np.array([0]), "IC", trials=50, seed=2)
+        assert a.mean == b.mean
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_deterministic_cascade_zero_variance(self):
+        g = constant_weights(path_graph(4), 1.0)
+        est = estimate_spread(g, np.array([0]), "IC", trials=30, seed=0)
+        assert est.mean == 4.0
+        assert est.std == 0.0
+
+    def test_stderr_shrinks_with_trials(self, ba_graph):
+        small = estimate_spread(ba_graph, np.array([3]), "IC", trials=50, seed=1)
+        large = estimate_spread(ba_graph, np.array([3]), "IC", trials=800, seed=1)
+        assert large.stderr < small.stderr
+
+    def test_samples_recorded(self, ba_graph):
+        est = estimate_spread(ba_graph, np.array([0]), "IC", trials=25, seed=4)
+        assert est.trials == 25
+        assert len(est.samples) == 25
+        assert est.samples.min() >= 1  # seed itself always counted
+
+    def test_single_trial_has_nan_stderr(self, tiny_graph):
+        est = estimate_spread(tiny_graph, np.array([0]), "IC", trials=1, seed=0)
+        assert np.isnan(est.stderr)
+
+    def test_zero_trials_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            estimate_spread(tiny_graph, np.array([0]), "IC", trials=0)
+
+    def test_more_seeds_more_spread(self, ba_graph):
+        one = estimate_spread(ba_graph, np.array([0]), "IC", trials=200, seed=3)
+        many = estimate_spread(
+            ba_graph, np.array([0, 1, 2, 3, 4]), "IC", trials=200, seed=3
+        )
+        assert many.mean > one.mean

@@ -1,0 +1,75 @@
+"""Tests for the experiments command line and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import ALL, ExperimentResult
+from repro.experiments.__main__ import main
+
+
+class _StubModule:
+    """Stands in for an experiment module in ALL."""
+
+    def __init__(self):
+        self.calls = []
+
+    def run(self, scale, seed):
+        self.calls.append((scale.name, seed))
+        return ExperimentResult(
+            experiment="stub",
+            scale=scale.name,
+            columns=["a", "b"],
+            rows=[[1, None], [2, 3.5]],
+            notes="stub notes",
+        )
+
+
+@pytest.fixture()
+def stub(monkeypatch):
+    module = _StubModule()
+    monkeypatch.setitem(ALL, "stub", module)
+    return module
+
+
+class TestExperimentsMain:
+    def test_runs_named_experiment(self, stub, capsys):
+        assert main(["stub"]) == 0
+        out = capsys.readouterr().out
+        assert "stub notes" in out
+        assert "[stub completed" in out
+        assert stub.calls == [("ci", 0)]
+
+    def test_paper_scale_flag(self, stub):
+        main(["--scale", "paper", "stub"])
+        assert stub.calls[-1][0] == "paper"
+
+    def test_seed_flag(self, stub):
+        main(["--seed", "7", "stub"])
+        assert stub.calls[-1] == ("ci", 7)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-experiment"])
+
+    def test_csv_export(self, stub, tmp_path, capsys):
+        main(["--csv-dir", str(tmp_path), "stub"])
+        csv_path = tmp_path / "stub_ci.csv"
+        assert csv_path.exists()
+        with open(csv_path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", ""]  # None -> empty cell
+        assert rows[2] == ["2", "3.5"]
+
+
+class TestToCsv:
+    def test_round_trip_values(self, tmp_path):
+        res = ExperimentResult(
+            "x", "ci", ["col1", "col2"], [["name", 0.25]], notes=""
+        )
+        path = tmp_path / "out.csv"
+        res.to_csv(path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["col1", "col2"], ["name", "0.25"]]

@@ -1,0 +1,98 @@
+"""Shape tests for the remaining experiments (figs 3-6, 8) at mini scale."""
+
+import dataclasses
+
+from repro.experiments import CI, fig3, fig4, fig5, fig6, fig8
+
+MINI = dataclasses.replace(
+    CI,
+    name="mini",
+    fig34_eps_grid=(0.4, 0.55),
+    fig34_k_grid=(5, 15),
+    fig34_k_fixed=5,
+    mt_threads=(2, 20),
+    k_mt=5,
+    edison_nodes=(64, 1024),
+    k_dist=5,
+    eps_dist=0.5,
+    sweep_datasets=("cit-HepTh",),
+    big_datasets=("com-YouTube",),
+    theta_cap=2500,
+)
+
+
+def _by(rows, **filters):
+    idx = {"graph": 0, "eps": 1, "k": 2}
+    out = rows
+    for key, value in filters.items():
+        out = [r for r in out if r[idx[key]] == value]
+    return out
+
+
+class TestFig3Shape:
+    def test_eps_drives_runtime_and_phases(self):
+        res = fig3.run(scale=MINI)
+        tight = _by(res.rows, eps=0.4)[0]
+        loose = _by(res.rows, eps=0.55)[0]
+        assert tight[-1] > loose[-1]  # total seconds column
+        # Estimation + Sample dominate (columns 3 and 4)
+        assert (tight[3] + tight[4]) / tight[-1] > 0.5
+
+
+class TestFig4Shape:
+    def test_k_drives_runtime(self):
+        res = fig4.run(scale=MINI)
+        small = _by(res.rows, k=5)[0]
+        large = _by(res.rows, k=15)[0]
+        assert large[-1] > small[-1]
+
+
+class TestFig56Shape:
+    def test_ic_scales_and_lt_is_cheaper(self):
+        lt = fig5.run(scale=MINI)
+        ic = fig6.run(scale=MINI)
+        # threads column = 1; total seconds column = 2
+        lt_t2 = [r for r in lt.rows if r[1] == 2][0][2]
+        lt_t20 = [r for r in lt.rows if r[1] == 20][0][2]
+        ic_t2 = [r for r in ic.rows if r[1] == 2][0][2]
+        ic_t20 = [r for r in ic.rows if r[1] == 20][0][2]
+        assert ic_t2 / ic_t20 > 2.0  # IC scales well
+        assert lt_t2 < ic_t2  # LT far cheaper in absolute terms
+        assert lt_t2 / lt_t20 <= ic_t2 / ic_t20 + 1.0  # and scales no better
+
+    def test_speedup_column_relative_to_two_threads(self):
+        ic = fig6.run(scale=MINI)
+        first = [r for r in ic.rows if r[1] == 2][0]
+        assert first[3] == 1.0  # speedup vs 2t column
+
+
+#: fig8 needs enough sampling work that hundreds of nodes still help.
+MINI8 = dataclasses.replace(
+    MINI, k_dist=10, eps_dist=0.35, theta_cap=25_000, edison_nodes=(64, 256, 1024)
+)
+
+
+class TestFig8Shape:
+    def test_ic_keeps_gaining_at_hundreds_of_nodes(self):
+        # At the stand-ins' reduced sampling volume the curve saturates
+        # earlier than the paper's (whose theta is ~100x larger); the
+        # shape assertion is that IC still gains at hundreds of nodes
+        # and never degrades at 1024.
+        res = fig8.run(scale=MINI8)
+        ic = [r for r in res.rows if r[1] == "IC"]
+        t64 = [r for r in ic if r[2] == 64][0][3]
+        t256 = [r for r in ic if r[2] == 256][0][3]
+        t1024 = [r for r in ic if r[2] == 1024][0][3]
+        assert t64 > t256
+        assert t1024 <= t256 * 1.2
+
+    def test_lt_flattens(self):
+        res = fig8.run(scale=MINI)
+
+        def ratio(model):
+            rows = [r for r in res.rows if r[1] == model]
+            t64 = [r for r in rows if r[2] == 64][0][3]
+            t1024 = [r for r in rows if r[2] == 1024][0][3]
+            return t64 / t1024
+
+        assert ratio("IC") > ratio("LT")

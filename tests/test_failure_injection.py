@@ -1,0 +1,70 @@
+"""Failure-injection tests: how the runtime behaves when things break."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Allreduce, SimulatedOOMError, imm_dist, run_spmd
+from repro.sampling import SortedRRRCollection
+
+
+class TestSpmdFailurePropagation:
+    def test_rank_exception_aborts_job(self):
+        """A raising rank kills the whole SPMD run (like mpirun abort),
+        not just its own generator."""
+
+        def program(rank, size):
+            if rank == 2:
+                raise RuntimeError("rank 2 exploded")
+            yield Allreduce(np.array([rank]))
+            return rank
+
+        with pytest.raises(RuntimeError, match="rank 2 exploded"):
+            run_spmd(4, program)
+
+    def test_exception_after_collective(self):
+        def program(rank, size):
+            total = yield Allreduce(np.array([1]))
+            if rank == 0 and int(total[0]) == 3:
+                raise ValueError("post-collective failure")
+            return rank
+
+        with pytest.raises(ValueError, match="post-collective"):
+            run_spmd(3, program)
+
+    def test_oom_aborts_distributed_run_cleanly(self, ba_graph):
+        """A simulated OOM inside one rank's sampling surfaces as the
+        typed error (the experiment harness records a missing point)."""
+        with pytest.raises(SimulatedOOMError):
+            imm_dist(ba_graph, k=5, eps=0.5, num_nodes=4, seed=1, mem_per_node=10)
+
+    def test_run_usable_after_failure(self, ba_graph):
+        """A failed run leaves no residue: the same call with a sane
+        limit succeeds afterwards (no global state)."""
+        with pytest.raises(SimulatedOOMError):
+            imm_dist(ba_graph, k=5, eps=0.5, num_nodes=2, seed=1, mem_per_node=10)
+        res = imm_dist(ba_graph, k=5, eps=0.5, num_nodes=2, seed=1)
+        assert len(res.seeds) == 5
+
+
+class TestCollectionMisuse:
+    def test_flattened_view_consistent_after_interleaved_use(self):
+        """Alternating reads and appends must never serve a stale cache
+        (the EstimateTheta loop does exactly this)."""
+        coll = SortedRRRCollection(10)
+        coll.append(np.array([1, 2], np.int32))
+        flat1, _, _ = coll.flattened()
+        counters1 = coll.counters()
+        coll.append(np.array([2, 3], np.int32))
+        flat2, _, _ = coll.flattened()
+        counters2 = coll.counters()
+        assert len(flat2) == 4
+        assert counters2[2] == counters1[2] + 1
+
+    def test_generator_program_type_error(self):
+        """A non-generator 'program' fails loudly, not silently."""
+
+        def not_a_generator(rank, size):
+            return rank  # forgot to yield
+
+        with pytest.raises((TypeError, AttributeError)):
+            run_spmd(2, not_a_generator)

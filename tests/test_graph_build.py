@@ -1,0 +1,96 @@
+"""Tests for the edge-list builders (repro.graph.build)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, from_edges
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(3, np.array([0, 1]), np.array([1, 2]), 0.5)
+        assert g.m == 2
+        assert g.out_edge_probs(0).tolist() == [0.5]
+
+    def test_neighbors_sorted_regardless_of_input_order(self):
+        g = from_edges(4, np.array([0, 0, 0]), np.array([3, 1, 2]))
+        assert g.out_neighbors(0).tolist() == [1, 2, 3]
+
+    def test_self_loops_dropped(self):
+        g = from_edges(3, np.array([0, 1, 2]), np.array([0, 2, 2]))
+        assert g.m == 1
+        assert g.has_edge(1, 2)
+
+    def test_duplicates_deduped_keeping_first(self):
+        g = from_edges(
+            3,
+            np.array([0, 0, 0]),
+            np.array([1, 1, 2]),
+            np.array([0.9, 0.1, 0.5]),
+        )
+        assert g.m == 2
+        probs = {(u, v): p for u, v, p in g.edges()}
+        assert probs[(0, 1)] == 0.9  # first occurrence wins
+
+    def test_dedup_disabled_raises_nothing_but_keeps_edges(self):
+        # The CSR itself can hold parallel edges when dedup is off.
+        g = from_edges(3, np.array([0, 0]), np.array([1, 1]), dedup=False)
+        assert g.m == 2
+
+    def test_default_prob_is_tang_constant(self):
+        g = from_edges(3, np.array([0]), np.array([1]))
+        assert g.out_edge_probs(0).tolist() == [0.1]
+
+    def test_scalar_prob_broadcast(self):
+        g = from_edges(3, np.array([0, 1]), np.array([1, 2]), 0.25)
+        assert set(p for _, _, p in g.edges()) == {0.25}
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([0]), np.array([2]))
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([-1]), np.array([0]))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([0]), np.array([1]), 1.5)
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([0]), np.array([1]), -0.1)
+
+    def test_ragged_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([0, 1]), np.array([1]))
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([0, 1]), np.array([1, 2]), np.array([0.5]))
+
+    def test_empty_graph(self):
+        g = from_edges(4, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert g.n == 4 and g.m == 0
+        assert g.out_neighbors(0).tolist() == []
+
+    def test_in_out_probability_consistency(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 300)
+        dst = rng.integers(0, 50, 300)
+        prob = rng.random(300)
+        g = from_edges(50, src, dst, prob)
+        forward = {(u, v): p for u, v, p in g.edges()}
+        for v in range(g.n):
+            for u, p in zip(g.in_neighbors(v).tolist(), g.in_edge_probs(v).tolist()):
+                assert forward[(u, v)] == p
+
+
+class TestFromEdgeList:
+    def test_two_and_three_field_tuples(self):
+        g = from_edge_list(3, [(0, 1), (1, 2, 0.7)], default_prob=0.2)
+        probs = {(u, v): p for u, v, p in g.edges()}
+        assert probs[(0, 1)] == 0.2
+        assert probs[(1, 2)] == 0.7
+
+    def test_malformed_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list(3, [(0, 1, 0.5, 9)])
+
+    def test_accepts_generator_input(self):
+        g = from_edge_list(4, ((i, i + 1) for i in range(3)))
+        assert g.m == 3

@@ -1,0 +1,128 @@
+"""Tests for the CSR graph substrate (repro.graph.csr)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list
+
+
+class TestConstruction:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.n == 5
+        assert tiny_graph.m == 5
+
+    def test_invalid_indptr_length(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                2,
+                np.zeros(2, np.int64),  # should be length 3
+                np.empty(0, np.int32),
+                np.empty(0),
+                np.zeros(3, np.int64),
+                np.empty(0, np.int32),
+                np.empty(0),
+            )
+
+    def test_mismatched_edge_counts(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                2,
+                np.array([0, 1, 1], np.int64),
+                np.array([1], np.int32),
+                np.array([0.5]),
+                np.array([0, 0, 0], np.int64),  # in-direction says 0 edges
+                np.empty(0, np.int32),
+                np.empty(0),
+            )
+
+    def test_negative_vertex_count(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                -1,
+                np.zeros(0, np.int64),
+                np.empty(0, np.int32),
+                np.empty(0),
+                np.zeros(0, np.int64),
+                np.empty(0, np.int32),
+                np.empty(0),
+            )
+
+
+class TestQueries:
+    def test_out_neighbors_sorted(self, tiny_graph):
+        assert tiny_graph.out_neighbors(0).tolist() == [1, 2]
+        assert tiny_graph.out_neighbors(4).tolist() == []
+
+    def test_in_neighbors(self, tiny_graph):
+        assert tiny_graph.in_neighbors(3).tolist() == [1, 2]
+        assert tiny_graph.in_neighbors(0).tolist() == []
+
+    def test_degrees_scalar_and_vector(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.in_degree(3) == 2
+        assert tiny_graph.out_degree().tolist() == [2, 1, 1, 1, 0]
+        assert tiny_graph.in_degree().tolist() == [0, 1, 1, 2, 1]
+        assert tiny_graph.out_degree().sum() == tiny_graph.m
+
+    def test_edge_probs_follow_edges(self, tiny_graph):
+        probs = dict(
+            ((u, v), p) for u, v, p in tiny_graph.edges()
+        )
+        assert probs[(0, 1)] == 1.0
+        assert probs[(2, 3)] == 0.0
+        # in-direction must agree edge by edge
+        for v in range(tiny_graph.n):
+            for u, p in zip(
+                tiny_graph.in_neighbors(v).tolist(),
+                tiny_graph.in_edge_probs(v).tolist(),
+            ):
+                assert probs[(u, v)] == p
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(4, 0)
+
+    def test_edges_iteration_complete(self, tiny_graph):
+        assert sorted((u, v) for u, v, _ in tiny_graph.edges()) == [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+        ]
+
+
+class TestDerived:
+    def test_transpose_flips_edges(self, tiny_graph):
+        t = tiny_graph.transpose()
+        assert t.has_edge(1, 0)
+        assert not t.has_edge(0, 1)
+        assert t.n == tiny_graph.n and t.m == tiny_graph.m
+
+    def test_double_transpose_is_identity(self, tiny_graph):
+        assert tiny_graph.transpose().transpose() == tiny_graph
+
+    def test_with_probs_replaces(self, tiny_graph):
+        new_out = np.full(tiny_graph.m, 0.5)
+        new_in = np.full(tiny_graph.m, 0.5)
+        g2 = tiny_graph.with_probs(new_out, new_in)
+        assert g2.out_probs.tolist() == [0.5] * 5
+        # topology untouched
+        assert g2.out_neighbors(0).tolist() == [1, 2]
+
+    def test_with_probs_length_check(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.with_probs(np.zeros(3), np.zeros(3))
+
+    def test_nbytes_positive_and_additive(self, tiny_graph):
+        assert tiny_graph.nbytes() > 0
+
+    def test_equality_semantics(self, tiny_graph):
+        same = from_edge_list(
+            5, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 0.0), (3, 4, 1.0)]
+        )
+        assert tiny_graph == same
+        other = from_edge_list(5, [(0, 1, 1.0)])
+        assert tiny_graph != other
+        assert tiny_graph != "not a graph"  # NotImplemented path

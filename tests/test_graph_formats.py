@@ -1,0 +1,111 @@
+"""Tests for the METIS and MatrixMarket readers (repro.graph.io)."""
+
+import io
+
+import pytest
+
+from repro.graph import read_matrix_market, read_metis
+
+
+class TestReadMetis:
+    def test_basic_unweighted(self):
+        # 3 vertices, 2 undirected edges: 1-2, 2-3 (1-indexed).
+        text = "3 2\n2\n1 3\n2\n"
+        g = read_metis(io.StringIO(text))
+        assert g.n == 3
+        assert g.m == 4  # both directions listed
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_edge_weights_as_probabilities(self):
+        # fmt=001: edge weights follow each neighbor.
+        text = "2 1 001\n2 0.75\n1 0.75\n"
+        g = read_metis(io.StringIO(text))
+        assert g.out_edge_probs(0).tolist() == [0.75]
+
+    def test_comments_skipped(self):
+        text = "% header comment\n2 1\n2\n1\n"
+        g = read_metis(io.StringIO(text))
+        assert g.m == 2
+
+    def test_default_prob(self):
+        g = read_metis(io.StringIO("2 1\n2\n1\n"), default_prob=0.3)
+        assert g.out_edge_probs(0).tolist() == [0.3]
+
+    def test_isolated_vertex_blank_line(self):
+        # vertex 3 has no neighbors: its adjacency line is blank.
+        g = read_metis(io.StringIO("3 1\n2\n1\n\n"))
+        assert g.n == 3
+        assert g.out_degree(2) == 0
+
+    def test_vertex_count_mismatch(self):
+        with pytest.raises(ValueError, match="declares 3 vertices"):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_metis(io.StringIO("1\n\n"))
+        with pytest.raises(ValueError, match="empty"):
+            read_metis(io.StringIO("%only a comment\n"))
+
+    def test_neighbor_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            read_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_odd_weight_fields(self):
+        with pytest.raises(ValueError, match="odd field count"):
+            read_metis(io.StringIO("2 1 001\n2\n1 0.5\n"))
+
+
+class TestReadMatrixMarket:
+    def test_general_real(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "1 2 0.5\n"
+            "3 1 0.25\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.n == 3 and g.m == 2
+        probs = {(u, v): p for u, v, p in g.edges()}
+        assert probs[(0, 1)] == 0.5
+        assert probs[(2, 0)] == 0.25
+
+    def test_symmetric_adds_both_directions(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 0.4\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_pattern_uses_default(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"
+        g = read_matrix_market(io.StringIO(text), default_prob=0.2)
+        assert g.out_edge_probs(0).tolist() == [0.2]
+
+    def test_weights_clipped_to_unit(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -3.5\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.out_edge_probs(0).tolist() == [1.0]  # |−3.5| clipped
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(io.StringIO("1 2 0.5\n"))
+
+    def test_array_layout_rejected(self):
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n2 2\n")
+            )
+
+    def test_entry_out_of_range(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 0.5\n"
+        with pytest.raises(ValueError, match="out of range"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.9\n"
+        )
+        g = read_matrix_market(path)
+        assert g.m == 1

@@ -1,0 +1,157 @@
+"""Tests for the synthetic graph generators (repro.graph.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    graph_stats,
+    path_graph,
+    rmat,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.02
+        g = erdos_renyi(n, p, seed=1)
+        expected = n * (n - 1) * p
+        assert 0.7 * expected < g.m < 1.3 * expected
+
+    def test_deterministic_in_seed(self):
+        assert erdos_renyi(50, 0.1, seed=3) == erdos_renyi(50, 0.1, seed=3)
+        assert erdos_renyi(50, 0.1, seed=3) != erdos_renyi(50, 0.1, seed=4)
+
+    def test_p_zero_and_empty(self):
+        assert erdos_renyi(10, 0.0).m == 0
+        assert erdos_renyi(0, 0.5).n == 0
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(40, 0.2, seed=2)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_undirected_mode_symmetric(self):
+        g = erdos_renyi(30, 0.1, seed=5, directed=False)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 3, seed=1)
+        stats = graph_stats(g)
+        # preferential attachment: max degree far above average
+        assert stats.degree_skew > 5
+
+    def test_size(self):
+        g = barabasi_albert(200, 2, seed=1)
+        assert g.n == 200
+        assert g.m <= 2 * 2 * 200
+        assert g.m > 200
+
+    def test_symmetric_when_directed(self):
+        g = barabasi_albert(100, 2, seed=2)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_deterministic(self):
+        assert barabasi_albert(80, 3, seed=9) == barabasi_albert(80, 3, seed=9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+
+class TestRmat:
+    def test_size_bounds(self):
+        g = rmat(8, 4, seed=1)
+        assert g.n == 256
+        assert g.m <= 4 * 256  # dedup/self-loop removal only shrinks
+
+    def test_skewed_degrees(self):
+        g = rmat(10, 8, seed=2)
+        assert graph_stats(g).degree_skew > 4
+
+    def test_deterministic(self):
+        assert rmat(6, 3, seed=7) == rmat(6, 3, seed=7)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat(0, 4)
+        with pytest.raises(ValueError):
+            rmat(5, 2, a=0.9, b=0.9, c=0.9)
+
+
+class TestWattsStrogatz:
+    def test_flat_degrees_at_zero_beta(self):
+        g = watts_strogatz(100, 3, 0.0, seed=1)
+        deg = g.out_degree()
+        # ring lattice: every vertex has exactly 2 * k_ring out-edges
+        assert deg.min() == deg.max() == 6
+
+    def test_rewiring_perturbs(self):
+        g0 = watts_strogatz(100, 3, 0.0, seed=1)
+        g1 = watts_strogatz(100, 3, 0.9, seed=1)
+        assert g0 != g1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 1.5)
+
+
+class TestSBM:
+    def test_block_density_contrast(self):
+        sizes = [40, 40]
+        g = stochastic_block_model(sizes, 0.3, 0.01, seed=1)
+        within = between = 0
+        for u, v, _ in g.edges():
+            if (u < 40) == (v < 40):
+                within += 1
+            else:
+                between += 1
+        assert within > 5 * between
+
+    def test_empty_probability(self):
+        g = stochastic_block_model([10, 10], 0.0, 0.0, seed=1)
+        assert g.m == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([], 0.5, 0.1)
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], 1.5, 0.1)
+
+
+class TestFixtures:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.m == 20
+        assert all(g.has_edge(u, v) for u in range(5) for v in range(5) if u != v)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.m == 3
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+        assert not g.has_edge(1, 0)
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 5
+        assert g.in_degree(0) == 0
+        with pytest.raises(ValueError):
+            star_graph(0)

@@ -1,0 +1,77 @@
+"""Tests for SNAP-style edge-list I/O (repro.graph.io)."""
+
+import io
+
+import pytest
+
+from repro.graph import from_edge_list, read_edgelist, write_edgelist
+
+
+class TestRead:
+    def test_basic_two_column(self):
+        g = read_edgelist(io.StringIO("0 1\n1 2\n"))
+        assert g.n == 3 and g.m == 2
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# SNAP header\n% another comment\n\n0\t1\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.m == 1
+
+    def test_three_column_probabilities(self):
+        g = read_edgelist(io.StringIO("0 1 0.75\n"))
+        assert g.out_edge_probs(0).tolist() == [0.75]
+
+    def test_default_prob_applied(self):
+        g = read_edgelist(io.StringIO("0 1\n"), default_prob=0.3)
+        assert g.out_edge_probs(0).tolist() == [0.3]
+
+    def test_renumber_sparse_ids(self):
+        g = read_edgelist(io.StringIO("100 900\n900 5000\n"))
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_no_renumber_uses_raw_ids(self):
+        g = read_edgelist(io.StringIO("0 5\n"), renumber=False)
+        assert g.n == 6
+
+    def test_malformed_column_count(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edgelist(io.StringIO("0 1 2 3\n"))
+
+    def test_non_numeric_field(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_edgelist(io.StringIO("a b\n"))
+
+    def test_file_path_round_trip(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# test\n0 1\n1 2\n2 0\n")
+        g = read_edgelist(path)
+        assert g.m == 3
+
+
+class TestWrite:
+    def test_round_trip_topology(self, tmp_path):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        path = tmp_path / "out.txt"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path)
+        assert g2 == g.with_probs(g2.out_probs, g2.in_probs)  # same topology
+        assert sorted((u, v) for u, v, _ in g2.edges()) == sorted(
+            (u, v) for u, v, _ in g.edges()
+        )
+
+    def test_round_trip_with_probs(self, tmp_path):
+        g = from_edge_list(3, [(0, 1, 0.25), (1, 2, 0.75)])
+        path = tmp_path / "out.txt"
+        write_edgelist(g, path, with_probs=True)
+        g2 = read_edgelist(path)
+        probs = {(u, v): p for u, v, p in g2.edges()}
+        assert probs[(0, 1)] == 0.25
+        assert probs[(1, 2)] == 0.75
+
+    def test_write_to_stream(self):
+        g = from_edge_list(2, [(0, 1)])
+        buf = io.StringIO()
+        write_edgelist(g, buf)
+        assert "0\t1" in buf.getvalue()
+        assert buf.getvalue().startswith("#")

@@ -1,0 +1,40 @@
+"""Tests for graph statistics (repro.graph.stats)."""
+
+from repro.graph import graph_stats, path_graph, star_graph
+from repro.graph.build import from_edge_list
+from repro.graph.csr import CSRGraph
+
+import numpy as np
+
+
+class TestGraphStats:
+    def test_star(self):
+        stats = graph_stats(star_graph(11))
+        assert stats.nodes == 11
+        assert stats.edges == 10
+        assert stats.max_degree == 10
+        assert stats.avg_degree == 10 / 11
+        assert stats.degree_skew == 10 / (10 / 11)
+
+    def test_path(self):
+        stats = graph_stats(path_graph(5))
+        assert stats.max_degree == 1
+        assert stats.avg_degree == 4 / 5
+
+    def test_empty_graph(self):
+        empty = CSRGraph(
+            0,
+            np.zeros(1, np.int64),
+            np.empty(0, np.int32),
+            np.empty(0),
+            np.zeros(1, np.int64),
+            np.empty(0, np.int32),
+            np.empty(0),
+        )
+        stats = graph_stats(empty)
+        assert stats.nodes == 0 and stats.edges == 0
+        assert stats.avg_degree == 0.0
+
+    def test_row_matches_table2_column_order(self):
+        stats = graph_stats(from_edge_list(3, [(0, 1), (0, 2)]))
+        assert stats.row() == (3, 2, 2 / 3, 2)

@@ -1,0 +1,59 @@
+"""Tests for induced subgraphs (repro.graph.subgraph)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list
+from repro.graph.subgraph import induced_subgraph
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.array([0, 1, 3]))
+        assert sub.n == 3
+        assert mapping.tolist() == [0, 1, 3]
+        # kept: 0->1, 1->3; dropped: 0->2, 2->3, 3->4
+        assert sub.m == 2
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)  # renumbered 1->3
+
+    def test_probabilities_carried(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.array([2, 3]))
+        probs = {(u, v): p for u, v, p in sub.edges()}
+        assert probs[(0, 1)] == 0.0  # original 2->3 had prob 0
+
+    def test_duplicates_collapsed(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.array([1, 1, 0]))
+        assert sub.n == 2
+        assert mapping.tolist() == [0, 1]
+
+    def test_whole_graph_identity(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, np.arange(5))
+        assert sub == tiny_graph
+        assert mapping.tolist() == [0, 1, 2, 3, 4]
+
+    def test_singleton(self, tiny_graph):
+        sub, _ = induced_subgraph(tiny_graph, np.array([4]))
+        assert sub.n == 1 and sub.m == 0
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(tiny_graph, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            induced_subgraph(tiny_graph, np.array([9]))
+
+    def test_random_consistency(self):
+        rng = np.random.default_rng(2)
+        edges = [(int(u), int(v), float(p)) for u, v, p in
+                 zip(rng.integers(0, 30, 120), rng.integers(0, 30, 120), rng.random(120))
+                 if u != v]
+        g = from_edge_list(30, edges)
+        keep = np.unique(rng.choice(30, 12, replace=False))
+        sub, mapping = induced_subgraph(g, keep)
+        orig = {(u, v): p for u, v, p in g.edges()}
+        for u, v, p in sub.edges():
+            assert orig[(int(mapping[u]), int(mapping[v]))] == p
+        expected = sum(
+            1 for (u, v) in orig if u in set(keep.tolist()) and v in set(keep.tolist())
+        )
+        assert sub.m == expected

@@ -1,0 +1,114 @@
+"""Tests for the edge-probability schemes (repro.graph.weights)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    constant_weights,
+    erdos_renyi,
+    lt_normalize,
+    uniform_random_weights,
+    weighted_cascade,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return erdos_renyi(80, 0.08, seed=3)
+
+
+def _directions_consistent(g):
+    forward = {(u, v): p for u, v, p in g.edges()}
+    for v in range(g.n):
+        for u, p in zip(g.in_neighbors(v).tolist(), g.in_edge_probs(v).tolist()):
+            if forward[(u, v)] != p:
+                return False
+    return True
+
+
+class TestUniformRandom:
+    def test_range_full_scale(self, topo):
+        g = uniform_random_weights(topo, seed=1)
+        assert g.out_probs.min() >= 0.0
+        assert g.out_probs.max() < 1.0
+        assert g.out_probs.std() > 0.1  # actually spread out
+
+    def test_scale_shrinks_range(self, topo):
+        g = uniform_random_weights(topo, seed=1, scale=0.2)
+        assert g.out_probs.max() < 0.2
+
+    def test_deterministic_in_seed(self, topo):
+        a = uniform_random_weights(topo, seed=1)
+        b = uniform_random_weights(topo, seed=1)
+        np.testing.assert_array_equal(a.out_probs, b.out_probs)
+        c = uniform_random_weights(topo, seed=2)
+        assert not np.array_equal(a.out_probs, c.out_probs)
+
+    def test_directions_consistent(self, topo):
+        assert _directions_consistent(uniform_random_weights(topo, seed=4))
+
+    def test_invalid_scale(self, topo):
+        with pytest.raises(ValueError):
+            uniform_random_weights(topo, scale=0.0)
+        with pytest.raises(ValueError):
+            uniform_random_weights(topo, scale=1.5)
+
+
+class TestConstant:
+    def test_all_equal(self, topo):
+        g = constant_weights(topo, 0.07)
+        assert set(g.out_probs.tolist()) == {0.07}
+        assert _directions_consistent(g)
+
+    def test_invalid(self, topo):
+        with pytest.raises(ValueError):
+            constant_weights(topo, -0.1)
+
+
+class TestWeightedCascade:
+    def test_in_weights_sum_to_one(self, topo):
+        g = weighted_cascade(topo)
+        for v in range(g.n):
+            s = g.in_edge_probs(v).sum()
+            if g.in_degree(v) > 0:
+                assert s == pytest.approx(1.0)
+
+    def test_directions_consistent(self, topo):
+        assert _directions_consistent(weighted_cascade(topo))
+
+    def test_already_lt_valid(self, topo):
+        g = weighted_cascade(topo)
+        g2 = lt_normalize(g)
+        np.testing.assert_allclose(g.in_probs, g2.in_probs)
+
+
+class TestLTNormalize:
+    def test_in_weight_sums_at_most_one(self):
+        topo = barabasi_albert(150, 4, seed=2)
+        g = lt_normalize(uniform_random_weights(topo, seed=5))
+        for v in range(g.n):
+            assert g.in_edge_probs(v).sum() <= 1.0 + 1e-9
+
+    def test_small_sums_untouched(self, topo):
+        g = constant_weights(topo, 0.001)
+        g2 = lt_normalize(g)
+        np.testing.assert_allclose(g.in_probs, g2.in_probs)
+
+    def test_relative_weights_preserved(self):
+        topo = barabasi_albert(100, 3, seed=4)
+        g = uniform_random_weights(topo, seed=6)
+        g2 = lt_normalize(g)
+        # within each vertex, the ratio structure of in-weights survives
+        for v in range(g2.n):
+            orig = g.in_edge_probs(v)
+            norm = g2.in_edge_probs(v)
+            if len(orig) >= 2 and orig.sum() > 1.0 and orig.min() > 0:
+                np.testing.assert_allclose(
+                    norm / norm.sum(), orig / orig.sum(), rtol=1e-12
+                )
+
+    def test_directions_consistent(self):
+        topo = barabasi_albert(100, 3, seed=4)
+        g = lt_normalize(uniform_random_weights(topo, seed=6))
+        assert _directions_consistent(g)

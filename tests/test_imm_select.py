@@ -1,0 +1,145 @@
+"""Tests for greedy seed selection (repro.imm.select)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.imm import select_seeds, select_seeds_hypergraph, select_seeds_sorted
+from repro.sampling import HypergraphRRRCollection, SortedRRRCollection
+
+
+def build(sets, n, layout):
+    coll = (SortedRRRCollection if layout == "sorted" else HypergraphRRRCollection)(n)
+    for s in sets:
+        coll.append(np.asarray(sorted(s), np.int32))
+    return coll
+
+
+def brute_force_cover(sets, n, k):
+    """Optimal max-coverage by exhaustive search (small instances only)."""
+    best = -1
+    for combo in itertools.combinations(range(n), k):
+        chosen = set(combo)
+        covered = sum(1 for s in sets if chosen & set(s))
+        best = max(best, covered)
+    return best
+
+
+SETS = [
+    {0, 1, 2},
+    {1, 2},
+    {2, 3},
+    {3},
+    {4},
+    {0, 4},
+]
+
+
+class TestGreedyCorrectness:
+    def test_first_pick_is_max_count(self):
+        coll = build(SETS, 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 1)
+        # vertex 2 appears in 3 sets — the unique max
+        assert sel.seeds.tolist() == [2]
+        assert sel.covered_samples == 3
+
+    def test_coverage_counts_match_manual(self):
+        coll = build(SETS, 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 2)
+        # after 2: remaining sets {3}, {4}, {0,4}; best second = 4 (covers 2)
+        assert sel.seeds.tolist() == [2, 4]
+        assert sel.covered_samples == 5
+
+    def test_greedy_achieves_63_percent_of_optimum(self):
+        """(1 - 1/e) guarantee of greedy max-coverage, checked against
+        brute force on random small instances."""
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            n = 8
+            sets = [
+                set(rng.choice(n, size=rng.integers(1, 4), replace=False).tolist())
+                for _ in range(12)
+            ]
+            k = 3
+            coll = build(sets, n, "sorted")
+            sel = select_seeds_sorted(coll, n, k)
+            optimum = brute_force_cover(sets, n, k)
+            assert sel.covered_samples >= (1 - 1 / np.e) * optimum - 1e-9
+
+    def test_ties_break_to_smallest_id(self):
+        coll = build([{3}, {1}], 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 1)
+        assert sel.seeds.tolist() == [1]
+
+    def test_k_larger_than_useful_vertices(self):
+        coll = build([{0}, {1}], 3, "sorted")
+        sel = select_seeds_sorted(coll, 3, 3)
+        assert len(sel.seeds) == 3
+        assert len(set(sel.seeds.tolist())) == 3  # no duplicate seeds
+        assert sel.covered_samples == 2
+
+
+class TestLayoutEquivalence:
+    def test_identical_seeds_on_random_instances(self):
+        rng = np.random.default_rng(4)
+        for trial in range(8):
+            n = 20
+            sets = [
+                set(rng.choice(n, size=rng.integers(1, 6), replace=False).tolist())
+                for _ in range(40)
+            ]
+            a = select_seeds(build(sets, n, "sorted"), n, 5)
+            b = select_seeds(build(sets, n, "hypergraph"), n, 5)
+            assert a.seeds.tolist() == b.seeds.tolist()
+            assert a.covered_samples == b.covered_samples
+
+    def test_dispatch_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            select_seeds([], 5, 1)
+
+
+class TestMetering:
+    def test_per_rank_entries_sum_to_total_work(self):
+        coll = build(SETS, 5, "sorted")
+        one = select_seeds_sorted(coll, 5, 2, num_ranks=1)
+        four = select_seeds_sorted(build(SETS, 5, "sorted"), 5, 2, num_ranks=4)
+        assert four.per_rank_entries.sum() == one.per_rank_entries.sum()
+        assert four.num_ranks == 4
+
+    def test_counting_pass_work_equals_entries(self):
+        coll = build(SETS, 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 1)
+        # counting pass scans every incidence once at minimum
+        assert sel.entries_scanned >= coll.total_entries
+        assert sel.counter_updates >= coll.total_entries
+
+    def test_argmax_scans(self):
+        coll = build(SETS, 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 3)
+        assert sel.argmax_scans == 3 * 5
+
+    def test_coverage_fraction(self):
+        coll = build(SETS, 5, "sorted")
+        sel = select_seeds_sorted(coll, 5, 2)
+        assert sel.coverage_fraction(len(coll)) == pytest.approx(5 / 6)
+        assert sel.coverage_fraction(0) == 0.0
+
+
+class TestValidation:
+    def test_bad_k(self):
+        coll = build(SETS, 5, "sorted")
+        with pytest.raises(ValueError):
+            select_seeds_sorted(coll, 5, 0)
+        with pytest.raises(ValueError):
+            select_seeds_sorted(coll, 5, 6)
+
+    def test_bad_ranks(self):
+        coll = build(SETS, 5, "sorted")
+        with pytest.raises(ValueError):
+            select_seeds_sorted(coll, 5, 1, num_ranks=0)
+
+    def test_hypergraph_bad_k(self):
+        coll = build(SETS, 5, "hypergraph")
+        with pytest.raises(ValueError):
+            select_seeds_hypergraph(coll, 5, 0)

@@ -1,0 +1,81 @@
+"""Tests for the k-sweep driver (repro.imm.sweep) and full TIM+."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import tim_plus
+from repro.diffusion import estimate_spread
+from repro.imm import imm, imm_sweep
+
+
+class TestImmSweep:
+    def test_sample_reuse_is_monotone(self, ba_graph):
+        results = imm_sweep(ba_graph, [5, 10, 20], 0.5, seed=1)
+        assert results[0].extra["samples_reused"] == 0
+        assert results[1].extra["samples_reused"] == results[0].num_samples
+        assert results[2].extra["samples_reused"] == results[1].num_samples
+
+    def test_theta_monotone_in_k(self, ba_graph):
+        results = imm_sweep(ba_graph, [5, 10, 20], 0.5, seed=1)
+        thetas = [r.theta for r in results]
+        assert thetas == sorted(thetas)
+
+    def test_sweep_cheaper_than_independent_runs(self, ba_graph):
+        ks = [5, 10, 20]
+        sweep = imm_sweep(ba_graph, ks, 0.5, seed=1)
+        sweep_samples = sweep[-1].num_samples  # total generated once
+        independent = sum(
+            imm(ba_graph, k=k, eps=0.5, seed=1).num_samples for k in ks
+        )
+        assert sweep_samples < independent
+
+    def test_results_returned_in_caller_order(self, ba_graph):
+        results = imm_sweep(ba_graph, [20, 5, 10], 0.5, seed=1)
+        assert [r.k for r in results] == [20, 5, 10]
+
+    def test_duplicate_ks_handled(self, ba_graph):
+        results = imm_sweep(ba_graph, [5, 5], 0.5, seed=1)
+        np.testing.assert_array_equal(results[0].seeds, results[1].seeds)
+
+    def test_smallest_k_matches_isolated_run(self, ba_graph):
+        """The first sweep point sees exactly what a fresh run sees."""
+        sweep = imm_sweep(ba_graph, [5, 15], 0.5, seed=3)
+        solo = imm(ba_graph, k=5, eps=0.5, seed=3)
+        np.testing.assert_array_equal(sweep[0].seeds, solo.seeds)
+        assert sweep[0].theta == solo.theta
+
+    def test_quality_matches_isolated_runs(self, ba_graph):
+        ks = [5, 15]
+        sweep = imm_sweep(ba_graph, ks, 0.5, seed=3)
+        for r, k in zip(sweep, ks):
+            solo = imm(ba_graph, k=k, eps=0.5, seed=3)
+            s_sweep = estimate_spread(ba_graph, r.seeds, "IC", trials=150, seed=7).mean
+            s_solo = estimate_spread(ba_graph, solo.seeds, "IC", trials=150, seed=7).mean
+            assert s_sweep >= 0.9 * s_solo
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ValueError):
+            imm_sweep(ba_graph, [], 0.5)
+        with pytest.raises(ValueError):
+            imm_sweep(ba_graph, [0], 0.5)
+
+
+class TestTimPlusFull:
+    def test_valid_output(self, ba_graph):
+        res = tim_plus(ba_graph, 5, 0.5, seed=1, theta_cap=5000)
+        assert len(np.unique(res.seeds)) == 5
+        assert res.num_samples <= 5000
+        assert 0.0 <= res.coverage <= 1.0
+
+    def test_quality_comparable_to_imm(self, ba_graph):
+        """Same guarantee, same kernels — only θ differs."""
+        t = tim_plus(ba_graph, 5, 0.5, seed=1, theta_cap=8000)
+        i = imm(ba_graph, k=5, eps=0.5, seed=1)
+        s_t = estimate_spread(ba_graph, t.seeds, "IC", trials=200, seed=9).mean
+        s_i = estimate_spread(ba_graph, i.seeds, "IC", trials=200, seed=9).mean
+        assert s_t >= 0.85 * s_i
+
+    def test_more_samples_than_imm(self, ba_graph):
+        t = tim_plus(ba_graph, 5, 0.5, seed=1)
+        i = imm(ba_graph, k=5, eps=0.5, seed=1)
+        assert t.theta > i.theta

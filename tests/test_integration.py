@@ -1,0 +1,74 @@
+"""Cross-module integration tests: the full pipelines users run."""
+
+import numpy as np
+import pytest
+
+from repro import estimate_spread, imm, imm_dist, imm_mt
+from repro.baselines import degree_discount, high_degree
+from repro.datasets import load
+from repro.parallel import EDISON, PUMA
+
+
+class TestFullPipeline:
+    def test_dataset_to_seeds_to_spread(self):
+        """The quickstart path: load a stand-in, run IMM, evaluate."""
+        graph = load("cit-HepTh", "IC")
+        result = imm(graph, k=10, eps=0.5, seed=1)
+        spread = estimate_spread(graph, result.seeds, "IC", trials=200, seed=2)
+        assert spread.mean >= 10  # at least the seeds themselves
+
+    def test_all_three_variants_agree(self):
+        """Serial, multithreaded and distributed compute one answer."""
+        graph = load("com-Amazon", "IC")
+        serial = imm(graph, k=6, eps=0.5, seed=5, theta_cap=5000)
+        mt = imm_mt(graph, k=6, eps=0.5, num_threads=16, seed=5, theta_cap=5000)
+        dist = imm_dist(
+            graph, k=6, eps=0.5, num_nodes=4, machine=EDISON, seed=5, theta_cap=5000
+        )
+        np.testing.assert_array_equal(serial.seeds, mt.seeds)
+        np.testing.assert_array_equal(serial.seeds, dist.seeds)
+
+    def test_imm_beats_degree_heuristics_or_ties(self):
+        """IMM should never lose badly to degree heuristics (and usually
+        wins) — the quality argument for approximation guarantees."""
+        graph = load("soc-Epinions1", "IC")
+        k = 10
+        imm_seeds = imm(graph, k=k, eps=0.4, seed=1).seeds
+        hd = high_degree(graph, k)
+        dd = degree_discount(graph, k)
+        trials = 150
+        s_imm = estimate_spread(graph, imm_seeds, "IC", trials=trials, seed=9).mean
+        s_hd = estimate_spread(graph, hd, "IC", trials=trials, seed=9).mean
+        s_dd = estimate_spread(graph, dd, "IC", trials=trials, seed=9).mean
+        assert s_imm >= 0.9 * max(s_hd, s_dd)
+
+    def test_tighter_eps_does_not_hurt_quality(self):
+        """The Figure 1 story: more samples (smaller eps) yields an
+        equally good or better seed set."""
+        graph = load("cit-HepTh", "IC")
+        loose = imm(graph, k=10, eps=0.6, seed=2)
+        tight = imm(graph, k=10, eps=0.3, seed=2)
+        assert tight.theta > loose.theta
+        s_loose = estimate_spread(graph, loose.seeds, "IC", trials=300, seed=4).mean
+        s_tight = estimate_spread(graph, tight.seeds, "IC", trials=300, seed=4).mean
+        assert s_tight >= s_loose - 3.0  # MC noise allowance
+
+    def test_lt_pipeline_end_to_end(self):
+        graph = load("com-DBLP", "LT")
+        result = imm(graph, k=5, eps=0.5, model="LT", seed=3)
+        spread = estimate_spread(graph, result.seeds, "LT", trials=100, seed=1)
+        assert spread.mean >= 5
+
+    def test_reproducibility_across_everything(self):
+        """Same seed, same answer — serial and parallel, twice."""
+        graph = load("com-YouTube", "IC")
+        runs = [
+            imm(graph, k=5, eps=0.5, seed=11, theta_cap=4000).seeds,
+            imm(graph, k=5, eps=0.5, seed=11, theta_cap=4000).seeds,
+            imm_mt(graph, k=5, eps=0.5, num_threads=8, seed=11, theta_cap=4000).seeds,
+            imm_dist(
+                graph, k=5, eps=0.5, num_nodes=3, machine=PUMA, seed=11, theta_cap=4000
+            ).seeds,
+        ]
+        for seeds in runs[1:]:
+            np.testing.assert_array_equal(runs[0], seeds)

@@ -1,0 +1,158 @@
+"""Tests for the SPMD runtime and collectives (repro.mpi.comm)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Allgather, Allreduce, Barrier, Bcast, run_spmd
+from repro.mpi.comm import CollectiveMismatchError
+
+
+class TestAllreduce:
+    def test_sum_matches_mpi_semantics(self):
+        def program(rank, size):
+            local = np.full(4, rank, dtype=np.int64)
+            total = yield Allreduce(local)
+            return total
+
+        results, stats = run_spmd(4, program)
+        expected = [0 + 1 + 2 + 3] * 4
+        for r in results:
+            assert r.tolist() == expected
+        assert stats.calls == 1
+        assert stats.payload_bytes == 4 * 8
+
+    def test_max_and_min(self):
+        def program(rank, size):
+            mx = yield Allreduce(np.array([rank]), op="max")
+            mn = yield Allreduce(np.array([rank]), op="min")
+            return int(mx[0]), int(mn[0])
+
+        results, _ = run_spmd(3, program)
+        assert results == [(2, 0)] * 3
+
+    def test_scalar_allreduce(self):
+        def program(rank, size):
+            total = yield Allreduce(rank + 1)
+            return total
+
+        results, _ = run_spmd(3, program)
+        assert results == [6, 6, 6]
+
+    def test_unknown_op_rejected(self):
+        def program(rank, size):
+            yield Allreduce(np.array([1]), op="prod")
+
+        with pytest.raises(ValueError, match="unknown allreduce op"):
+            run_spmd(2, program)
+
+    def test_shape_mismatch_detected(self):
+        def program(rank, size):
+            yield Allreduce(np.zeros(rank + 1))
+
+        with pytest.raises(CollectiveMismatchError, match="shape"):
+            run_spmd(2, program)
+
+
+class TestOtherCollectives:
+    def test_allgather(self):
+        def program(rank, size):
+            everyone = yield Allgather(rank * 10)
+            return everyone
+
+        results, _ = run_spmd(3, program)
+        assert results == [[0, 10, 20]] * 3
+
+    def test_bcast_from_root(self):
+        def program(rank, size):
+            value = yield Bcast("payload" if rank == 1 else None, root=1)
+            return value
+
+        results, _ = run_spmd(3, program)
+        assert results == ["payload"] * 3
+
+    def test_bcast_mixed_roots_rejected(self):
+        def program(rank, size):
+            yield Bcast(rank, root=rank % 2)
+
+        with pytest.raises(CollectiveMismatchError, match="roots"):
+            run_spmd(2, program)
+
+    def test_barrier(self):
+        order = []
+
+        def program(rank, size):
+            order.append(("before", rank))
+            yield Barrier()
+            order.append(("after", rank))
+            return rank
+
+        results, _ = run_spmd(2, program)
+        assert results == [0, 1]
+        # all "before" entries precede all "after" entries
+        befores = [i for i, (tag, _) in enumerate(order) if tag == "before"]
+        afters = [i for i, (tag, _) in enumerate(order) if tag == "after"]
+        assert max(befores) < min(afters)
+
+
+class TestRuntime:
+    def test_multiple_rounds(self):
+        def program(rank, size):
+            a = yield Allreduce(np.array([rank]))
+            b = yield Allreduce(a * 2)
+            return int(b[0])
+
+        results, stats = run_spmd(4, program)
+        # round 1: sum(0..3) = 6; round 2: sum of 12 over 4 ranks = 48
+        assert results == [48] * 4
+        assert stats.calls == 2
+
+    def test_no_collectives(self):
+        def program(rank, size):
+            return rank * rank
+            yield  # pragma: no cover - makes this a generator
+
+        results, stats = run_spmd(3, program)
+        assert results == [0, 1, 4]
+        assert stats.calls == 0
+
+    def test_early_return_detected(self):
+        def program(rank, size):
+            if rank == 0:
+                return 0
+            yield Allreduce(np.array([rank]))
+            return rank
+
+        with pytest.raises(CollectiveMismatchError, match="hang"):
+            run_spmd(2, program)
+
+    def test_mixed_collectives_detected(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Allreduce(np.array([1]))
+            else:
+                yield Barrier()
+
+        with pytest.raises(CollectiveMismatchError, match="mixed collectives"):
+            run_spmd(2, program)
+
+    def test_single_rank(self):
+        def program(rank, size):
+            total = yield Allreduce(np.array([7]))
+            return int(total[0])
+
+        results, _ = run_spmd(1, program)
+        assert results == [7]
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda r, s: iter(()))
+
+    def test_per_call_ledger(self):
+        def program(rank, size):
+            yield Allreduce(np.zeros(10))
+            yield Barrier()
+            return None
+
+        _, stats = run_spmd(2, program)
+        assert [kind for kind, _ in stats.per_call] == ["allreduce", "barrier"]
+        assert stats.per_call[0][1] == 80

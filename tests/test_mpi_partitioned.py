@@ -1,0 +1,94 @@
+"""Tests for the graph-partitioned sampler (repro.mpi.partitioned)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import partitioned_rr_batch
+from repro.rng import sample_stream
+from repro.sampling import RRRSampler
+
+
+class TestHashFlips:
+    def test_hash_mode_deterministic_and_order_free(self, ba_graph):
+        sampler = RRRSampler(ba_graph, "IC")
+        stream_a = sample_stream(3, 7)
+        root = stream_a.randint(0, ba_graph.n)
+        a, _ = sampler.generate(root, stream_a, edge_flip="hash")
+        stream_b = sample_stream(3, 7)
+        stream_b.randint(0, ba_graph.n)
+        stream_b.jump(1000)  # stream position is irrelevant in hash mode
+        b, _ = sampler.generate(root, stream_b, edge_flip="hash")
+        np.testing.assert_array_equal(a, b)
+
+    def test_hash_mode_rejected_for_lt(self, ba_graph_lt):
+        sampler = RRRSampler(ba_graph_lt, "LT")
+        with pytest.raises(ValueError, match="IC"):
+            sampler.generate(0, sample_stream(0, 0), edge_flip="hash")
+
+    def test_unknown_mode_rejected(self, ba_graph):
+        with pytest.raises(ValueError, match="edge_flip"):
+            RRRSampler(ba_graph, "IC").generate(
+                0, sample_stream(0, 0), edge_flip="dice"
+            )
+
+    def test_hash_flip_marginals(self):
+        """Edge membership frequency still equals the edge probability."""
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(2, [(0, 1, 0.4)])
+        sampler = RRRSampler(g, "IC")
+        hits = 0
+        for j in range(3000):
+            stream = sample_stream(11, j)
+            verts, _ = sampler.generate(1, stream, edge_flip="hash")
+            hits += 0 in verts.tolist()
+        assert 0.36 < hits / 3000 < 0.44
+
+
+class TestPartitionedBatch:
+    @pytest.mark.parametrize("ranks", [1, 2, 5])
+    def test_bit_identical_to_serial_hash_mode(self, ba_graph, ranks):
+        """The extension's correctness claim: partitioning the graph
+        changes nothing about the samples."""
+        batch = partitioned_rr_batch(ba_graph, 8, num_ranks=ranks, seed=5)
+        sampler = RRRSampler(ba_graph, "IC")
+        for j in range(8):
+            stream = sample_stream(5, j)
+            root = stream.randint(0, ba_graph.n)
+            verts, _ = sampler.generate(root, stream, edge_flip="hash")
+            np.testing.assert_array_equal(verts, batch.collection[j])
+
+    def test_rank_count_does_not_change_output(self, ba_graph):
+        a = partitioned_rr_batch(ba_graph, 6, num_ranks=2, seed=9)
+        b = partitioned_rr_batch(ba_graph, 6, num_ranks=4, seed=9)
+        for x, y in zip(a.collection, b.collection):
+            np.testing.assert_array_equal(x, y)
+
+    def test_communication_metering(self, ba_graph):
+        batch = partitioned_rr_batch(ba_graph, 5, num_ranks=3, seed=1)
+        # one allreduce per BFS level; at least one level per sample
+        assert batch.comm_calls == batch.levels_total
+        assert batch.comm_calls >= 5
+        assert batch.comm_bytes == batch.comm_calls * ba_graph.n
+        assert batch.comm_seconds > 0.0
+
+    def test_single_rank_no_comm_cost(self, ba_graph):
+        batch = partitioned_rr_batch(ba_graph, 3, num_ranks=1, seed=1)
+        assert batch.comm_seconds == 0.0  # collectives are free at p=1
+
+    def test_replication_tradeoff_visible(self, ba_graph):
+        """The future-work lesson: per-sample collectives dwarf the
+        replicated design's communication (which is zero during
+        sampling)."""
+        batch = partitioned_rr_batch(ba_graph, 10, num_ranks=8, seed=2)
+        assert batch.comm_bytes > 10 * ba_graph.n  # >= one mask per sample
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ValueError):
+            partitioned_rr_batch(ba_graph, -1, num_ranks=2)
+        with pytest.raises(ValueError):
+            partitioned_rr_batch(ba_graph, 3, num_ranks=0)
+
+    def test_empty_batch(self, ba_graph):
+        batch = partitioned_rr_batch(ba_graph, 0, num_ranks=2)
+        assert len(batch.collection) == 0

@@ -1,0 +1,80 @@
+"""Tests for the shared-memory cost model (repro.parallel.cost)."""
+
+import numpy as np
+import pytest
+
+from repro.imm.select import SelectionResult
+from repro.parallel import PUMA
+from repro.parallel.cost import CostModel
+from repro.sampling.sampler import SampleBatch
+
+
+def make_batch(edges_per_sample):
+    arr = np.asarray(edges_per_sample, dtype=np.int64)
+    return SampleBatch(
+        first_index=0,
+        count=len(arr),
+        edges_examined=int(arr.sum()),
+        per_sample_edges=arr,
+    )
+
+
+def make_selection(num_ranks=1, updates=1000):
+    per_rank = np.full(num_ranks, updates // num_ranks, dtype=np.int64)
+    return SelectionResult(
+        seeds=np.arange(3),
+        covered_samples=10,
+        entries_scanned=updates,
+        counter_updates=updates,
+        per_rank_entries=per_rank,
+        per_rank_searches=np.full(num_ranks, 100, dtype=np.int64),
+        argmax_scans=3 * 100,
+    )
+
+
+class TestSampleSeconds:
+    def test_serial_equals_work(self):
+        model = CostModel(machine=PUMA, threads=1)
+        batch = make_batch([100] * 10)
+        expected = 1000 * PUMA.t_edge + PUMA.thread_overhead
+        assert model.sample_seconds(batch) == pytest.approx(expected)
+
+    def test_parallel_faster_than_serial(self):
+        batch = make_batch([100] * 200)
+        t1 = CostModel(machine=PUMA, threads=1).sample_seconds(batch)
+        t8 = CostModel(machine=PUMA, threads=8).sample_seconds(batch)
+        assert t8 < t1
+
+    def test_single_huge_sample_limits_scaling(self):
+        # One dominant sample: makespan bounded by it (Amdahl at the
+        # sample granularity).
+        batch = make_batch([10_000] + [1] * 50)
+        t16 = CostModel(machine=PUMA, threads=16).sample_seconds(batch)
+        assert t16 >= 10_000 * PUMA.t_edge * (1 - PUMA.serial_fraction)
+
+    def test_empty_batch_costs_overhead_only(self):
+        model = CostModel(machine=PUMA, threads=4)
+        batch = make_batch([])
+        assert model.sample_seconds(batch) == pytest.approx(4 * PUMA.thread_overhead)
+
+
+class TestSelectSeconds:
+    def test_decreases_with_threads(self):
+        n, k = 5000, 10
+        t1 = CostModel(machine=PUMA, threads=1).select_seconds(
+            make_selection(1, 100_000), n, k
+        )
+        t8 = CostModel(machine=PUMA, threads=8).select_seconds(
+            make_selection(8, 100_000), n, k
+        )
+        assert t8 < t1
+
+    def test_rank_count_mismatch_fallback(self):
+        # Meters computed for 1 rank priced at 8 threads: uses even split.
+        model = CostModel(machine=PUMA, threads=8)
+        out = model.select_seconds(make_selection(1, 80_000), 1000, 5)
+        assert out > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(machine=PUMA, threads=0)

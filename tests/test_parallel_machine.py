@@ -1,0 +1,63 @@
+"""Tests for the machine models (repro.parallel.machine)."""
+
+import dataclasses
+
+import pytest
+
+from repro.parallel import EDISON, LAPTOP, PUMA, MachineSpec
+
+
+class TestCatalog:
+    def test_puma_matches_paper_setup(self):
+        # Section 4: two 10-core CPUs, HT disabled, 768 GB.
+        assert PUMA.cores_per_node == 20
+        assert PUMA.smt == 1
+        assert PUMA.mem_per_node == 768 * 1024**3
+        assert PUMA.threads_per_node == 20
+
+    def test_edison_matches_paper_setup(self):
+        # Section 4: two 12-core CPUs, HT available, 64 GB, Aries.
+        assert EDISON.cores_per_node == 24
+        assert EDISON.smt == 2
+        assert EDISON.mem_per_node == 64 * 1024**3
+        assert EDISON.threads_per_node == 48
+
+    def test_edison_interconnect_faster_than_puma(self):
+        assert EDISON.alpha < PUMA.alpha
+        assert EDISON.beta < PUMA.beta
+
+    def test_edison_cores_slower_than_puma(self):
+        # 2.4 GHz vs 2.8 GHz
+        assert EDISON.t_edge > PUMA.t_edge
+
+
+class TestEffectiveThreads:
+    def test_physical_cores_count_fully(self):
+        assert PUMA.effective_threads(10) == 10
+        assert PUMA.effective_threads(20) == 20
+
+    def test_smt_discounted(self):
+        # Edison: 24 physical + 24 SMT siblings at 30 %.
+        assert EDISON.effective_threads(48) == pytest.approx(24 + 0.3 * 24)
+
+    def test_laptop(self):
+        assert LAPTOP.effective_threads(8) == 8
+        assert LAPTOP.effective_threads(16) == pytest.approx(8 + 0.3 * 8)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PUMA.effective_threads(0)
+
+
+class TestValidation:
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PUMA, cores_per_node=0)
+
+    def test_bad_serial_fraction(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PUMA, serial_fraction=1.0)
+
+    def test_negative_cost(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PUMA, t_edge=-1.0)

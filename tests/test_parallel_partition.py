@@ -1,0 +1,67 @@
+"""Tests for block partitioning (repro.parallel.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import block_bounds, block_partition, owner_of
+
+
+class TestBlockBounds:
+    def test_matches_paper_formula(self):
+        # Algorithm 4: vl = |V| * t / p
+        bounds = block_bounds(10, 3)
+        assert bounds.tolist() == [0, 3, 6, 10]
+
+    def test_exact_cover(self):
+        for total in (0, 1, 7, 100):
+            for p in (1, 2, 3, 7, 16):
+                bounds = block_bounds(total, p)
+                assert bounds[0] == 0
+                assert bounds[-1] == total
+                assert np.all(np.diff(bounds) >= 0)
+
+    def test_balanced_within_one(self):
+        bounds = block_bounds(100, 7)
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            block_bounds(10, 0)
+
+
+class TestBlockPartition:
+    def test_ranges_disjoint_and_complete(self):
+        total, p = 23, 5
+        seen = []
+        for r in range(p):
+            lo, hi = block_partition(total, r, p)
+            seen.extend(range(lo, hi))
+        assert seen == list(range(total))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 3, 3)
+        with pytest.raises(ValueError):
+            block_partition(10, -1, 3)
+
+
+class TestOwnerOf:
+    def test_inverse_of_partition(self):
+        total, p = 37, 6
+        for r in range(p):
+            lo, hi = block_partition(total, r, p)
+            for idx in range(lo, hi):
+                assert owner_of(idx, total, p) == r
+
+    def test_vectorized(self):
+        owners = owner_of(np.arange(10), 10, 3)
+        assert owners.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            owner_of(10, 10, 3)
+        with pytest.raises(ValueError):
+            owner_of(np.array([0, 11]), 10, 3)

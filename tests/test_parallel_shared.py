@@ -1,0 +1,60 @@
+"""Tests for the multithreaded IMM (repro.parallel.shared)."""
+
+import numpy as np
+import pytest
+
+from repro.imm import imm
+from repro.parallel import EDISON, PUMA, imm_mt
+
+
+class TestIMMMt:
+    def test_seeds_identical_to_serial(self, ba_graph):
+        """The thread count must not change the answer (per-sample RNG)."""
+        serial = imm(ba_graph, k=8, eps=0.5, seed=3)
+        for threads in (1, 4, 20):
+            mt = imm_mt(ba_graph, k=8, eps=0.5, num_threads=threads, seed=3)
+            np.testing.assert_array_equal(mt.seeds, serial.seeds)
+            assert mt.theta == serial.theta
+
+    def test_modeled_time_decreases_with_threads(self, ba_graph):
+        times = [
+            imm_mt(ba_graph, k=8, eps=0.5, num_threads=t, seed=3).total_time
+            for t in (1, 2, 4, 8, 16)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_speedup_sublinear(self, ba_graph):
+        t1 = imm_mt(ba_graph, k=8, eps=0.5, num_threads=1, seed=3).total_time
+        t20 = imm_mt(ba_graph, k=8, eps=0.5, num_threads=20, seed=3).total_time
+        assert 1.0 < t1 / t20 < 20.0
+
+    def test_simulated_flag_and_ranks(self, ba_graph):
+        res = imm_mt(ba_graph, k=5, eps=0.5, num_threads=4, seed=1)
+        assert res.simulated
+        assert res.ranks == 4
+        assert res.extra["machine"] == "Puma"
+
+    def test_measured_breakdown_present(self, ba_graph):
+        res = imm_mt(ba_graph, k=5, eps=0.5, num_threads=4, seed=1)
+        wall = res.extra["measured_breakdown"]
+        assert wall.total > 0
+
+    def test_lt_model_cheaper_than_ic(self, ba_graph, ba_graph_lt):
+        """Figures 5 vs 6: LT produces much less work."""
+        ic = imm_mt(ba_graph, k=8, eps=0.5, model="IC", num_threads=20, seed=3)
+        lt = imm_mt(ba_graph_lt, k=8, eps=0.5, model="LT", num_threads=20, seed=3)
+        assert lt.counters.edges_examined < ic.counters.edges_examined
+
+    def test_thread_count_validation(self, ba_graph):
+        with pytest.raises(ValueError, match="threads per node"):
+            imm_mt(ba_graph, k=5, eps=0.5, num_threads=21, machine=PUMA)
+        with pytest.raises(ValueError):
+            imm_mt(ba_graph, k=5, eps=0.5, num_threads=0)
+
+    def test_edison_allows_hyperthreads(self, ba_graph):
+        res = imm_mt(ba_graph, k=5, eps=0.5, num_threads=48, machine=EDISON, seed=1)
+        assert res.ranks == 48
+
+    def test_theta_cap_propagates(self, ba_graph):
+        res = imm_mt(ba_graph, k=5, eps=0.4, num_threads=4, seed=1, theta_cap=30)
+        assert res.num_samples <= 30

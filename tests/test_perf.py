@@ -1,0 +1,138 @@
+"""Tests for the instrumentation package (repro.perf)."""
+
+import time
+
+import pytest
+
+from repro.imm import imm
+from repro.parallel import PUMA
+from repro.perf import (
+    MemoryModel,
+    PhaseBreakdown,
+    PhaseTimer,
+    WorkCounters,
+    collection_bytes,
+    graph_bytes,
+    modeled_serial_breakdown,
+    peak_rss_bytes,
+    profile_run,
+)
+from repro.sampling import SortedRRRCollection
+
+import numpy as np
+
+
+class TestPhaseTimer:
+    def test_measures_wall_time(self):
+        timer = PhaseTimer()
+        with timer.phase("Sample"):
+            time.sleep(0.01)
+        assert timer.seconds("Sample") >= 0.009
+
+    def test_charge_accumulates(self):
+        timer = PhaseTimer()
+        timer.charge("Other", 1.5)
+        timer.charge("Other", 0.5)
+        assert timer.seconds("Other") == 2.0
+
+    def test_nested_phases_rejected(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError, match="active"):
+            with timer.phase("Sample"):
+                with timer.phase("Other"):
+                    pass
+
+    def test_unknown_phase_rejected(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            timer.charge("Bogus", 1.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().charge("Sample", -1.0)
+
+    def test_breakdown_roundtrip(self):
+        timer = PhaseTimer()
+        timer.charge("EstimateTheta", 1.0)
+        timer.charge("Sample", 2.0)
+        b = timer.breakdown()
+        assert b.total == 3.0
+        assert b.as_dict()["Sample"] == 2.0
+
+
+class TestPhaseBreakdown:
+    def test_add_and_scale(self):
+        a = PhaseBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = PhaseBreakdown(1.0, 1.0, 1.0, 1.0)
+        s = a + b
+        assert s.total == 14.0
+        assert a.scaled(2.0).sample == 4.0
+
+
+class TestWorkCounters:
+    def test_merge(self):
+        a = WorkCounters(edges_examined=10, samples_generated=2)
+        b = WorkCounters(edges_examined=5, counter_updates=7)
+        a.merge(b)
+        assert a.edges_examined == 15
+        assert a.counter_updates == 7
+        assert a.as_dict()["samples_generated"] == 2
+
+
+class TestMemory:
+    def test_collection_and_graph_bytes(self, ba_graph):
+        coll = SortedRRRCollection(ba_graph.n)
+        coll.append(np.array([0, 1, 2], np.int32))
+        assert collection_bytes(coll) == coll.nbytes_model()
+        # graph replica: 8-byte offsets, 4+4 bytes per edge, two directions
+        expected = 2 * (8 * (ba_graph.n + 1) + 8 * ba_graph.m)
+        assert graph_bytes(ba_graph) == expected
+
+    def test_memory_model_total(self, ba_graph):
+        coll = SortedRRRCollection(ba_graph.n)
+        coll.append(np.array([0, 1], np.int32))
+        model = MemoryModel.for_rank(ba_graph, coll)
+        assert model.total == model.graph_replica + model.collection + model.counters
+        assert model.counters == 2 * 8 * ba_graph.n
+
+    def test_peak_rss(self):
+        with peak_rss_bytes() as peak:
+            data = np.zeros(1_000_000)  # ~8 MB
+            data += 1
+        assert peak[0] > 7_000_000
+
+
+class TestProfileRun:
+    def test_returns_result_and_report(self):
+        result, report = profile_run(sum, [1, 2, 3])
+        assert result == 6
+        assert "function calls" in report
+
+    def test_top_validation(self):
+        with pytest.raises(ValueError):
+            profile_run(sum, [1], top=0)
+
+
+class TestLayoutModel:
+    def test_hypergraph_slower_than_sorted(self, ba_graph):
+        """The Table 2 modeled-speedup mechanism."""
+        ref = imm(ba_graph, k=8, eps=0.5, seed=2, layout="hypergraph")
+        opt = imm(ba_graph, k=8, eps=0.5, seed=2, layout="sorted")
+        t_ref = modeled_serial_breakdown(ref, PUMA).total
+        t_opt = modeled_serial_breakdown(opt, PUMA).total
+        assert 1.5 < t_ref / t_opt < 6.0  # the paper's band, with slack
+
+    def test_breakdown_proportions_follow_measurement(self, ba_graph):
+        res = imm(ba_graph, k=8, eps=0.5, seed=2)
+        model = modeled_serial_breakdown(res, PUMA)
+        measured = res.breakdown
+        assert model.estimate_theta / model.total == pytest.approx(
+            measured.estimate_theta / measured.total, abs=1e-9
+        )
+
+    def test_rejects_parallel_results(self, ba_graph):
+        from repro.parallel import imm_mt
+
+        res = imm_mt(ba_graph, k=5, eps=0.5, num_threads=4, seed=1)
+        with pytest.raises(ValueError, match="serial"):
+            modeled_serial_breakdown(res, PUMA)

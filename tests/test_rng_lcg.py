@@ -1,0 +1,184 @@
+"""Tests for the leap-frog LCG (repro.rng.lcg)."""
+
+import numpy as np
+import pytest
+
+from repro.rng import LCG64_DEFAULT_A, LCG64_DEFAULT_C, Lcg64, lcg_affine_power
+
+M64 = (1 << 64) - 1
+
+
+class TestAffinePower:
+    def test_zero_is_identity(self):
+        assert lcg_affine_power(LCG64_DEFAULT_A, LCG64_DEFAULT_C, 0) == (1, 0)
+
+    def test_one_is_the_map_itself(self):
+        a, c = lcg_affine_power(LCG64_DEFAULT_A, LCG64_DEFAULT_C, 1)
+        assert (a, c) == (LCG64_DEFAULT_A, LCG64_DEFAULT_C)
+
+    def test_matches_iterated_application(self):
+        a, c = LCG64_DEFAULT_A, LCG64_DEFAULT_C
+        x = 12345
+        for t in (2, 3, 7, 10, 63):
+            A, C = lcg_affine_power(a, c, t)
+            expected = x
+            for _ in range(t):
+                expected = (a * expected + c) & M64
+            assert (A * x + C) & M64 == expected
+
+    def test_composition_property(self):
+        # power(s) ∘ power(t) == power(s + t)
+        a, c = LCG64_DEFAULT_A, LCG64_DEFAULT_C
+        A5, C5 = lcg_affine_power(a, c, 5)
+        A3, C3 = lcg_affine_power(a, c, 3)
+        A8, C8 = lcg_affine_power(a, c, 8)
+        assert (A5 * A3) & M64 == A8
+        assert (A5 * C3 + C5) & M64 == C8
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            lcg_affine_power(LCG64_DEFAULT_A, LCG64_DEFAULT_C, -1)
+
+
+class TestLcg64Scalar:
+    def test_deterministic(self):
+        assert [Lcg64(42).next_u64() for _ in range(3)] == [
+            Lcg64(42).next_u64() for _ in range(3)
+        ]
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = [Lcg64(1).next_u64() for _ in range(8)]
+        b = [Lcg64(2).next_u64() for _ in range(8)]
+        assert a != b
+
+    def test_random_in_unit_interval(self):
+        gen = Lcg64(3)
+        values = [gen.random() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.4 < float(np.mean(values)) < 0.6
+
+    def test_randint_range_and_coverage(self):
+        gen = Lcg64(4)
+        draws = {gen.randint(3, 7) for _ in range(200)}
+        assert draws == {3, 4, 5, 6}
+
+    def test_randint_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).randint(5, 5)
+
+    def test_jump_equals_discarding(self):
+        gen1, gen2 = Lcg64(9), Lcg64(9)
+        for _ in range(1000):
+            gen1.next_u64()
+        gen2.jump(1000)
+        assert gen1.next_u64() == gen2.next_u64()
+        assert gen1.offset == gen2.offset
+
+    def test_jump_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).jump(-1)
+
+    def test_clone_is_independent(self):
+        gen = Lcg64(11)
+        gen.next_u64()
+        twin = gen.clone()
+        assert gen.next_u64() == twin.next_u64()
+        gen.next_u64()
+        assert gen.state != twin.state
+
+
+class TestLcg64Blocks:
+    def test_block_matches_scalar(self):
+        scalar = Lcg64(21)
+        block = Lcg64(21)
+        expected = [scalar.next_u64() for _ in range(100)]
+        got = block.next_u64_block(100)
+        assert got.tolist() == expected
+
+    def test_block_advances_state(self):
+        gen1, gen2 = Lcg64(5), Lcg64(5)
+        gen1.next_u64_block(37)
+        gen2.jump(37)
+        assert gen1.next_u64() == gen2.next_u64()
+
+    def test_empty_block(self):
+        gen = Lcg64(5)
+        state = gen.state
+        assert len(gen.next_u64_block(0)) == 0
+        assert gen.state == state
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).next_u64_block(-1)
+
+    def test_random_block_range(self):
+        values = Lcg64(6).random_block(500)
+        assert values.min() >= 0.0
+        assert values.max() < 1.0
+
+    def test_random_block_matches_scalar(self):
+        a = Lcg64(7)
+        b = Lcg64(7)
+        got = a.random_block(20)
+        expected = [b.random() for _ in range(20)]
+        np.testing.assert_allclose(got, expected)
+
+    def test_randint_block_range(self):
+        values = Lcg64(8).randint_block(10, 20, 300)
+        assert values.min() >= 10
+        assert values.max() < 20
+
+    def test_randint_block_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).randint_block(2, 2, 5)
+
+
+class TestLeapfrog:
+    """The core Section 3.2 guarantee: substreams partition the master."""
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 16])
+    def test_interleaving_reconstructs_serial_stream(self, size):
+        master = Lcg64(99)
+        serial = [master.next_u64() for _ in range(size * 20)]
+        streams = [Lcg64(99).leapfrog(r, size) for r in range(size)]
+        reconstructed = []
+        for i in range(20):
+            for r in range(size):
+                reconstructed.append(streams[r].next_u64())
+        assert reconstructed == serial
+
+    def test_offsets_and_strides(self):
+        child = Lcg64(1).leapfrog(2, 5)
+        assert child.offset == 2
+        assert child.stride == 5
+        child.next_u64()
+        assert child.offset == 7
+
+    def test_nested_leapfrog(self):
+        # Splitting a substream again references the substream's sequence.
+        master = Lcg64(123)
+        serial = [master.next_u64() for _ in range(24)]
+        # substream 1 of 2 holds elements 1, 3, 5, ...
+        sub = Lcg64(123).leapfrog(1, 2)
+        # its substream 0 of 3 holds elements 1, 7, 13, 19 of the master
+        subsub = sub.leapfrog(0, 3)
+        got = [subsub.next_u64() for _ in range(4)]
+        assert got == [serial[1], serial[7], serial[13], serial[19]]
+        assert subsub.stride == 6
+
+    def test_block_generation_in_substream(self):
+        serial = Lcg64(55)
+        expected = [serial.next_u64() for _ in range(30)]
+        sub = Lcg64(55).leapfrog(1, 3)
+        got = sub.next_u64_block(10)
+        assert got.tolist() == expected[1::3]
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).leapfrog(3, 3)
+        with pytest.raises(ValueError):
+            Lcg64(0).leapfrog(-1, 3)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Lcg64(0).leapfrog(0, 0)

@@ -1,0 +1,47 @@
+"""Tests for the stream-partition helpers (repro.rng.streams)."""
+
+import pytest
+
+from repro.rng import Lcg64, sample_stream, spawn_streams
+
+
+class TestSpawnStreams:
+    def test_partition_covers_serial_sequence(self):
+        master = Lcg64(17)
+        serial = [master.next_u64() for _ in range(40)]
+        streams = spawn_streams(17, 4)
+        got = []
+        for i in range(10):
+            for s in streams:
+                got.append(s.next_u64())
+        assert got == serial
+
+    def test_single_stream_is_master(self):
+        (only,) = spawn_streams(5, 1)
+        master = Lcg64(5)
+        assert [only.next_u64() for _ in range(5)] == [
+            master.next_u64() for _ in range(5)
+        ]
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, 0)
+
+
+class TestSampleStream:
+    def test_deterministic_per_index(self):
+        assert sample_stream(3, 10).next_u64() == sample_stream(3, 10).next_u64()
+
+    def test_distinct_indices_distinct_streams(self):
+        a = sample_stream(3, 10).next_u64_block(8)
+        b = sample_stream(3, 11).next_u64_block(8)
+        assert a.tolist() != b.tolist()
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = sample_stream(3, 10).next_u64()
+        b = sample_stream(4, 10).next_u64()
+        assert a != b
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            sample_stream(0, -1)

@@ -1,0 +1,123 @@
+"""Tests for the two RRR storage layouts (repro.sampling.collection)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import HypergraphRRRCollection, SortedRRRCollection
+from repro.sampling.collection import (
+    SAMPLE_ID_BYTES,
+    VECTOR_HEADER_BYTES,
+    VERTEX_ID_BYTES,
+)
+
+SETS = [np.array([0, 2, 5], np.int32), np.array([1], np.int32), np.array([2, 5], np.int32)]
+
+
+class TestSortedCollection:
+    def test_append_and_iterate(self):
+        coll = SortedRRRCollection(6)
+        coll.extend(SETS)
+        assert len(coll) == 3
+        assert coll.total_entries == 6
+        assert [s.tolist() for s in coll] == [[0, 2, 5], [1], [2, 5]]
+        assert coll[1].tolist() == [1]
+
+    def test_flattened_structure(self):
+        coll = SortedRRRCollection(6)
+        coll.extend(SETS)
+        flat, indptr, sample_of = coll.flattened()
+        assert flat.tolist() == [0, 2, 5, 1, 2, 5]
+        assert indptr.tolist() == [0, 3, 4, 6]
+        assert sample_of.tolist() == [0, 0, 0, 1, 2, 2]
+
+    def test_flattened_cache_invalidation(self):
+        coll = SortedRRRCollection(6)
+        coll.append(SETS[0])
+        flat1, _, _ = coll.flattened()
+        coll.append(SETS[1])
+        flat2, _, _ = coll.flattened()
+        assert len(flat2) == len(flat1) + 1
+
+    def test_counters_equal_manual_bincount(self):
+        coll = SortedRRRCollection(6)
+        coll.extend(SETS)
+        assert coll.counters().tolist() == [1, 1, 2, 0, 0, 2]
+
+    def test_unsorted_input_rejected(self):
+        coll = SortedRRRCollection(6)
+        with pytest.raises(ValueError, match="sorted"):
+            coll.append(np.array([3, 1], np.int32))
+
+    def test_duplicate_vertices_rejected(self):
+        coll = SortedRRRCollection(6)
+        with pytest.raises(ValueError, match="sorted"):
+            coll.append(np.array([1, 1], np.int32))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            SortedRRRCollection(6).append(np.empty(0, np.int32))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            SortedRRRCollection(3).append(np.array([5], np.int32))
+
+    def test_memory_model_exact(self):
+        coll = SortedRRRCollection(6)
+        coll.extend(SETS)
+        expected = VECTOR_HEADER_BYTES + 3 * VECTOR_HEADER_BYTES + 6 * VERTEX_ID_BYTES
+        assert coll.nbytes_model() == expected
+
+    def test_empty_collection(self):
+        coll = SortedRRRCollection(4)
+        flat, indptr, sample_of = coll.flattened()
+        assert len(flat) == 0
+        assert indptr.tolist() == [0]
+        assert coll.counters().tolist() == [0, 0, 0, 0]
+
+
+class TestHypergraphCollection:
+    def test_append_and_inverted_index(self):
+        coll = HypergraphRRRCollection(6)
+        coll.extend(SETS)
+        assert coll.samples_containing(2) == [0, 2]
+        assert coll.samples_containing(1) == [1]
+        assert coll.samples_containing(3) == []
+
+    def test_counters_match_sorted_layout(self):
+        hyper = HypergraphRRRCollection(6)
+        sorted_coll = SortedRRRCollection(6)
+        hyper.extend(SETS)
+        sorted_coll.extend(SETS)
+        assert hyper.counters().tolist() == sorted_coll.counters().tolist()
+
+    def test_memory_model_is_larger_than_sorted(self):
+        hyper = HypergraphRRRCollection(6)
+        sorted_coll = SortedRRRCollection(6)
+        hyper.extend(SETS)
+        sorted_coll.extend(SETS)
+        assert hyper.nbytes_model() > sorted_coll.nbytes_model()
+
+    def test_memory_model_exact(self):
+        coll = HypergraphRRRCollection(6)
+        coll.extend(SETS)
+        expected = (
+            2 * VECTOR_HEADER_BYTES
+            + 3 * VECTOR_HEADER_BYTES
+            + 6 * VERTEX_ID_BYTES
+            + 6 * VECTOR_HEADER_BYTES
+            + 6 * SAMPLE_ID_BYTES
+        )
+        assert coll.nbytes_model() == expected
+
+    def test_validation(self):
+        coll = HypergraphRRRCollection(3)
+        with pytest.raises(ValueError):
+            coll.append(np.empty(0, np.int32))
+        with pytest.raises(ValueError):
+            coll.append(np.array([4], np.int32))
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            HypergraphRRRCollection(-1)
+        with pytest.raises(ValueError):
+            SortedRRRCollection(-1)

@@ -1,0 +1,128 @@
+"""Tests for the GenerateRR kernel (repro.sampling.rrr)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, constant_weights, from_edge_list, path_graph
+from repro.rng import SplitMix64
+from repro.sampling import RRRSampler, generate_rr
+
+
+def reverse_reachable(graph, v):
+    """Plain BFS over in-edges: the deterministic RR set when p = 1."""
+    seen = {v}
+    frontier = [v]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in graph.in_neighbors(u).tolist():
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return sorted(seen)
+
+
+class TestGenerateRRIC:
+    def test_root_always_included(self, ba_graph):
+        sampler = RRRSampler(ba_graph, "IC")
+        for root in (0, 5, 100):
+            verts, _ = sampler.generate(root, SplitMix64(root))
+            assert root in verts.tolist()
+
+    def test_sorted_and_unique(self, ba_graph):
+        sampler = RRRSampler(ba_graph, "IC")
+        verts, _ = sampler.generate(3, SplitMix64(1))
+        assert np.all(np.diff(verts) > 0)
+
+    def test_probability_one_equals_reverse_bfs(self):
+        g = constant_weights(path_graph(8), 1.0)
+        verts, _ = generate_rr(g, 5, "IC", SplitMix64(0))
+        assert verts.tolist() == reverse_reachable(g, 5)
+
+    def test_probability_zero_is_singleton(self):
+        g = constant_weights(complete_graph(6), 0.0)
+        verts, edges = generate_rr(g, 2, "IC", SplitMix64(0))
+        assert verts.tolist() == [2]
+        assert edges == 5  # all in-edges examined, none traversed
+
+    def test_deterministic_per_stream(self, ba_graph):
+        a, _ = generate_rr(ba_graph, 7, "IC", SplitMix64(9))
+        b, _ = generate_rr(ba_graph, 7, "IC", SplitMix64(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_edges_examined_counted(self):
+        g = constant_weights(path_graph(4), 1.0)
+        # Reverse from 3: examines the single in-edge of 3, 2, 1, 0 -> 3 edges
+        _, edges = generate_rr(g, 3, "IC", SplitMix64(0))
+        assert edges == 3
+
+    def test_scratch_reuse_is_clean(self, ba_graph):
+        # Consecutive generations through one sampler must match fresh
+        # samplers (the epoch trick must not leak marks across samples).
+        shared = RRRSampler(ba_graph, "IC")
+        for i in range(10):
+            a, _ = shared.generate(i, SplitMix64(i))
+            b, _ = RRRSampler(ba_graph, "IC").generate(i, SplitMix64(i))
+            np.testing.assert_array_equal(a, b)
+
+    def test_root_out_of_range_rejected(self, ba_graph):
+        with pytest.raises(ValueError):
+            RRRSampler(ba_graph, "IC").generate(ba_graph.n, SplitMix64(0))
+        with pytest.raises(ValueError):
+            RRRSampler(ba_graph, "IC").generate(-1, SplitMix64(0))
+
+    def test_membership_frequency_tracks_influence(self):
+        # On edge u -> v with probability p, u appears in RRR(v) with
+        # frequency p (Definition 3).
+        g = from_edge_list(2, [(0, 1, 0.35)])
+        hits = 0
+        sampler = RRRSampler(g, "IC")
+        for i in range(3000):
+            verts, _ = sampler.generate(1, SplitMix64(i))
+            hits += 0 in verts.tolist()
+        assert 0.31 < hits / 3000 < 0.39
+
+
+class TestGenerateRRLT:
+    def test_root_always_included(self, ba_graph_lt):
+        verts, _ = generate_rr(ba_graph_lt, 4, "LT", SplitMix64(2))
+        assert 4 in verts.tolist()
+
+    def test_walk_shape_bounded_by_path_property(self, ba_graph_lt):
+        # LT reverse sampling follows at most one in-edge per vertex, so
+        # the set size is at most the number of steps + 1, and each
+        # visited vertex (except the root) was reached by a single pick.
+        sampler = RRRSampler(ba_graph_lt, "LT")
+        for i in range(20):
+            verts, edges = sampler.generate(i, SplitMix64(i))
+            assert len(verts) >= 1
+
+    def test_sizes_much_smaller_than_ic(self, ba_graph, ba_graph_lt):
+        ic = RRRSampler(ba_graph, "IC")
+        lt = RRRSampler(ba_graph_lt, "LT")
+        ic_sizes = [len(ic.generate(i % 300, SplitMix64(i))[0]) for i in range(200)]
+        lt_sizes = [len(lt.generate(i % 300, SplitMix64(i))[0]) for i in range(200)]
+        assert np.mean(lt_sizes) < np.mean(ic_sizes)
+
+    def test_no_incoming_edges_singleton(self):
+        g = path_graph(3)  # vertex 0 has no in-edges
+        verts, edges = generate_rr(g, 0, "LT", SplitMix64(1))
+        assert verts.tolist() == [0]
+        assert edges == 0
+
+    def test_pick_probability_matches_weight(self):
+        # Single in-edge with weight w: it is live with probability w.
+        g = from_edge_list(2, [(0, 1, 0.25)])
+        hits = 0
+        sampler = RRRSampler(g, "LT")
+        for i in range(3000):
+            verts, _ = sampler.generate(1, SplitMix64(i))
+            hits += 0 in verts.tolist()
+        assert 0.21 < hits / 3000 < 0.29
+
+    def test_walk_stops_at_revisit(self):
+        # 2-cycle with weight 1: the walk 0 <- 1 <- 0 must terminate.
+        g = from_edge_list(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        verts, _ = generate_rr(g, 0, "LT", SplitMix64(3))
+        assert verts.tolist() == [0, 1]
