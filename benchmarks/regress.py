@@ -1,0 +1,226 @@
+"""Sampling-performance regression harness.
+
+Runs a fixed micro-suite and writes commit-stamped numbers to
+``BENCH_sampling.json`` at the repository root:
+
+* **Sampling throughput** — serial vs batched engine generating the full
+  θ(ε=0.5, k=50) sample set on the largest registry stand-in
+  (com-Orkut, IC): edges/s for both engines and the speedup ratio.
+* **End-to-end ``imm()``** — total seconds, θ, and the selected seed set
+  on two registry graphs (cit-HepTh IC, com-YouTube LT).
+
+Against the checked-in ``BENCH_sampling.json`` the harness fails loudly
+(exit 1) when
+
+* any throughput or end-to-end time regresses by more than
+  ``TOLERANCE`` (20 %), or
+* any ``imm()`` seed set differs from the baseline (a correctness
+  regression, not a performance one).
+
+Timings are interleaved best-of-``REPS`` within one process — the
+hosts this runs on show large run-to-run variance, and min-of-N of
+interleaved repetitions is the stable estimator of the achievable time.
+
+Usage::
+
+    python benchmarks/regress.py                   # measure + compare
+    python benchmarks/regress.py --update-baseline # accept new numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import load  # noqa: E402
+from repro.imm.imm import imm  # noqa: E402
+from repro.sampling import (  # noqa: E402
+    BatchedRRRSampler,
+    RRRSampler,
+    SortedRRRCollection,
+    sample_batch,
+)
+
+BASELINE_PATH = ROOT / "BENCH_sampling.json"
+#: Allowed slowdown vs baseline before the harness fails.
+TOLERANCE = 0.20
+#: Interleaved repetitions per timed quantity (min is reported).
+REPS = 5
+
+#: The sampling-throughput workload: the largest registry stand-in with
+#: the θ that ε=0.5, k=50 demands of it (measured via estimate_theta).
+SAMPLING_DATASET = "com-Orkut"
+SAMPLING_MODEL = "IC"
+SAMPLING_EPS = 0.5
+SAMPLING_K = 50
+SAMPLING_THETA = 9980
+SAMPLING_SEED = 1
+
+#: End-to-end workloads: (dataset, model, k, eps, seed).
+IMM_WORKLOADS = (
+    ("cit-HepTh", "IC", 10, 0.5, 1),
+    ("com-YouTube", "LT", 10, 0.5, 1),
+)
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _time_sampling(graph, model, sampler, engine: str) -> tuple[float, int]:
+    """One timed generation of the full θ set into a fresh collection."""
+    coll = SortedRRRCollection(graph.n)
+    t0 = time.perf_counter()
+    batch = sample_batch(
+        graph, model, coll, SAMPLING_THETA, SAMPLING_SEED,
+        sampler=sampler, engine=engine,
+    )
+    return time.perf_counter() - t0, batch.edges_examined
+
+
+def bench_sampling() -> dict:
+    graph = load(SAMPLING_DATASET, SAMPLING_MODEL)
+    serial = RRRSampler(graph, SAMPLING_MODEL)
+    batched = BatchedRRRSampler(graph, SAMPLING_MODEL)
+    serial_times, batched_times = [], []
+    edges = None
+    for _ in range(REPS):  # interleaved so ambient drift hits both engines
+        t, e1 = _time_sampling(graph, SAMPLING_MODEL, serial, "serial")
+        serial_times.append(t)
+        t, e2 = _time_sampling(graph, SAMPLING_MODEL, batched, "batched")
+        batched_times.append(t)
+        assert e1 == e2, "engines disagree on edges_examined"
+        edges = e1
+    t_serial, t_batched = min(serial_times), min(batched_times)
+    return {
+        "dataset": SAMPLING_DATASET,
+        "model": SAMPLING_MODEL,
+        "eps": SAMPLING_EPS,
+        "k": SAMPLING_K,
+        "theta": SAMPLING_THETA,
+        "edges_examined": int(edges),
+        "serial_s": round(t_serial, 4),
+        "batched_s": round(t_batched, 4),
+        "serial_edges_per_s": round(edges / t_serial),
+        "batched_edges_per_s": round(edges / t_batched),
+        "speedup": round(t_serial / t_batched, 2),
+    }
+
+
+def bench_imm() -> dict:
+    out = {}
+    for name, model, k, eps, seed in IMM_WORKLOADS:
+        graph = load(name, model)
+        times, result = [], None
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            result = imm(graph, k, eps, model, seed=seed)
+            times.append(time.perf_counter() - t0)
+        out[f"{name}/{model}"] = {
+            "k": k,
+            "eps": eps,
+            "seed": seed,
+            "theta": result.theta,
+            "seconds": round(min(times), 4),
+            "seeds": np.asarray(result.seeds).tolist(),
+        }
+    return out
+
+
+def compare(fresh: dict, baseline: dict) -> list[str]:
+    """Return a list of loud failure messages (empty = no regression)."""
+    failures: list[str] = []
+    base_s = baseline.get("sampling", {})
+    new_s = fresh["sampling"]
+    for key in ("serial_edges_per_s", "batched_edges_per_s"):
+        old = base_s.get(key)
+        if old and new_s[key] < old * (1.0 - TOLERANCE):
+            failures.append(
+                f"REGRESSION sampling.{key}: {new_s[key]:,} edges/s is "
+                f">{TOLERANCE:.0%} below baseline {old:,}"
+            )
+    base_i = baseline.get("imm", {})
+    for wl, new in fresh["imm"].items():
+        old = base_i.get(wl)
+        if old is None:
+            continue
+        if new["seconds"] > old["seconds"] * (1.0 + TOLERANCE):
+            failures.append(
+                f"REGRESSION imm[{wl}].seconds: {new['seconds']}s is "
+                f">{TOLERANCE:.0%} above baseline {old['seconds']}s"
+            )
+        if new["seeds"] != old["seeds"]:
+            failures.append(
+                f"CORRECTNESS imm[{wl}]: seed set changed vs baseline — "
+                f"the sampling engines no longer reproduce the recorded output"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the fresh numbers as the new baseline (skip comparison)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    print(f"sampling micro-suite (best of {REPS}, interleaved) ...", flush=True)
+    fresh = {
+        "commit": _commit(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "reps": REPS,
+        "tolerance": TOLERANCE,
+        "sampling": bench_sampling(),
+        "imm": bench_imm(),
+    }
+    s = fresh["sampling"]
+    print(
+        f"  {s['dataset']} {s['model']} theta={s['theta']}: "
+        f"serial {s['serial_s']}s ({s['serial_edges_per_s']:,} e/s), "
+        f"batched {s['batched_s']}s ({s['batched_edges_per_s']:,} e/s), "
+        f"speedup {s['speedup']}x"
+    )
+    for wl, r in fresh["imm"].items():
+        print(f"  imm {wl}: theta={r['theta']} {r['seconds']}s")
+
+    failures = []
+    if baseline is not None and not args.update_baseline:
+        failures = compare(fresh, baseline)
+
+    BENCH_OUT = BASELINE_PATH
+    BENCH_OUT.write_text(json.dumps(fresh, indent=2) + "\n")
+    print(f"wrote {BENCH_OUT.relative_to(ROOT)}")
+
+    if failures:
+        print("\n".join(["", "SAMPLING PERFORMANCE REGRESSION DETECTED:"] + failures))
+        return 1
+    print("no regression vs baseline" if baseline is not None else "baseline created")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

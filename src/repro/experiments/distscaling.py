@@ -37,7 +37,7 @@ from ..diffusion import DiffusionModel
 from ..imm.theta import estimate_theta
 from ..mpi.costmodel import collective_seconds
 from ..parallel.machine import MachineSpec
-from ..sampling import RRRSampler, SortedRRRCollection, sample_batch
+from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
 from .common import CI, ExperimentResult, Scale
 
 __all__ = ["dist_scaling", "MeteredRun", "meter_run", "price_run", "OOM_BOUNDARY_NODES"]
@@ -97,7 +97,7 @@ def meter_run(
     """Execute IMM once, keeping per-sample meters for later pricing."""
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
-    sampler = RRRSampler(graph, model)
+    sampler = BatchedRRRSampler(graph, model)
     trace: list = []
     est = estimate_theta(
         graph,

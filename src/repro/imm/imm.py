@@ -22,8 +22,8 @@ from ..graph import CSRGraph
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
 from ..sampling import (
+    BatchedRRRSampler,
     HypergraphRRRCollection,
-    RRRSampler,
     SortedRRRCollection,
     sample_batch,
 )
@@ -83,7 +83,7 @@ def imm(
 
     timer = PhaseTimer()
     counters = WorkCounters()
-    sampler = RRRSampler(graph, model)
+    sampler = BatchedRRRSampler(graph, model)
 
     with timer.phase("EstimateTheta"):
         est = estimate_theta(

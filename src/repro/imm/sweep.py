@@ -27,7 +27,7 @@ from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
-from ..sampling import RRRSampler, SortedRRRCollection, sample_batch
+from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
 from .result import IMMResult
 from .select import select_seeds
 from .theta import estimate_theta
@@ -73,7 +73,7 @@ def imm_sweep(
             raise ValueError(f"need 1 <= k <= n, got k={k}, n={graph.n}")
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
-    sampler = RRRSampler(graph, model)
+    sampler = BatchedRRRSampler(graph, model)
 
     results: dict[int, IMMResult] = {}
     for k in sorted(set(ks)):

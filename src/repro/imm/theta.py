@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..perf.counters import WorkCounters
-from ..sampling import RRRCollection, RRRSampler, SortedRRRCollection, sample_batch
+from ..sampling import (
+    BatchedRRRSampler,
+    RRRCollection,
+    RRRSampler,
+    SortedRRRCollection,
+    sample_batch,
+)
 from .select import select_seeds
 
 __all__ = ["logcnk", "lambda_prime", "lambda_star", "estimate_theta", "ThetaEstimate"]
@@ -99,7 +105,7 @@ def estimate_theta(
     l: float = 1.0,
     *,
     collection: RRRCollection | None = None,
-    sampler: RRRSampler | None = None,
+    sampler: RRRSampler | BatchedRRRSampler | None = None,
     counters: WorkCounters | None = None,
     theta_cap: int | None = None,
     trace: list | None = None,
@@ -122,7 +128,12 @@ def estimate_theta(
         :class:`SortedRRRCollection`); the parallel drivers pass their
         own so estimation samples are stored in the partitioned layout.
     sampler:
-        Optional shared :class:`RRRSampler` scratch.
+        Optional shared sampler scratch (a
+        :class:`~repro.sampling.batched.BatchedRRRSampler` or the serial
+        :class:`RRRSampler`); its type selects the engine used by
+        :func:`~repro.sampling.sampler.sample_batch`.  Defaults to a
+        fresh batched sampler — both engines produce bit-identical
+        collections.
     counters:
         Optional work ledger to update.
     theta_cap:
@@ -156,7 +167,7 @@ def estimate_theta(
     if collection is None:
         collection = SortedRRRCollection(n)
     if sampler is None:
-        sampler = RRRSampler(graph, model)
+        sampler = BatchedRRRSampler(graph, model)
 
     l_eff = _inflated_l(n, l)
     eps_p = math.sqrt(2.0) * eps

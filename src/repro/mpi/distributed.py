@@ -43,8 +43,8 @@ from ..imm.theta import _inflated_l, lambda_prime, lambda_star
 from ..perf.counters import WorkCounters
 from ..perf.memory import MemoryModel
 from ..perf.timers import PhaseTimer
-from ..rng import Lcg64, sample_stream, spawn_streams
-from ..sampling import RRRSampler, SortedRRRCollection
+from ..rng import Lcg64, spawn_streams
+from ..sampling import BatchedRRRSampler, RRRSampler, SortedRRRCollection
 from ..parallel.machine import PUMA, MachineSpec
 from .comm import Allreduce, run_spmd
 from .costmodel import collective_seconds
@@ -165,28 +165,39 @@ def _make_rank_program(
     def program(rank: int, size: int) -> Generator:
         rec = records[rank]
         collection = SortedRRRCollection(n)
-        sampler = RRRSampler(graph, model)
         lcg: Lcg64 | None = None
+        sampler: RRRSampler | None = None
+        batched: BatchedRRRSampler | None = None
         if rng_scheme == "leapfrog":
+            # The leap-frog LCG substream is inherently sequential: each
+            # sample's randomness depends on how much the previous ones
+            # consumed, so only the serial engine can replay it.
             lcg = spawn_streams(seed, size)[rank]
+            sampler = RRRSampler(graph, model)
+        else:
+            # Per-sample counter streams are index-addressable, so the
+            # rank's strided share can go through the cohort engine.
+            batched = BatchedRRRSampler(graph, model)
         next_global = 0  # first global sample index not yet considered
 
         def extend_to(theta_target: int) -> int:
             """Generate this rank's share of samples in [next_global, θ)."""
             nonlocal next_global
             edges = 0
-            for j in range(next_global, theta_target):
-                if j % size != rank:
-                    continue
-                if lcg is not None:
+            if lcg is not None:
+                for j in range(next_global, theta_target):
+                    if j % size != rank:
+                        continue
                     root = lcg.randint(0, n)
                     verts, e = sampler.generate(root, lcg)
-                else:
-                    stream = sample_stream(seed, j)
-                    root = stream.randint(0, n)
-                    verts, e = sampler.generate(root, stream)
-                collection.append(verts)
-                edges += e
+                    collection.append(verts)
+                    edges += e
+            else:
+                js = np.arange(next_global, max(next_global, theta_target))
+                js = js[js % size == rank]
+                if len(js):
+                    per = batched.sample_into(collection, js, seed)
+                    edges = int(per.sum())
             next_global = max(next_global, theta_target)
             if mem_limit is not None:
                 footprint = MemoryModel.for_rank(graph, collection).total

@@ -25,7 +25,7 @@ from ..imm.select import select_seeds
 from ..imm.theta import estimate_theta
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
-from ..sampling import RRRSampler, SortedRRRCollection, sample_batch
+from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
 from .cost import CostModel
 from .machine import PUMA, MachineSpec
 
@@ -77,7 +77,7 @@ def imm_mt(
         )
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
-    sampler = RRRSampler(graph, model)
+    sampler = BatchedRRRSampler(graph, model)
     counters = WorkCounters()
     cost = CostModel(machine=machine, threads=num_threads)
 

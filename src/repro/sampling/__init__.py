@@ -10,6 +10,13 @@ contribution of Section 3.1:
   independently; LT follows at most one in-edge per vertex (which is why
   LT RRR sets are much smaller — the effect behind Figures 5 vs 6).
 
+* :class:`BatchedRRRSampler` — the cohort engine: a whole batch of RRR
+  sets generated as one fused multi-source traversal (level-synchronous
+  reverse BFS for IC, lockstep reverse walks for LT), bit-identical to
+  the serial sampler under the determinism contract documented in
+  :mod:`repro.sampling.batched` and several times faster because NumPy
+  dispatch overhead is amortized across the cohort.
+
 * :class:`SortedRRRCollection` — the paper's optimized one-directional
   layout (IMM\\ :sup:`OPT`): each sample stored once as a vertex list
   sorted by id, enabling contiguous counting and binary-searched interval
@@ -21,16 +28,19 @@ contribution of Section 3.1:
   removal but ~2x the memory (the Table 2 comparison).
 """
 
+from .batched import BatchedRRRSampler
 from .collection import HypergraphRRRCollection, RRRCollection, SortedRRRCollection
-from .rrr import RRRSampler, generate_rr
+from .rrr import RRRSampler, generate_rr, in_edge_cumweights
 from .sampler import SampleBatch, sample_batch
 
 __all__ = [
     "generate_rr",
     "RRRSampler",
+    "BatchedRRRSampler",
     "RRRCollection",
     "SortedRRRCollection",
     "HypergraphRRRCollection",
     "sample_batch",
     "SampleBatch",
+    "in_edge_cumweights",
 ]

@@ -58,6 +58,20 @@ class RRRCollection:
         for verts in sets:
             self.append(verts)
 
+    def append_batch(self, flat: np.ndarray, sizes: np.ndarray) -> None:
+        """Add many RRR sets given as concatenated vertices + lengths.
+
+        ``flat`` holds the samples back to back; sample ``i`` occupies
+        the next ``sizes[i]`` entries.  The generic implementation
+        splits and appends one by one; layouts with contiguous storage
+        override it with a bulk copy (the cohort sampler's fast path).
+        """
+        start = 0
+        for size in np.asarray(sizes, dtype=np.int64):
+            size = int(size)
+            self.append(flat[start : start + size])
+            start += size
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -77,9 +91,9 @@ class RRRCollection:
 class SortedRRRCollection(RRRCollection):
     """One-directional layout: each sample once, vertices sorted by id.
 
-    Internally the samples are kept as a Python list of ``int32`` arrays
-    while sampling (append is O(size)), and flattened on demand into
-    three parallel arrays used by the vectorized seed-selection kernels:
+    Storage is three growable flat buffers (amortized doubling, the HBMax
+    reorganization applied to our NumPy substrate) — no per-sample Python
+    objects at all:
 
     ``flat``
         All vertex ids, samples concatenated in insertion order.
@@ -88,59 +102,127 @@ class SortedRRRCollection(RRRCollection):
     ``sample_of``
         The owning sample index of each ``flat`` entry.
 
-    The flattened view is cached and invalidated by :meth:`append`, so
-    alternating sampling and selection phases (as ``EstimateTheta`` does)
-    stays correct.
+    :meth:`flattened` returns zero-copy views of the live buffers, so no
+    cache invalidation exists to get wrong: alternating sampling and
+    selection phases (as ``EstimateTheta`` does) never re-concatenates
+    anything, and :meth:`append_batch` lands a whole sampler cohort with
+    a handful of bulk copies.
     """
+
+    _INITIAL_ENTRIES = 1024
+    _INITIAL_SAMPLES = 64
 
     def __init__(self, n: int) -> None:
         if n < 0:
             raise ValueError("vertex count must be non-negative")
         self.n = n
-        self._sets: list[np.ndarray] = []
+        self._flat = np.empty(self._INITIAL_ENTRIES, dtype=np.int64)
+        self._sample_of = np.empty(self._INITIAL_ENTRIES, dtype=np.int64)
+        self._indptr = np.empty(self._INITIAL_SAMPLES + 1, dtype=np.int64)
+        self._indptr[0] = 0
+        self._num = 0
         self._entries = 0
-        self._flat_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # -- growable buffers ---------------------------------------------------
+
+    def _reserve(self, extra_entries: int, extra_samples: int) -> None:
+        """Grow the flat buffers to fit ``extra_*`` more (doubling)."""
+        need = self._entries + extra_entries
+        if need > len(self._flat):
+            cap = max(need, 2 * len(self._flat))
+            for name in ("_flat", "_sample_of"):
+                grown = np.empty(cap, dtype=np.int64)
+                grown[: self._entries] = getattr(self, name)[: self._entries]
+                setattr(self, name, grown)
+        need = self._num + extra_samples + 1
+        if need > len(self._indptr):
+            cap = max(need, 2 * len(self._indptr))
+            grown = np.empty(cap, dtype=np.int64)
+            grown[: self._num + 1] = self._indptr[: self._num + 1]
+            self._indptr = grown
+
+    # -- appends ------------------------------------------------------------
 
     def append(self, vertices: np.ndarray) -> None:
-        vertices = np.asarray(vertices, dtype=np.int32)
+        vertices = np.asarray(vertices)
         if len(vertices) == 0:
             raise ValueError("an RRR set always contains at least its root")
         if len(vertices) > 1 and np.any(np.diff(vertices) <= 0):
             raise ValueError("RRR vertex lists must be sorted and duplicate-free")
         if vertices[0] < 0 or int(vertices[-1]) >= self.n:
             raise ValueError("RRR vertex id out of range")
-        self._sets.append(vertices)
-        self._entries += len(vertices)
-        self._flat_cache = None
+        size = len(vertices)
+        self._reserve(size, 1)
+        e = self._entries
+        self._flat[e : e + size] = vertices
+        self._sample_of[e : e + size] = self._num
+        self._indptr[self._num + 1] = e + size
+        self._num += 1
+        self._entries += size
+
+    def append_batch(self, flat: np.ndarray, sizes: np.ndarray) -> None:
+        """Bulk append: one cohort of samples in a few array copies."""
+        flat = np.asarray(flat)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if len(sizes) == 0:
+            return
+        if np.any(sizes <= 0):
+            raise ValueError("an RRR set always contains at least its root")
+        total = int(sizes.sum())
+        if len(flat) != total:
+            raise ValueError("flat length must equal the sum of sizes")
+        if int(flat.min()) < 0 or int(flat.max()) >= self.n:
+            raise ValueError("RRR vertex id out of range")
+        if total > len(sizes):  # any sample longer than 1 => check sortedness
+            nondecreasing = np.diff(flat) <= 0
+            boundary = np.zeros(total - 1, dtype=bool)
+            boundary[np.cumsum(sizes[:-1]) - 1] = True
+            if np.any(nondecreasing & ~boundary):
+                raise ValueError("RRR vertex lists must be sorted and duplicate-free")
+        count = len(sizes)
+        self._reserve(total, count)
+        e, s = self._entries, self._num
+        self._flat[e : e + total] = flat
+        self._sample_of[e : e + total] = np.repeat(
+            np.arange(s, s + count, dtype=np.int64), sizes
+        )
+        np.cumsum(sizes, out=self._indptr[s + 1 : s + 1 + count])
+        self._indptr[s + 1 : s + 1 + count] += e
+        self._num += count
+        self._entries += total
+
+    # -- reads --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._sets)
+        return self._num
 
     def __iter__(self) -> Iterator[np.ndarray]:
-        return iter(self._sets)
+        for i in range(self._num):
+            yield self._flat[self._indptr[i] : self._indptr[i + 1]]
 
     def __getitem__(self, i: int) -> np.ndarray:
-        return self._sets[i]
+        if not -self._num <= i < self._num:
+            raise IndexError(f"sample index {i} out of range")
+        i %= self._num
+        return self._flat[self._indptr[i] : self._indptr[i + 1]]
 
     @property
     def total_entries(self) -> int:
         return self._entries
 
     def flattened(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return ``(flat, indptr, sample_of)`` (cached)."""
-        if self._flat_cache is None:
-            if self._sets:
-                flat = np.concatenate(self._sets).astype(np.int64)
-            else:
-                flat = np.empty(0, dtype=np.int64)
-            sizes = np.fromiter(
-                (len(s) for s in self._sets), dtype=np.int64, count=len(self._sets)
-            )
-            indptr = np.zeros(len(self._sets) + 1, dtype=np.int64)
-            np.cumsum(sizes, out=indptr[1:])
-            sample_of = np.repeat(np.arange(len(self._sets), dtype=np.int64), sizes)
-            self._flat_cache = (flat, indptr, sample_of)
-        return self._flat_cache
+        """Return ``(flat, indptr, sample_of)`` as zero-copy views.
+
+        The views snapshot the current contents: appends past this call
+        either write beyond the views' ends or into fresh buffers after
+        a growth reallocation — in both cases the returned arrays stay
+        valid and unchanged.
+        """
+        return (
+            self._flat[: self._entries],
+            self._indptr[: self._num + 1],
+            self._sample_of[: self._entries],
+        )
 
     def counters(self) -> np.ndarray:
         """Per-vertex sample membership counts (the first counting step of
@@ -150,10 +232,10 @@ class SortedRRRCollection(RRRCollection):
 
     def nbytes_model(self) -> int:
         """One vector header per sample + 4 bytes per incidence + the
-        outer vector-of-vectors header."""
+        outer vector-of-vectors header (modeling the C++ equivalent)."""
         return (
             VECTOR_HEADER_BYTES
-            + len(self._sets) * VECTOR_HEADER_BYTES
+            + self._num * VECTOR_HEADER_BYTES
             + self._entries * VERTEX_ID_BYTES
         )
 

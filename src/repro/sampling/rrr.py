@@ -33,9 +33,33 @@ from ..graph import CSRGraph
 from ..rng import SplitMix64
 from ..rng.splitmix import mix64_array
 
-__all__ = ["generate_rr", "RRRSampler", "hash_edge_flips"]
+__all__ = ["generate_rr", "RRRSampler", "hash_edge_flips", "in_edge_cumweights"]
 
 _INV_2_53 = 1.0 / float(1 << 53)
+
+
+def in_edge_cumweights(graph: CSRGraph) -> np.ndarray:
+    """Per-vertex-local cumulative in-edge weights, aligned with the CSR.
+
+    ``result[lo:hi]`` equals ``np.cumsum(graph.in_probs[lo:hi])`` for
+    every vertex's in-slot range ``[lo, hi)`` — **bit-exactly**, because
+    the construction gathers equal-degree rows into a matrix and runs
+    ``np.cumsum`` along the row axis, which performs the identical
+    sequence of float additions as the per-slice call it replaces.  The
+    LT samplers (serial and batched) share this table so their live-edge
+    picks agree to the last bit, and neither recomputes the prefix sums
+    on every vertex visit.
+    """
+    cum = np.empty_like(graph.in_probs)
+    deg = np.diff(graph.in_indptr).astype(np.int64)
+    for d in np.unique(deg):
+        d = int(d)
+        if d == 0:
+            continue
+        vs = np.nonzero(deg == d)[0]
+        pos = graph.in_indptr[vs].astype(np.int64)[:, None] + np.arange(d)[None, :]
+        cum[pos] = np.cumsum(graph.in_probs[pos], axis=1)
+    return cum
 
 
 def hash_edge_flips(sample_key: int, edge_slots: np.ndarray) -> np.ndarray:
@@ -68,13 +92,14 @@ class RRRSampler:
     owns one (as each OpenMP thread does in Ripples).
     """
 
-    __slots__ = ("graph", "model", "_epoch_mark", "_epoch", "_in_thresh")
+    __slots__ = ("graph", "model", "_epoch_mark", "_epoch", "_in_thresh", "_lt_cum")
 
     def __init__(self, graph: CSRGraph, model: DiffusionModel | str) -> None:
         self.graph = graph
         self.model = DiffusionModel.parse(model)
         self._epoch_mark = np.full(graph.n, -1, dtype=np.int64)
         self._epoch = -1
+        self._lt_cum: np.ndarray | None = None
         # Integer acceptance thresholds: the float comparison
         # ``(raw >> 11) * 2**-53 < p`` is exactly ``(raw >> 11) <
         # ceil(p * 2**53)`` (p * 2**53 is exact in float64 — a pure
@@ -124,8 +149,10 @@ class RRRSampler:
         epoch = self._epoch
         mark = self._epoch_mark
         mark[root] = epoch
-        visited = [root]
-        frontier = np.asarray([root], dtype=np.int64)
+        # The frontier stays int32 end to end (matching in_indices), so
+        # no level ever pays a dtype-conversion copy.
+        frontier = np.asarray([root], dtype=np.int32)
+        visited = [frontier]
         edges_examined = 0
         while len(frontier):
             starts = g.in_indptr[frontier]
@@ -145,15 +172,13 @@ class RRRSampler:
             cand = cand[mark[cand] != epoch]
             if len(cand) == 0:
                 break
-            frontier = np.unique(cand) if len(cand) > 1 else cand.astype(np.int64)
+            frontier = np.unique(cand) if len(cand) > 1 else cand
             mark[frontier] = epoch
             visited.append(frontier)
         if len(visited) == 1:
-            verts = np.asarray(visited, dtype=np.int32)
+            verts = visited[0]
         else:
-            verts = np.concatenate(
-                [np.asarray([visited[0]], dtype=np.int64)] + visited[1:]
-            ).astype(np.int32)
+            verts = np.concatenate(visited)
             verts.sort()
         return verts, edges_examined
 
@@ -161,6 +186,9 @@ class RRRSampler:
 
     def _generate_lt(self, root: int, rng: SplitMix64) -> tuple[np.ndarray, int]:
         g = self.graph
+        if self._lt_cum is None:
+            self._lt_cum = in_edge_cumweights(g)
+        cum_all = self._lt_cum
         self._epoch += 1
         epoch = self._epoch
         mark = self._epoch_mark
@@ -175,8 +203,7 @@ class RRRSampler:
             if deg == 0:
                 break
             edges_examined += deg
-            weights = g.in_probs[lo:hi]
-            cum = np.cumsum(weights)
+            cum = cum_all[lo:hi]
             r = rng.random()
             if r >= cum[-1]:
                 break  # the "no incoming live edge" residual fired

@@ -8,6 +8,21 @@ is a pure function of ``(graph, model, seed, theta)`` — independent of
 batching, thread count, or rank assignment.  This is the discipline that
 lets the parallel implementations produce bit-identical seed sets (the
 paper relies on leap-frog streams for the same guarantee; we test both).
+
+Two engines execute the same contract:
+
+* ``"batched"`` (default) — the cohort sampler
+  (:class:`~repro.sampling.batched.BatchedRRRSampler`): the new samples
+  are generated as fused multi-source traversals, bit-identical to the
+  serial engine at any cohort size (the determinism contract of
+  :mod:`repro.sampling.batched`).
+* ``"serial"`` — one :meth:`RRRSampler.generate` call per sample, kept
+  as the reference implementation and for callers that thread their own
+  per-sample streams.
+
+Passing a pre-built sampler selects the engine implicitly (its type
+says which loop it feeds); otherwise ``engine`` decides, defaulting to
+batched.
 """
 
 from __future__ import annotations
@@ -19,6 +34,7 @@ import numpy as np
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..rng import sample_stream
+from .batched import BatchedRRRSampler
 from .collection import RRRCollection
 from .rrr import RRRSampler
 
@@ -39,7 +55,9 @@ class SampleBatch:
         work measure; the cost models convert it to simulated seconds).
     per_sample_edges:
         Edge count of each sample, used by the shared-memory simulator to
-        compute per-thread makespans under block partitioning.
+        compute per-thread makespans under block partitioning.  The
+        batched engine meters these from the fused traversal, so the
+        per-sample work distribution is identical to the serial loop's.
     """
 
     first_index: int
@@ -57,7 +75,8 @@ def sample_batch(
     target: int,
     seed: int,
     *,
-    sampler: RRRSampler | None = None,
+    sampler: RRRSampler | BatchedRRRSampler | None = None,
+    engine: str | None = None,
 ) -> SampleBatch:
     """Grow ``collection`` to ``target`` samples (Algorithm 3).
 
@@ -74,8 +93,12 @@ def sample_batch(
     seed:
         Master seed of the run (not of the batch).
     sampler:
-        Optional pre-built :class:`RRRSampler` to reuse scratch space
-        across invocations.
+        Optional pre-built :class:`~repro.sampling.batched.BatchedRRRSampler`
+        or :class:`RRRSampler` to reuse scratch space across invocations;
+        its type selects the engine when ``engine`` is not given.
+    engine:
+        ``"batched"`` or ``"serial"``; defaults to the sampler's engine,
+        or batched.  Both produce bit-identical collections.
 
     Returns
     -------
@@ -83,23 +106,34 @@ def sample_batch(
     """
     if target < 0:
         raise ValueError("target sample count must be non-negative")
+    if engine is None:
+        engine = "serial" if isinstance(sampler, RRRSampler) else "batched"
+    if engine not in ("batched", "serial"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'batched' or 'serial'")
     first = len(collection)
     count = max(0, target - first)
-    per_sample = np.zeros(count, dtype=np.int64)
     if count == 0:
         return SampleBatch(first_index=first, count=0)
-    if sampler is None:
-        sampler = RRRSampler(graph, model)
     n = graph.n
-    total_edges = 0
-    for i in range(count):
-        j = first + i
-        rng = sample_stream(seed, j)
-        root = rng.randint(0, n)
-        verts, edges = sampler.generate(root, rng)
-        collection.append(verts)
-        per_sample[i] = edges
-        total_edges += edges
+    if engine == "batched":
+        if not isinstance(sampler, BatchedRRRSampler):
+            sampler = BatchedRRRSampler(graph, model)
+        indices = np.arange(first, first + count, dtype=np.int64)
+        per_sample = sampler.sample_into(collection, indices, seed)
+        total_edges = int(per_sample.sum())
+    else:
+        if not isinstance(sampler, RRRSampler):
+            sampler = RRRSampler(graph, model)
+        per_sample = np.zeros(count, dtype=np.int64)
+        total_edges = 0
+        for i in range(count):
+            j = first + i
+            rng = sample_stream(seed, j)
+            root = rng.randint(0, n)
+            verts, edges = sampler.generate(root, rng)
+            collection.append(verts)
+            per_sample[i] = edges
+            total_edges += edges
     return SampleBatch(
         first_index=first,
         count=count,
