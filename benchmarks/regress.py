@@ -15,7 +15,11 @@ Against the checked-in ``BENCH_sampling.json`` the harness fails loudly
 * any throughput or end-to-end time regresses by more than
   ``TOLERANCE`` (20 %), or
 * any ``imm()`` seed set differs from the baseline (a correctness
-  regression, not a performance one).
+  regression, not a performance one), or
+* the quick equivalence oracle (``repro.validate.validate_quick``)
+  reports any violation — cross-implementation divergence fails the
+  same gate as a throughput loss, so a perf patch cannot trade
+  correctness for speed unnoticed.
 
 Timings are interleaved best-of-``REPS`` within one process — the
 hosts this runs on show large run-to-run variance, and min-of-N of
@@ -182,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="accept the fresh numbers as the new baseline (skip comparison)",
     )
+    parser.add_argument(
+        "--skip-validate",
+        action="store_true",
+        help="skip the quick equivalence oracle (perf numbers only)",
+    )
     args = parser.parse_args(argv)
 
     baseline = None
@@ -211,12 +220,22 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is not None and not args.update_baseline:
         failures = compare(fresh, baseline)
 
+    if not args.skip_validate:
+        from repro.validate import validate_quick  # noqa: E402
+
+        print("equivalence oracle (quick) ...", flush=True)
+        report = validate_quick()
+        print(f"  {report.summary().splitlines()[0]}")
+        failures.extend(
+            f"EQUIVALENCE {v}" for v in report.violations
+        )
+
     BENCH_OUT = BASELINE_PATH
     BENCH_OUT.write_text(json.dumps(fresh, indent=2) + "\n")
     print(f"wrote {BENCH_OUT.relative_to(ROOT)}")
 
     if failures:
-        print("\n".join(["", "SAMPLING PERFORMANCE REGRESSION DETECTED:"] + failures))
+        print("\n".join(["", "REGRESSION DETECTED:"] + failures))
         return 1
     print("no regression vs baseline" if baseline is not None else "baseline created")
     return 0

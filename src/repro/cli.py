@@ -10,7 +10,9 @@ Subcommands mirror the tool surface the paper's framework exposes:
 * ``repro-imm sweep`` — IMM across several k values with one shared RRR
   collection (the "multiple k values" workflow of the paper's intro);
 * ``repro-imm community`` — the community-decomposed extension;
-* ``repro-imm experiment`` — same as ``python -m repro.experiments``.
+* ``repro-imm experiment`` — same as ``python -m repro.experiments``;
+* ``repro-imm validate`` — the cross-implementation equivalence oracle
+  (``--quick``/``--full``) and its mutation-test mode (``--mutate``).
 
 Graphs come from the dataset registry (``--dataset``), SNAP edge lists
 (``--edgelist``), METIS files (``--metis``) or MatrixMarket coordinate
@@ -164,6 +166,41 @@ def _cmd_community(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .validate import full_config, quick_config, run_mutation_suite, run_oracle
+
+    status = 0
+    if args.mutate:
+        print("mutation suite: injecting one fault per failure class ...")
+        results = run_mutation_suite(seed=1 if args.seed is None else args.seed)
+        for res in results:
+            print(f"  {res}")
+        survivors = [res for res in results if not res.detected]
+        if survivors:
+            print(f"{len(survivors)} mutant(s) SURVIVED — the oracle has blind spots")
+            status = 1
+        else:
+            print(f"all {len(results)} mutants killed")
+        if not (args.quick or args.full):
+            return status
+
+    cfg = full_config() if args.full else quick_config()
+    if args.dataset:
+        cfg = replace(cfg, datasets=tuple(args.dataset))
+    if args.seed is not None:
+        cfg = replace(cfg, seed=args.seed)
+    mode = "full" if args.full else "quick"
+    print(
+        f"equivalence oracle ({mode}): {len(cfg.datasets)} dataset(s) x "
+        f"{len(cfg.models)} model(s), theta_cap={cfg.theta_cap}"
+    )
+    report = run_oracle(cfg, progress=lambda line: print(f"  {line}"))
+    print(report.summary())
+    return 1 if (status or not report.ok) else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -235,6 +272,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_co.add_argument("--evaluate", action="store_true")
     p_co.add_argument("--trials", type=int, default=500)
     p_co.set_defaults(func=_cmd_community)
+
+    p_va = sub.add_parser(
+        "validate",
+        help="cross-implementation equivalence oracle + invariant checks",
+    )
+    mode = p_va.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="seconds-scale sweep (default; the CI/regress.py gate)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="every registry graph x every driver/layout/cohort/rank axis",
+    )
+    p_va.add_argument(
+        "--mutate", action="store_true",
+        help="inject deliberate faults and demand the oracle kills each "
+        "(combinable with --quick/--full; alone it runs only the mutants)",
+    )
+    p_va.add_argument(
+        "--dataset", action="append", choices=names(),
+        help="restrict the oracle to specific registry graphs (repeatable)",
+    )
+    p_va.add_argument("--seed", type=int, default=None, help="oracle master seed")
+    p_va.set_defaults(func=_cmd_validate)
 
     p_ex = sub.add_parser("experiment", help="regenerate tables/figures")
     p_ex.add_argument("names", nargs="*", default=[])

@@ -21,7 +21,15 @@ from .imm import imm
 from .result import IMMResult
 from .select import SelectionResult, select_seeds, select_seeds_hypergraph, select_seeds_sorted
 from .sweep import imm_sweep
-from .theta import ThetaEstimate, estimate_theta, lambda_prime, lambda_star, logcnk
+from .theta import (
+    EPS_UPPER_BOUND,
+    ThetaEstimate,
+    estimate_theta,
+    lambda_prime,
+    lambda_star,
+    logcnk,
+    validate_eps,
+)
 
 __all__ = [
     "imm",
@@ -29,6 +37,8 @@ __all__ = [
     "IMMResult",
     "estimate_theta",
     "ThetaEstimate",
+    "EPS_UPPER_BOUND",
+    "validate_eps",
     "logcnk",
     "lambda_prime",
     "lambda_star",

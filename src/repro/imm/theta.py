@@ -39,7 +39,34 @@ from ..sampling import (
 )
 from .select import select_seeds
 
-__all__ = ["logcnk", "lambda_prime", "lambda_star", "estimate_theta", "ThetaEstimate"]
+__all__ = [
+    "EPS_UPPER_BOUND",
+    "validate_eps",
+    "logcnk",
+    "lambda_prime",
+    "lambda_star",
+    "estimate_theta",
+    "ThetaEstimate",
+]
+
+#: Largest admissible ``eps``: the algorithm promises a
+#: ``(1 - 1/e - eps)``-approximation, which is vacuous (a non-positive
+#: factor) once ``eps`` reaches ``1 - 1/e``.
+EPS_UPPER_BOUND = 1.0 - 1.0 / math.e
+
+
+def validate_eps(eps: float) -> None:
+    """Reject ``eps`` outside ``(0, 1 - 1/e)``.
+
+    Shared by every driver that instantiates the Tang et al. sample
+    bounds (:func:`estimate_theta` and the distributed replica of its
+    control flow in :func:`repro.mpi.imm_dist`).
+    """
+    if not 0.0 < eps < EPS_UPPER_BOUND:
+        raise ValueError(
+            f"eps must lie in (0, 1 - 1/e) = (0, {EPS_UPPER_BOUND:.4f}) for the "
+            f"(1 - 1/e - eps) guarantee to be meaningful, got {eps}"
+        )
 
 
 def logcnk(n: int, k: int) -> float:
@@ -161,8 +188,7 @@ def estimate_theta(
         raise ValueError(f"IMM needs at least 2 vertices, got n={n}")
     if not 1 <= k <= n:
         raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
-    if not 0.0 < eps < 1.0:
-        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    validate_eps(eps)
     model = DiffusionModel.parse(model)
     if collection is None:
         collection = SortedRRRCollection(n)

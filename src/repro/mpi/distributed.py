@@ -39,7 +39,7 @@ import numpy as np
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..imm.result import IMMResult
-from ..imm.theta import _inflated_l, lambda_prime, lambda_star
+from ..imm.theta import _inflated_l, lambda_prime, lambda_star, validate_eps
 from ..perf.counters import WorkCounters
 from ..perf.memory import MemoryModel
 from ..perf.timers import PhaseTimer
@@ -91,6 +91,10 @@ class _RankRecord:
     edges_total: int = 0
     #: per estimation round: (local sampling edges, local selection entries)
     round_meters: list[tuple[int, int]] = field(default_factory=list)
+    #: per estimation round: (theta_x, covered fraction) — the same
+    #: diagnostic the serial driver exposes as ``coverage_history``, so
+    #: Figure-2-style sweeps can run distributed.
+    coverage_history: list[tuple[int, float]] = field(default_factory=list)
     final_sample_edges: int = 0
     final_select_entries: int = 0
     rounds: int = 0
@@ -218,6 +222,7 @@ def _make_rank_program(
             rec.round_meters.append((round_edges, entries))
             rec.edges_total += round_edges
             frac = covered_total / max(theta_x, 1)
+            rec.coverage_history.append((theta_x, frac))
             if n * frac >= (1.0 + eps_p) * y:
                 lb = n * frac / (1.0 + eps_p)
                 break
@@ -290,6 +295,7 @@ def imm_dist(
         raise ValueError("need at least one node")
     if rng_scheme not in ("per-sample", "leapfrog"):
         raise ValueError(f"unknown rng_scheme {rng_scheme!r}")
+    validate_eps(eps)
     model = DiffusionModel.parse(model)
     if threads_per_node is None:
         threads_per_node = machine.threads_per_node
@@ -382,6 +388,8 @@ def imm_dist(
             "comm_bytes": comm_stats.payload_bytes,
             "measured_breakdown": wall.breakdown(),
             "per_rank_samples": [rec.local_samples for rec in records],
+            "estimation_rounds": rec0.rounds,
+            "coverage_history": rec0.coverage_history,
             "theta_capped": theta_cap is not None and rec0.theta >= theta_cap,
         },
     )

@@ -174,10 +174,14 @@ class SortedRRRCollection(RRRCollection):
         if int(flat.min()) < 0 or int(flat.max()) >= self.n:
             raise ValueError("RRR vertex id out of range")
         if total > len(sizes):  # any sample longer than 1 => check sortedness
-            nondecreasing = np.diff(flat) <= 0
+            # A pair with diff <= 0 is non-*increasing* (a within-sample
+            # duplicate or inversion); pairs straddling a sample boundary
+            # are exempt, so a vertex may legitimately repeat across
+            # consecutive samples.
+            nonincreasing = np.diff(flat) <= 0
             boundary = np.zeros(total - 1, dtype=bool)
             boundary[np.cumsum(sizes[:-1]) - 1] = True
-            if np.any(nondecreasing & ~boundary):
+            if np.any(nonincreasing & ~boundary):
                 raise ValueError("RRR vertex lists must be sorted and duplicate-free")
         count = len(sizes)
         self._reserve(total, count)

@@ -1,0 +1,69 @@
+"""``repro.validate``: runtime invariants + the cross-implementation oracle.
+
+The correctness backstop every perf PR runs against.  Three entry
+points, mirrored by the ``repro-imm validate`` CLI subcommand:
+
+* :func:`validate_quick` — seconds-scale sweep (two registry graphs,
+  reduced axes) plus the RNG partition laws; wired into
+  ``benchmarks/regress.py`` so equivalence regressions fail the same
+  gate as throughput regressions.
+* :func:`validate_full` — the acceptance sweep: every registry graph ×
+  {IC, LT} × {``imm``, ``imm_mt``, ``imm_dist``} × both layouts ×
+  cohort sizes {1, 7, 64, θ} × rank counts {1, 2, 5} × both RNG
+  schemes, plus structural invariants and work-meter conservation.
+* :func:`run_mutation_suite` — injects one deliberate fault per known
+  failure class and demands the oracle kill each mutant.
+
+All checkers are importable individually for targeted tests (see
+``tests/test_validate_*.py``).
+"""
+
+from __future__ import annotations
+
+from .invariants import (
+    check_collection,
+    check_hypergraph_collection,
+    check_sorted_collection,
+)
+from .mutation import MutantResult, run_mutation_suite
+from .oracle import (
+    OracleConfig,
+    check_graph_equivalence,
+    check_selection_meters,
+    full_config,
+    quick_config,
+    run_oracle,
+)
+from .report import ValidationReport, Violation
+from .rnglaws import check_counter_streams, check_leapfrog_tiling, check_rng_laws
+
+__all__ = [
+    "Violation",
+    "ValidationReport",
+    "check_collection",
+    "check_sorted_collection",
+    "check_hypergraph_collection",
+    "check_leapfrog_tiling",
+    "check_counter_streams",
+    "check_rng_laws",
+    "OracleConfig",
+    "quick_config",
+    "full_config",
+    "check_graph_equivalence",
+    "check_selection_meters",
+    "run_oracle",
+    "MutantResult",
+    "run_mutation_suite",
+    "validate_quick",
+    "validate_full",
+]
+
+
+def validate_quick(*, progress=None) -> ValidationReport:
+    """The fast sweep (CI gate)."""
+    return run_oracle(quick_config(), progress=progress)
+
+
+def validate_full(*, progress=None) -> ValidationReport:
+    """The full acceptance sweep over every registry graph."""
+    return run_oracle(full_config(), progress=progress)

@@ -1,0 +1,274 @@
+"""Mutation testing: prove the oracle actually catches faults.
+
+A validation subsystem that silently passes everything is worse than no
+validation at all — later perf PRs would lean on a green light that
+means nothing.  So ``repro-imm validate --mutate`` injects one
+deliberate fault per known failure class and asserts the corresponding
+checker *reports a violation*.  A mutant that survives (no violation)
+fails the run.
+
+Fault classes and the checker expected to kill each:
+
+==========================  ==========================================
+mutant                      expected detector
+==========================  ==========================================
+unsorted sample             ``collection.sortedness`` invariant
+within-sample duplicate     ``collection.sortedness`` invariant
+corrupted ``indptr``        ``collection.indptr-monotone`` invariant
+corrupted ``sample_of``     ``collection.sample-of`` invariant
+byte-model drift            ``collection.byte-model`` invariant
+dropped inverted entry      ``collection.inverted-index`` invariant
+skipped counter decrement   seed-set equivalence comparison
+biased RNG draw             bitwise collection comparison
+==========================  ==========================================
+
+The corruption is applied *behind* the append-time validation (directly
+to the flat buffers, or to a sampler's acceptance thresholds), modeling
+bugs that slip in after construction — the only kind the runtime
+invariants exist to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import load
+from ..imm.select import select_seeds_sorted
+from ..sampling import (
+    BatchedRRRSampler,
+    HypergraphRRRCollection,
+    RRRSampler,
+    SortedRRRCollection,
+    sample_batch,
+)
+from .invariants import check_hypergraph_collection, check_sorted_collection
+
+__all__ = ["MutantResult", "run_mutation_suite"]
+
+#: The small real workload every sampler-level mutant runs against.
+_MUTATION_DATASET = "cit-HepTh"
+_MUTATION_THETA = 200
+
+
+@dataclass(frozen=True)
+class MutantResult:
+    """Outcome of one injected fault."""
+
+    name: str
+    fault: str
+    detected: bool
+    evidence: str
+
+    def __str__(self) -> str:
+        verdict = "KILLED" if self.detected else "SURVIVED (oracle blind spot!)"
+        return f"{self.name:24s} {verdict:10s} — {self.evidence}"
+
+
+def _sample_collection(seed: int) -> SortedRRRCollection:
+    """A healthy sampled collection to corrupt."""
+    graph = load(_MUTATION_DATASET, "IC")
+    coll = SortedRRRCollection(graph.n)
+    sample_batch(graph, "IC", coll, _MUTATION_THETA, seed)
+    return coll
+
+def _violated(report, check_name: str) -> tuple[bool, str]:
+    hits = [v for v in report.violations if v.check == check_name]
+    if hits:
+        return True, f"flagged by {check_name}: {hits[0].detail}"
+    return False, (
+        f"{check_name} stayed green ({report.checks_run} checks, "
+        f"{len(report.violations)} unrelated violations)"
+    )
+
+
+def _mutant_unsorted(seed: int) -> MutantResult:
+    coll = _sample_collection(seed)
+    flat, indptr, _ = coll.flattened()
+    # Reverse the first sample with >= 2 vertices, behind validation.
+    sizes = np.diff(indptr)
+    target = int(np.argmax(sizes >= 2))
+    lo, hi = int(indptr[target]), int(indptr[target + 1])
+    coll._flat[lo:hi] = coll._flat[lo:hi][::-1].copy()
+    detected, evidence = _violated(
+        check_sorted_collection(coll, "mutant"), "collection.sortedness"
+    )
+    return MutantResult(
+        "unsorted-sample", f"reversed vertices of sample {target}", detected, evidence
+    )
+
+
+def _mutant_duplicate(seed: int) -> MutantResult:
+    coll = _sample_collection(seed)
+    _, indptr, _ = coll.flattened()
+    sizes = np.diff(indptr)
+    target = int(np.argmax(sizes >= 2))
+    lo = int(indptr[target])
+    coll._flat[lo + 1] = coll._flat[lo]  # a within-sample duplicate
+    detected, evidence = _violated(
+        check_sorted_collection(coll, "mutant"), "collection.sortedness"
+    )
+    return MutantResult(
+        "within-sample-duplicate",
+        f"duplicated first vertex of sample {target}",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_indptr(seed: int) -> MutantResult:
+    coll = _sample_collection(seed)
+    mid = len(coll) // 2
+    coll._indptr[mid] = coll._indptr[mid + 1] + 1  # break monotonicity
+    detected, evidence = _violated(
+        check_sorted_collection(coll, "mutant"), "collection.indptr-monotone"
+    )
+    return MutantResult(
+        "indptr-corruption", f"made indptr[{mid}] exceed its successor",
+        detected, evidence,
+    )
+
+
+def _mutant_sample_of(seed: int) -> MutantResult:
+    coll = _sample_collection(seed)
+    e = coll.total_entries // 2
+    coll._sample_of[e] += 1  # entry claims the wrong owning sample
+    detected, evidence = _violated(
+        check_sorted_collection(coll, "mutant"), "collection.sample-of"
+    )
+    return MutantResult(
+        "sample-of-corruption", f"misattributed entry {e} to the next sample",
+        detected, evidence,
+    )
+
+
+def _mutant_byte_model(seed: int) -> MutantResult:
+    coll = _sample_collection(seed)
+
+    class _Drifted(SortedRRRCollection):
+        def nbytes_model(self) -> int:  # a lost header per sample
+            return super().nbytes_model() - len(self) * 24
+
+    coll.__class__ = _Drifted
+    detected, evidence = _violated(
+        check_sorted_collection(coll, "mutant"), "collection.byte-model"
+    )
+    return MutantResult(
+        "byte-model-drift", "nbytes_model under-reports one header per sample",
+        detected, evidence,
+    )
+
+
+def _mutant_inverted_index(seed: int) -> MutantResult:
+    graph = load(_MUTATION_DATASET, "IC")
+    coll = HypergraphRRRCollection(graph.n)
+    sample_batch(graph, "IC", coll, 50, seed)
+    counts = coll.counters()
+    v = int(np.argmax(counts))  # a vertex certain to have entries
+    coll._inverted[v].pop()  # drop one incidence from the inverse direction
+    detected, evidence = _violated(
+        check_hypergraph_collection(coll, "mutant"), "collection.inverted-index"
+    )
+    return MutantResult(
+        "inverted-index-drop",
+        f"removed one sample id from vertex {v}'s inverted list",
+        detected,
+        evidence,
+    )
+
+
+def _select_skip_decrement(coll: SortedRRRCollection, n: int, k: int) -> np.ndarray:
+    """The injected selection bug: greedy that never decrements.
+
+    Structurally the same loop as the real selector, minus the purge
+    accounting — the classic "forgot to subtract covered memberships"
+    slip that still returns a plausible-looking seed set.
+    """
+    counters = coll.counters().astype(np.int64)
+    seeds = np.empty(k, dtype=np.int64)
+    for i in range(k):
+        v = int(np.argmax(counters))
+        seeds[i] = v
+        counters[v] = -1  # skips the per-sample decrement entirely
+    return seeds
+
+
+def _mutant_skipped_decrement(seed: int) -> MutantResult:
+    # A collection where skipping decrements provably flips the second
+    # pick: vertex 1 covers everything vertex 0 appears in, so after a
+    # correct purge vertex 0's count drops to zero and vertex 2 wins.
+    coll = SortedRRRCollection(3)
+    for s in ([0, 1], [0, 1], [1], [2]):
+        coll.append(np.asarray(s, dtype=np.int64))
+    good = select_seeds_sorted(coll, 3, 2).seeds
+    bad = _select_skip_decrement(coll, 3, 2)
+    diverged = not np.array_equal(good, bad)
+    return MutantResult(
+        "skipped-decrement",
+        "greedy selector that never decrements covered memberships",
+        diverged,
+        (
+            f"seed-set comparison caught it: {good.tolist()} vs {bad.tolist()}"
+            if diverged
+            else "mutant selector returned the reference seed set"
+        ),
+    )
+
+
+def _mutant_biased_rng(seed: int) -> MutantResult:
+    """Bias the IC coin acceptance and demand the bitwise compare sees it."""
+    graph = load(_MUTATION_DATASET, "IC")
+    reference = SortedRRRCollection(graph.n)
+    sample_batch(
+        graph, "IC", reference, _MUTATION_THETA, seed,
+        sampler=RRRSampler(graph, "IC"), engine="serial",
+    )
+    sampler = BatchedRRRSampler(graph, "IC")
+    # Double every acceptance threshold: each coin flip now succeeds
+    # roughly twice as often — a biased draw, not a different stream.
+    sampler._in_thresh = np.minimum(
+        sampler._in_thresh * np.uint64(2), np.uint64(1 << 53)
+    )
+    sampler._thresh_shifted = None  # force the (valid) unshifted compare
+    mutant = SortedRRRCollection(graph.n)
+    sample_batch(
+        graph, "IC", mutant, _MUTATION_THETA, seed, sampler=sampler, engine="batched"
+    )
+    ref_flat, ref_indptr, _ = reference.flattened()
+    mut_flat, mut_indptr, _ = mutant.flattened()
+    diverged = not (
+        np.array_equal(ref_flat, mut_flat) and np.array_equal(ref_indptr, mut_indptr)
+    )
+    return MutantResult(
+        "biased-rng",
+        "IC edge coins accept at ~2x the configured probability",
+        diverged,
+        (
+            f"bitwise collection comparison caught it "
+            f"({reference.total_entries} vs {mutant.total_entries} entries)"
+            if diverged
+            else "biased sampler reproduced the reference collection"
+        ),
+    )
+
+
+_MUTANTS = (
+    _mutant_unsorted,
+    _mutant_duplicate,
+    _mutant_indptr,
+    _mutant_sample_of,
+    _mutant_byte_model,
+    _mutant_inverted_index,
+    _mutant_skipped_decrement,
+    _mutant_biased_rng,
+)
+
+
+def run_mutation_suite(seed: int = 1) -> list[MutantResult]:
+    """Inject every fault class; return one result per mutant.
+
+    The caller fails the run if any result has ``detected=False`` —
+    a surviving mutant means the oracle has a blind spot.
+    """
+    return [mutant(seed) for mutant in _MUTANTS]

@@ -1,0 +1,76 @@
+"""Violation records and the report accumulator shared by all checkers.
+
+Every checker in :mod:`repro.validate` returns (or merges into) a
+:class:`ValidationReport`: a flat list of :class:`Violation` records plus
+a count of checks that ran.  Checkers never raise on a failed invariant —
+the oracle's job is to *collect* every divergence it can find in one
+pass, so a single run of ``repro-imm validate`` reports the full damage
+rather than the first casualty.  (Programming errors — bad arguments,
+unknown datasets — still raise normally.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Violation", "ValidationReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    Attributes
+    ----------
+    check:
+        Dotted name of the invariant (e.g. ``"collection.sortedness"``,
+        ``"oracle.seed-set"``, ``"rng.leapfrog-tiling"``).
+    subject:
+        What was being checked (e.g. ``"cit-HepTh/IC cohort=7"``).
+    detail:
+        Human-readable description of the divergence, with enough
+        numbers to start debugging from.
+    """
+
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Accumulator for a validation run.
+
+    ``checks_run`` counts individual assertions so a green report can be
+    distinguished from a report that never ran anything (an oracle that
+    silently skips everything would otherwise look healthy — exactly the
+    failure mode the mutation tests guard against at the checker level).
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self, passed: bool, check: str, subject: str, detail: str) -> bool:
+        """Record one assertion; returns ``passed`` for chaining."""
+        self.checks_run += 1
+        if not passed:
+            self.violations.append(Violation(check, subject, detail))
+        return passed
+
+    def merge(self, other: "ValidationReport") -> "ValidationReport":
+        self.violations.extend(other.violations)
+        self.checks_run += other.checks_run
+        return self
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        lines = [f"validate: {self.checks_run} checks, {status}"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""RNG partition laws: the probabilistic foundation of both parallel schemes.
+
+Two disciplines carry the paper's "same algorithm, different schedule"
+argument, and each has an exact algebraic law the oracle can check
+directly instead of trusting the generators' docstrings:
+
+* **Leap-frog LCG substreams** (``rng_scheme="leapfrog"``, Section 3.2):
+  the ``p`` substreams of :func:`~repro.rng.streams.spawn_streams` must
+  *exactly tile* the master sequence — substream ``r`` produces elements
+  ``r, r+p, r+2p, ...`` and nothing else, so the union of all substreams
+  is the serial stream and the distributed run consumes the same
+  randomness as a serial one would, merely reordered.
+
+* **Counter-based per-sample streams** (the default scheme): output
+  ``c`` of sample ``j``'s stream is the pure function
+  ``mix64(seed_j + c·γ)`` — index-addressable, so the cohort sampler's
+  bookkeeping (:func:`~repro.sampling.batched.stream_seeds` /
+  :func:`~repro.sampling.batched.stream_coins`) must reproduce the
+  iterated scalar stream bit for bit, and ``jump`` must commute with
+  iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import Lcg64, SplitMix64, sample_stream, spawn_streams
+from ..sampling.batched import stream_coins, stream_seeds
+from .report import ValidationReport
+
+__all__ = ["check_leapfrog_tiling", "check_counter_streams", "check_rng_laws"]
+
+
+def check_leapfrog_tiling(
+    seed: int, sizes: tuple[int, ...] = (1, 2, 3, 5), length: int = 128
+) -> ValidationReport:
+    """Leap-frog substreams must exactly tile the master LCG sequence."""
+    rep = ValidationReport()
+    for p in sizes:
+        master = Lcg64(seed)
+        serial = [master.next_u64() for _ in range(p * length)]
+        streams = spawn_streams(seed, p)
+        for r, stream in enumerate(streams):
+            subject = f"seed={seed} p={p} rank={r}"
+            rep.check(
+                stream.stride == p and stream.offset == r,
+                "rng.leapfrog-bookkeeping",
+                subject,
+                f"expected stride={p} offset={r}, "
+                f"got stride={stream.stride} offset={stream.offset}",
+            )
+            got = [stream.next_u64() for _ in range(length)]
+            want = serial[r::p][:length]
+            rep.check(
+                got == want,
+                "rng.leapfrog-tiling",
+                subject,
+                "substream outputs are not elements r, r+p, ... of the "
+                "master sequence",
+            )
+        # The union of the substreams' first outputs, interleaved by
+        # offset, is the master prefix — i.e. the tiling is a partition,
+        # with neither overlaps nor gaps.
+        streams = spawn_streams(seed, p)
+        interleaved = [0] * (p * length)
+        for r, stream in enumerate(streams):
+            for i in range(length):
+                interleaved[r + i * p] = stream.next_u64()
+        rep.check(
+            interleaved == serial,
+            "rng.leapfrog-partition",
+            f"seed={seed} p={p}",
+            "interleaving the substreams does not reconstruct the master "
+            "sequence",
+        )
+        # Block generation must agree with scalar iteration.
+        a = spawn_streams(seed, p)[p - 1]
+        b = a.clone()
+        block = a.next_u64_block(length)
+        scalars = np.array([b.next_u64() for _ in range(length)], dtype=np.uint64)
+        rep.check(
+            bool(np.array_equal(block, scalars)),
+            "rng.leapfrog-block",
+            f"seed={seed} p={p}",
+            "vectorized block output diverges from scalar iteration",
+        )
+    return rep
+
+
+def check_counter_streams(
+    seed: int,
+    sample_indices: tuple[int, ...] = (0, 1, 7, 63, 1000),
+    counters: tuple[int, ...] = (1, 2, 5, 17, 999),
+) -> ValidationReport:
+    """Per-sample streams must be index-addressable, exactly.
+
+    Verifies the three equalities the cohort sampler's determinism
+    contract rests on: stream identity (``stream_seeds`` equals the
+    scalar ``split``), random access (``stream_coins`` equals iterating
+    the scalar stream to the same counter), and O(1) ``jump``.
+    """
+    rep = ValidationReport()
+    idx = np.asarray(sample_indices, dtype=np.int64)
+    vec_seeds = stream_seeds(seed, idx)
+    for pos, j in enumerate(sample_indices):
+        scalar = sample_stream(seed, j)
+        subject = f"seed={seed} sample={j}"
+        rep.check(
+            int(vec_seeds[pos]) == scalar.seed,
+            "rng.stream-identity",
+            subject,
+            f"stream_seeds gives {int(vec_seeds[pos]):#x}, scalar split "
+            f"gives {scalar.seed:#x}",
+        )
+        # Iterate the scalar stream and compare each output against the
+        # random-access formula at the same (1-based) counter.
+        walker = sample_stream(seed, j)
+        outputs = {}
+        for c in range(1, max(counters) + 1):
+            outputs[c] = walker.next_u64()
+        direct = stream_coins(
+            np.full(len(counters), vec_seeds[pos], dtype=np.uint64),
+            np.asarray(counters, dtype=np.int64),
+        )
+        rep.check(
+            all(int(direct[i]) == outputs[c] for i, c in enumerate(counters)),
+            "rng.counter-random-access",
+            subject,
+            "stream_coins(seed, c) != the c-th iterated output",
+        )
+        # jump(t) then one draw == output t+1.
+        for t in (0, 3, 100):
+            jumper = sample_stream(seed, j)
+            jumper.jump(t)
+            want = stream_coins(
+                np.asarray([scalar.seed], dtype=np.uint64),
+                np.asarray([t + 1], dtype=np.int64),
+            )
+            rep.check(
+                jumper.next_u64() == int(want[0]),
+                "rng.counter-jump",
+                subject,
+                f"jump({t}) followed by a draw disagrees with random access",
+            )
+    # Distinct samples must get distinct streams (seed collisions would
+    # silently correlate samples).
+    rep.check(
+        len({int(s) for s in vec_seeds}) == len(sample_indices),
+        "rng.stream-distinctness",
+        f"seed={seed}",
+        "two sample indices mapped to the same stream seed",
+    )
+    # SplitMix64 block generation vs scalar iteration.
+    a = SplitMix64(seed)
+    b = a.clone()
+    block = a.next_u64_block(64)
+    scalars = np.array([b.next_u64() for _ in range(64)], dtype=np.uint64)
+    rep.check(
+        bool(np.array_equal(block, scalars)),
+        "rng.splitmix-block",
+        f"seed={seed}",
+        "vectorized block output diverges from scalar iteration",
+    )
+    return rep
+
+
+def check_rng_laws(seed: int = 0) -> ValidationReport:
+    """Both partition laws under one master seed (plus a second seed to
+    rule out seed-specific coincidences)."""
+    rep = ValidationReport()
+    for s in (seed, seed + 12345):
+        rep.merge(check_leapfrog_tiling(s))
+        rep.merge(check_counter_streams(s))
+    return rep

@@ -181,6 +181,24 @@ class TestNewSubcommands:
         assert code == 0
         assert "communities used" in capsys.readouterr().out
 
+    def test_validate_quick_single_dataset(self, capsys):
+        code = main(["validate", "--quick", "--dataset", "cit-HepTh"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equivalence oracle (quick)" in out
+        assert "OK" in out
+
+    def test_validate_mutate_only(self, capsys):
+        code = main(["validate", "--mutate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mutants killed" in out
+        assert "SURVIVED" not in out
+
+    def test_validate_quick_and_full_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--quick", "--full"])
+
     def test_metis_input(self, tmp_path, capsys):
         path = tmp_path / "g.metis"
         # a 4-cycle, both directions

@@ -126,6 +126,74 @@ class TestMetering:
         assert sel.coverage_fraction(0) == 0.0
 
 
+class TestTieBreakContract:
+    """Equal membership counts must resolve to the smallest vertex id in
+    *every* selector — the cross-implementation contract the equivalence
+    oracle (repro.validate) relies on."""
+
+    # counts: vertex 2 -> 2, vertex 4 -> 2 (tied); all others 0 or less.
+    TIED_SETS = [{2}, {2, 4}, {4}]
+    N = 6
+
+    def _run_dist(self, partitions, n, k):
+        """Drive _dist_select via the real SPMD harness, one partition of
+        the sample space per rank."""
+        from repro.mpi.comm import run_spmd
+        from repro.mpi.distributed import _dist_select
+
+        out = {}
+
+        def program(rank, size):
+            coll = build(partitions[rank], n, "sorted")
+            seeds, covered, _ = yield from _dist_select(coll, n, k)
+            out[rank] = (seeds.tolist(), covered)
+            return rank
+
+        run_spmd(len(partitions), program)
+        return out
+
+    def test_sorted_breaks_tie_to_smallest(self):
+        sel = select_seeds_sorted(build(self.TIED_SETS, self.N, "sorted"), self.N, 2)
+        assert sel.seeds.tolist() == [2, 4]
+
+    def test_hypergraph_breaks_tie_to_smallest(self):
+        sel = select_seeds_hypergraph(
+            build(self.TIED_SETS, self.N, "hypergraph"), self.N, 2
+        )
+        assert sel.seeds.tolist() == [2, 4]
+
+    def test_dist_breaks_tie_to_smallest_single_rank(self):
+        out = self._run_dist([self.TIED_SETS], self.N, 2)
+        assert out[0] == ([2, 4], 3)
+
+    def test_dist_breaks_tie_to_smallest_two_ranks(self):
+        # Split the tied sets across ranks: the tie now only exists in the
+        # All-Reduced global counters, never in any local view.
+        parts = [[{2}, {4}], [{2, 4}]]
+        out = self._run_dist(parts, self.N, 2)
+        assert out[0][0] == [2, 4]
+        assert out[1][0] == [2, 4]  # every rank agrees on the argmax
+        assert out[0][1] == 3  # global covered total is All-Reduced too
+
+    def test_all_three_selectors_agree_on_random_ties(self):
+        """Random instances engineered to be tie-rich (tiny vertex range,
+        many duplicate sets)."""
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            n = 6
+            sets = [
+                set(rng.choice(n, size=rng.integers(1, 3), replace=False).tolist())
+                for _ in range(10)
+            ]
+            a = select_seeds_sorted(build(sets, n, "sorted"), n, 3).seeds.tolist()
+            b = select_seeds_hypergraph(
+                build(sets, n, "hypergraph"), n, 3
+            ).seeds.tolist()
+            parts = [sets[0::2], sets[1::2]]
+            out = self._run_dist(parts, n, 3)
+            assert a == b == out[0][0] == out[1][0]
+
+
 class TestValidation:
     def test_bad_k(self):
         coll = build(SETS, 5, "sorted")

@@ -106,6 +106,20 @@ class TestEstimateTheta:
         with pytest.raises(ValueError):
             estimate_theta(ba_graph, 10, 1.0)
 
+    def test_eps_beyond_guarantee_rejected(self, ba_graph):
+        """Regression: ``eps >= 1 - 1/e`` makes the ``(1 - 1/e - eps)``
+        approximation factor non-positive; such values used to be
+        accepted silently."""
+        from repro.imm.theta import EPS_UPPER_BOUND
+
+        assert abs(EPS_UPPER_BOUND - (1.0 - 1.0 / math.e)) < 1e-12
+        for eps in (EPS_UPPER_BOUND, 0.64, 0.7, 0.99):
+            with pytest.raises(ValueError, match="1 - 1/e"):
+                estimate_theta(ba_graph, 10, eps)
+        # Just inside the bound is still a valid instance.
+        est = estimate_theta(ba_graph, 10, 0.63, "IC", seed=1, theta_cap=50)
+        assert est.theta > 0
+
     def test_tiny_graph_rejected(self):
         from repro.graph import path_graph
 

@@ -67,6 +67,23 @@ class TestIMMDist:
         rounds = imm(ba_graph, k=k, eps=0.5, seed=3).extra["estimation_rounds"]
         assert dist.extra["comm_calls"] == (rounds + 1) * (k + 2)
 
+    def test_coverage_history_matches_serial(self, ba_graph):
+        """Parity satellite: the distributed driver now reports the same
+        per-round ``(theta_x, frac)`` diagnostics as the serial one, so
+        Figure-2-style sweeps can run distributed."""
+        serial = imm(ba_graph, k=8, eps=0.5, seed=3)
+        for p in (1, 3):
+            dist = imm_dist(ba_graph, k=8, eps=0.5, num_nodes=p, seed=3)
+            assert dist.extra["coverage_history"] == serial.extra["coverage_history"]
+            assert dist.extra["estimation_rounds"] == serial.extra["estimation_rounds"]
+            assert len(dist.extra["coverage_history"]) == dist.extra["estimation_rounds"]
+
+    def test_eps_beyond_guarantee_rejected(self, ba_graph):
+        """imm_dist replicates Algorithm 2 without calling estimate_theta,
+        so it must apply the same eps validation itself."""
+        with pytest.raises(ValueError, match="1 - 1/e"):
+            imm_dist(ba_graph, k=5, eps=0.7, num_nodes=2)
+
     def test_leapfrog_scheme_valid(self, ba_graph):
         dist = imm_dist(
             ba_graph, k=8, eps=0.5, num_nodes=4, seed=3, rng_scheme="leapfrog"

@@ -75,6 +75,79 @@ class TestSortedCollection:
         assert coll.counters().tolist() == [0, 0, 0, 0]
 
 
+class TestAppendBatchBoundaries:
+    """Boundary semantics of the bulk append's sortedness mask (the mask
+    flags non-*increasing* within-sample pairs; cross-sample pairs are
+    exempt)."""
+
+    def test_duplicate_straddling_two_samples_accepted(self):
+        # Sample 0 ends with vertex 5, sample 1 starts with vertex 5:
+        # the repeated vertex is legal because it belongs to different
+        # samples (diff == 0 exactly on the boundary).
+        coll = SortedRRRCollection(7)
+        coll.append_batch(np.array([1, 5, 5, 6], np.int64), np.array([2, 2]))
+        assert len(coll) == 2
+        assert coll[0].tolist() == [1, 5]
+        assert coll[1].tolist() == [5, 6]
+
+    def test_straddling_boundary_singleton_tail(self):
+        coll = SortedRRRCollection(6)
+        coll.append_batch(np.array([1, 5, 5], np.int64), np.array([2, 1]))
+        assert len(coll) == 2
+        assert coll[0].tolist() == [1, 5]
+        assert coll[1].tolist() == [5]
+
+    def test_descending_across_boundary_accepted(self):
+        # flat strictly decreases across the boundary — still fine.
+        coll = SortedRRRCollection(6)
+        coll.append_batch(np.array([4, 5, 0, 1], np.int64), np.array([2, 2]))
+        assert coll[1].tolist() == [0, 1]
+
+    def test_within_sample_duplicate_rejected(self):
+        coll = SortedRRRCollection(6)
+        with pytest.raises(ValueError, match="sorted"):
+            coll.append_batch(np.array([1, 1, 2], np.int64), np.array([3]))
+
+    def test_within_sample_inversion_rejected(self):
+        coll = SortedRRRCollection(6)
+        with pytest.raises(ValueError, match="sorted"):
+            coll.append_batch(np.array([0, 3, 2], np.int64), np.array([1, 2]))
+
+    def test_all_singleton_samples_skip_pair_check(self):
+        coll = SortedRRRCollection(6)
+        coll.append_batch(np.array([5, 5, 0], np.int64), np.array([1, 1, 1]))
+        assert len(coll) == 3
+        assert coll.total_entries == 3
+
+
+class TestEmptyCollection:
+    def test_flattened_on_empty(self):
+        flat, indptr, sample_of = SortedRRRCollection(6).flattened()
+        assert flat.tolist() == []
+        assert indptr.tolist() == [0]
+        assert sample_of.tolist() == []
+
+    def test_getitem_on_empty_raises_indexerror(self):
+        # Must be IndexError, not ZeroDivisionError from the modulo.
+        with pytest.raises(IndexError):
+            SortedRRRCollection(6)[0]
+        with pytest.raises(IndexError):
+            SortedRRRCollection(6)[-1]
+
+    def test_iteration_and_counters_on_empty(self):
+        coll = SortedRRRCollection(4)
+        assert list(coll) == []
+        assert coll.counters().tolist() == [0, 0, 0, 0]
+        assert len(coll) == 0
+
+    def test_empty_batch_append_is_noop(self):
+        coll = SortedRRRCollection(4)
+        coll.append_batch(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert len(coll) == 0
+        flat, indptr, _ = coll.flattened()
+        assert flat.tolist() == [] and indptr.tolist() == [0]
+
+
 class TestHypergraphCollection:
     def test_append_and_inverted_index(self):
         coll = HypergraphRRRCollection(6)

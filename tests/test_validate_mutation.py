@@ -1,0 +1,40 @@
+"""Tests for the mutation suite (repro.validate.mutation).
+
+Every deliberately injected fault must be *killed* — a surviving mutant
+means the oracle would wave through the corresponding real bug.
+"""
+
+from repro.validate import MutantResult, run_mutation_suite
+
+EXPECTED_MUTANTS = {
+    "unsorted-sample",
+    "within-sample-duplicate",
+    "indptr-corruption",
+    "sample-of-corruption",
+    "byte-model-drift",
+    "inverted-index-drop",
+    "skipped-decrement",
+    "biased-rng",
+}
+
+
+class TestMutationSuite:
+    def test_every_mutant_is_killed(self):
+        results = run_mutation_suite(seed=1)
+        survivors = [r.name for r in results if not r.detected]
+        assert survivors == [], f"oracle blind spots: {survivors}"
+
+    def test_all_fault_classes_covered(self):
+        names = {r.name for r in run_mutation_suite(seed=1)}
+        assert names == EXPECTED_MUTANTS
+
+    def test_killed_at_other_seeds(self):
+        # The detectors must not depend on a lucky draw.
+        for seed in (2, 17):
+            assert all(r.detected for r in run_mutation_suite(seed=seed))
+
+    def test_result_rendering(self):
+        killed = MutantResult("x", "fault", True, "flagged")
+        survived = MutantResult("y", "fault", False, "stayed green")
+        assert "KILLED" in str(killed)
+        assert "SURVIVED" in str(survived)
