@@ -10,9 +10,13 @@ Subcommands mirror the tool surface the paper's framework exposes:
 * ``repro-imm sweep`` — IMM across several k values with one shared RRR
   collection (the "multiple k values" workflow of the paper's intro);
 * ``repro-imm community`` — the community-decomposed extension;
+* ``repro-imm dist`` — the distributed driver with fault injection
+  (``--fault-plan``), recovery policies (``--policy``) and
+  checkpoint/restart (``--checkpoint-out``/``--resume-from``);
 * ``repro-imm experiment`` — same as ``python -m repro.experiments``;
 * ``repro-imm validate`` — the cross-implementation equivalence oracle
-  (``--quick``/``--full``) and its mutation-test mode (``--mutate``).
+  (``--quick``/``--full``, shardable via ``--shard i/m``) and its
+  mutation-test mode (``--mutate``).
 
 Graphs come from the dataset registry (``--dataset``), SNAP edge lists
 (``--edgelist``), METIS files (``--metis``) or MatrixMarket coordinate
@@ -166,15 +170,33 @@ def _cmd_community(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    try:
+        i, m = (int(part) for part in text.split("/"))
+    except ValueError:
+        raise SystemExit(f"--shard expects i/m (e.g. 2/4), got {text!r}")
+    return i, m
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from .validate import full_config, quick_config, run_mutation_suite, run_oracle
+    from .validate import (
+        SMOKE_MUTANTS,
+        full_config,
+        quick_config,
+        run_mutation_suite,
+        run_oracle,
+    )
 
     status = 0
-    if args.mutate:
-        print("mutation suite: injecting one fault per failure class ...")
-        results = run_mutation_suite(seed=1 if args.seed is None else args.seed)
+    if args.mutate or args.mutate_smoke:
+        names = SMOKE_MUTANTS if args.mutate_smoke else None
+        scope = "smoke subset" if args.mutate_smoke else "every failure class"
+        print(f"mutation suite: injecting one fault per class ({scope}) ...")
+        results = run_mutation_suite(
+            seed=1 if args.seed is None else args.seed, names=names
+        )
         for res in results:
             print(f"  {res}")
         survivors = [res for res in results if not res.detected]
@@ -191,14 +213,73 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         cfg = replace(cfg, datasets=tuple(args.dataset))
     if args.seed is not None:
         cfg = replace(cfg, seed=args.seed)
+    if args.faults:
+        cfg = replace(cfg, check_faults=True)
+    elif args.no_faults:
+        cfg = replace(cfg, check_faults=False)
+    shard = _parse_shard(args.shard) if args.shard else None
     mode = "full" if args.full else "quick"
     print(
-        f"equivalence oracle ({mode}): {len(cfg.datasets)} dataset(s) x "
+        f"equivalence oracle ({mode}"
+        + (f", shard {shard[0]}/{shard[1]}" if shard else "")
+        + f"): {len(cfg.datasets)} dataset(s) x "
         f"{len(cfg.models)} model(s), theta_cap={cfg.theta_cap}"
     )
-    report = run_oracle(cfg, progress=lambda line: print(f"  {line}"))
+    report = run_oracle(cfg, progress=lambda line: print(f"  {line}"), shard=shard)
     print(report.summary())
     return 1 if (status or not report.ok) else 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    import json
+
+    graph = _load_graph(args)
+    resume = None
+    if args.resume_from:
+        with open(args.resume_from) as fh:
+            payload = json.load(fh)
+        # a sink file holds the whole checkpoint trail; resume from the last
+        resume = payload[-1] if isinstance(payload, list) else payload
+    sink: list | None = [] if args.checkpoint_out else None
+    result = imm_dist(
+        graph,
+        k=args.k,
+        eps=args.eps,
+        model=args.model,
+        num_nodes=args.nodes,
+        machine=_MACHINES[args.machine],
+        seed=args.seed,
+        theta_cap=args.theta_cap,
+        fault_plan=args.fault_plan,
+        policy=args.policy,
+        max_retries=args.max_retries,
+        resume_from=resume,
+        checkpoint_sink=sink,
+    )
+    print(result.summary())
+    extra = result.extra
+    print(f"policy: {extra['policy']}   alive ranks: {extra['alive_ranks']}")
+    if extra.get("fault_plan"):
+        print(f"fault plan: {extra['fault_plan']}")
+    if extra["degraded"]:
+        print(
+            f"DEGRADED: theta_effective={extra['theta_effective']}"
+            f" (lost {extra['lost_samples']} samples),"
+            f" epsilon_effective={extra['epsilon_effective']:.4f}"
+        )
+    rec = extra.get("recovery")
+    if rec:
+        print(
+            f"recovery: retries={rec['retries']} respawns={rec['respawns']}"
+            f" shrinks={rec['shrinks']} replayed_calls={rec['replayed_calls']}"
+            f" (+{extra['recovery_seconds']:.4f}s modeled)"
+        )
+    print(f"seeds: {' '.join(map(str, result.seeds.tolist()))}")
+    if args.checkpoint_out:
+        with open(args.checkpoint_out, "w") as fh:
+            json.dump(sink, fh, indent=2)
+        print(f"wrote {len(sink)} checkpoint(s) to {args.checkpoint_out}")
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -292,11 +373,60 @@ def build_parser() -> argparse.ArgumentParser:
         "(combinable with --quick/--full; alone it runs only the mutants)",
     )
     p_va.add_argument(
+        "--mutate-smoke", action="store_true",
+        help="like --mutate but only the cheap smoke subset (the tier-1 set)",
+    )
+    faults = p_va.add_mutually_exclusive_group()
+    faults.add_argument(
+        "--faults", action="store_true",
+        help="force the fault-injection x recovery-policy axes on",
+    )
+    faults.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the fault-injection axes (faster sweep)",
+    )
+    p_va.add_argument(
+        "--shard", default=None, metavar="I/M",
+        help="run the I-th of M interleaved subject slices (1-based), "
+        "e.g. --shard 2/4; RNG laws run on shard 1 only",
+    )
+    p_va.add_argument(
         "--dataset", action="append", choices=names(),
         help="restrict the oracle to specific registry graphs (repeatable)",
     )
     p_va.add_argument("--seed", type=int, default=None, help="oracle master seed")
     p_va.set_defaults(func=_cmd_validate)
+
+    p_di = sub.add_parser(
+        "dist",
+        help="distributed IMM with fault injection, recovery and checkpointing",
+    )
+    _add_graph_args(p_di)
+    p_di.add_argument("--k", type=int, default=20)
+    p_di.add_argument("--eps", type=float, default=0.5)
+    p_di.add_argument("--nodes", type=int, default=8)
+    p_di.add_argument("--machine", choices=tuple(_MACHINES), default="puma")
+    p_di.add_argument("--theta-cap", type=int, default=None)
+    p_di.add_argument(
+        "--fault-plan", default=None,
+        help="fault spec, e.g. 'crash:1@3;straggler:0x4' "
+        "(crash:R@N, crash:R@phase=NAME, oom:R@N, straggler:RxF, "
+        "transient:@N[xK], corrupt:R@N)",
+    )
+    p_di.add_argument(
+        "--policy", choices=("abort", "retry", "respawn", "shrink"),
+        default="abort", help="recovery policy when a fault fires",
+    )
+    p_di.add_argument("--max-retries", type=int, default=3)
+    p_di.add_argument(
+        "--checkpoint-out", default=None, metavar="FILE",
+        help="write the per-round checkpoint trail to FILE as JSON",
+    )
+    p_di.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        help="resume from a checkpoint file written by --checkpoint-out",
+    )
+    p_di.set_defaults(func=_cmd_dist)
 
     p_ex = sub.add_parser("experiment", help="regenerate tables/figures")
     p_ex.add_argument("names", nargs="*", default=[])

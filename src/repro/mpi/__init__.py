@@ -20,24 +20,81 @@ Fidelity to Section 3.2 of the paper:
   an All-Reduce per greedy iteration (communication ``O(k n lg p)``);
 * a per-rank memory model (graph replica + local RRR partition) feeds a
   simulated OOM killer, reproducing the missing points of Figure 7.
+
+Beyond the paper, the runtime models the *unhappy* path too: declarative
+fault injection (:mod:`repro.mpi.faults`), recovery policies — retry /
+respawn / shrink — (:mod:`repro.mpi.resilient`), and cursor-only
+checkpoint/restart (:mod:`repro.mpi.checkpoint`), all built on the same
+determinism contract that makes the happy path bit-exact.
 """
 
-from .comm import Allgather, Allreduce, Barrier, Bcast, CommStats, run_spmd
-from .costmodel import allreduce_seconds, collective_seconds
-from .distributed import SimulatedOOMError, imm_dist
+from .comm import (
+    Allgather,
+    Allreduce,
+    Barrier,
+    Bcast,
+    CollectiveMismatchError,
+    CommCall,
+    CommStats,
+    run_spmd,
+)
+from .costmodel import allreduce_seconds, collective_seconds, comm_seconds_by_label
+from .checkpoint import (
+    DistCheckpoint,
+    initial_deals,
+    live_count,
+    owned_indices,
+    rebuild_partition,
+    shrink_deals,
+)
+from .faults import (
+    CorruptReduce,
+    FaultInjector,
+    FaultPlan,
+    OOMKill,
+    RankCrash,
+    RankFailedError,
+    SimulatedOOMError,
+    Straggler,
+    TransientCommError,
+    TransientFault,
+)
+from .resilient import POLICIES, RecoveryLog, run_spmd_resilient
+from .distributed import imm_dist
 from .partitioned import PartitionedBatch, partitioned_rr_batch
 
 __all__ = [
     "run_spmd",
+    "run_spmd_resilient",
     "Allreduce",
     "Allgather",
     "Bcast",
     "Barrier",
+    "CommCall",
     "CommStats",
+    "CollectiveMismatchError",
     "allreduce_seconds",
     "collective_seconds",
+    "comm_seconds_by_label",
     "imm_dist",
     "SimulatedOOMError",
     "partitioned_rr_batch",
     "PartitionedBatch",
+    "FaultPlan",
+    "FaultInjector",
+    "RankCrash",
+    "Straggler",
+    "TransientFault",
+    "CorruptReduce",
+    "OOMKill",
+    "RankFailedError",
+    "TransientCommError",
+    "RecoveryLog",
+    "POLICIES",
+    "DistCheckpoint",
+    "initial_deals",
+    "owned_indices",
+    "live_count",
+    "shrink_deals",
+    "rebuild_partition",
 ]

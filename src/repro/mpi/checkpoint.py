@@ -1,0 +1,207 @@
+"""Checkpoint/restart state for ``imm_dist`` and sample-ownership algebra.
+
+The whole reason checkpoints are *cheap* here is the determinism
+contract: with counter-addressable per-sample streams, sample ``j`` is
+a pure function of ``(graph, model, seed, j)``, so a rank's entire RRR
+partition is re-derivable from its **sample indices alone**.  A
+checkpoint therefore never stores RRR sets — only the control-flow
+cursor ``(round, rng cursor, lower bound, selection history)`` plus the
+ownership map, a few hundred bytes regardless of θ.
+
+Ownership is expressed as **deal epochs**: ``deals`` is a sorted list
+of ``(start_index, ranks)`` pairs, where epoch ``i`` governs global
+sample indices ``start_i <= j < start_{i+1}`` and assigns ``j`` to
+``ranks[j % len(ranks)]``.  A fault-free job has the single epoch
+``(0, (0..p-1))`` — exactly the strided partition the distributed
+driver always used.  A *shrink* recovery appends a new epoch at the
+checkpoint cursor with the surviving ranks: indices before the cursor
+that belonged to a dead rank are lost (θ_eff shrinks), indices after it
+are re-dealt to survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DistCheckpoint",
+    "initial_deals",
+    "owned_indices",
+    "live_count",
+    "shrink_deals",
+    "rebuild_partition",
+]
+
+Deals = tuple[tuple[int, tuple[int, ...]], ...]
+
+
+def initial_deals(num_ranks: int) -> Deals:
+    """The fault-free ownership map: one epoch, strided over all ranks."""
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    return ((0, tuple(range(num_ranks))),)
+
+
+def _epochs(deals: Deals, lo: int, hi: int):
+    """Yield ``(start, stop, ranks)`` segments of ``[lo, hi)`` per epoch."""
+    deals = tuple(deals)
+    for i, (start, ranks) in enumerate(deals):
+        stop = deals[i + 1][0] if i + 1 < len(deals) else hi
+        seg_lo, seg_hi = max(lo, start), min(hi, stop)
+        if seg_lo < seg_hi:
+            yield seg_lo, seg_hi, tuple(ranks)
+
+
+def owned_indices(deals: Deals, rank: int, lo: int, hi: int) -> np.ndarray:
+    """Global sample indices in ``[lo, hi)`` owned by ``rank``."""
+    parts = []
+    for seg_lo, seg_hi, ranks in _epochs(deals, lo, hi):
+        js = np.arange(seg_lo, seg_hi, dtype=np.int64)
+        owners = np.asarray(ranks, dtype=np.int64)[js % len(ranks)]
+        parts.append(js[owners == rank])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def live_count(deals: Deals, alive: Iterable[int], upto: int) -> int:
+    """How many of the global indices ``[0, upto)`` are owned by a rank
+    in ``alive`` — the effective sample count θ_eff after losses."""
+    alive_set = set(int(r) for r in alive)
+    if all(set(ranks) <= alive_set for _, ranks in deals):
+        return max(0, int(upto))  # nothing lost: every owner is alive
+    alive_arr = np.asarray(sorted(alive_set), dtype=np.int64)
+    total = 0
+    for seg_lo, seg_hi, ranks in _epochs(deals, 0, upto):
+        js = np.arange(seg_lo, seg_hi, dtype=np.int64)
+        owners = np.asarray(ranks, dtype=np.int64)[js % len(ranks)]
+        total += int(np.isin(owners, alive_arr).sum())
+    return total
+
+
+def shrink_deals(deals: Deals, cursor: int, alive: Sequence[int]) -> Deals:
+    """Ownership map after re-dealing indices ``>= cursor`` to ``alive``.
+
+    Epochs at or beyond the cursor are superseded (those indices were
+    never checkpointed as generated, so survivors regenerate them);
+    epochs before it are frozen history — their dead-owned indices are
+    the lost samples.
+    """
+    if not alive:
+        raise ValueError("cannot shrink to zero ranks")
+    kept = [(start, tuple(ranks)) for start, ranks in deals if start < cursor]
+    return tuple(kept) + ((cursor, tuple(alive)),)
+
+
+@dataclass(frozen=True)
+class DistCheckpoint:
+    """Restartable ``imm_dist`` state at an estimation-round boundary.
+
+    ``stage`` is ``"estimate"`` (about to run estimation round
+    ``round``) or ``"final"`` (estimation done; θ and the lower bound
+    are fixed, the final top-up sampling and selection remain).
+    ``next_global`` is the RNG cursor: every global sample index below
+    it has been generated, everything at or above it has not.  RRR sets
+    themselves are **not** stored — they are re-derived from
+    ``(seed, deals, next_global)`` on resume.
+    """
+
+    stage: str
+    round: int
+    next_global: int
+    lb: float
+    theta: int | None
+    rounds_done: int
+    coverage_history: tuple[tuple[int, float], ...]
+    deals: Deals
+    alive: tuple[int, ...]
+    lost_samples: int
+    num_nodes: int
+    seed: int
+    k: int
+    eps: float
+    model: str
+    n: int
+    rng_scheme: str
+
+    def __post_init__(self) -> None:
+        if self.stage not in ("estimate", "final"):
+            raise ValueError(f"unknown checkpoint stage {self.stage!r}")
+
+    def key(self) -> tuple:
+        """Identity for write deduplication (recovery replays re-execute
+        checkpoint writes; identical state must not be re-emitted)."""
+        return (self.stage, self.round, self.next_global, self.alive, self.theta)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (lists instead of tuples/arrays)."""
+        return {
+            "stage": self.stage,
+            "round": self.round,
+            "next_global": self.next_global,
+            "lb": self.lb,
+            "theta": self.theta,
+            "rounds_done": self.rounds_done,
+            "coverage_history": [[int(t), float(f)] for t, f in self.coverage_history],
+            "deals": [[int(start), list(map(int, ranks))] for start, ranks in self.deals],
+            "alive": list(map(int, self.alive)),
+            "lost_samples": self.lost_samples,
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "k": self.k,
+            "eps": self.eps,
+            "model": self.model,
+            "n": self.n,
+            "rng_scheme": self.rng_scheme,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DistCheckpoint":
+        return cls(
+            stage=data["stage"],
+            round=int(data["round"]),
+            next_global=int(data["next_global"]),
+            lb=float(data["lb"]),
+            theta=None if data["theta"] is None else int(data["theta"]),
+            rounds_done=int(data["rounds_done"]),
+            coverage_history=tuple(
+                (int(t), float(f)) for t, f in data["coverage_history"]
+            ),
+            deals=tuple(
+                (int(start), tuple(int(r) for r in ranks))
+                for start, ranks in data["deals"]
+            ),
+            alive=tuple(int(r) for r in data["alive"]),
+            lost_samples=int(data["lost_samples"]),
+            num_nodes=int(data["num_nodes"]),
+            seed=int(data["seed"]),
+            k=int(data["k"]),
+            eps=float(data["eps"]),
+            model=str(data["model"]),
+            n=int(data["n"]),
+            rng_scheme=str(data["rng_scheme"]),
+        )
+
+
+def rebuild_partition(graph, model, deals: Deals, rank: int, upto: int, seed: int):
+    """Re-derive ``rank``'s RRR partition for indices ``[0, upto)``.
+
+    This is the respawn primitive: the partition a recovered rank must
+    hold is a pure function of ``(graph, model, seed, deals, rank,
+    upto)`` — no survivor state is consulted.  Returns
+    ``(collection, indices, per_sample_edges)``.
+    """
+    from ..diffusion import DiffusionModel
+    from ..sampling import BatchedRRRSampler, SortedRRRCollection
+
+    model = DiffusionModel.parse(model)
+    js = owned_indices(deals, rank, 0, upto)
+    collection = SortedRRRCollection(graph.n)
+    if len(js):
+        per = BatchedRRRSampler(graph, model).sample_into(collection, js, seed)
+    else:
+        per = np.empty(0, dtype=np.int64)
+    return collection, js, per

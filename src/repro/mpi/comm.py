@@ -19,6 +19,15 @@ identical to a genuine distributed execution — and resumes every rank
 with the combined value.  :class:`CommStats` tallies call counts and
 payload bytes for the communication cost model.
 
+``run_spmd(..., faults=...)`` consults a
+:class:`repro.mpi.faults.FaultInjector` at every collective: injected
+crashes/OOM kills surface as typed errors
+(:class:`~repro.mpi.faults.RankFailedError`,
+:class:`~repro.mpi.faults.SimulatedOOMError`), transient collective
+failures as :class:`~repro.mpi.faults.TransientCommError`.  This
+runtime *aborts* on all of them — recovery policies live in
+:func:`repro.mpi.resilient.run_spmd_resilient`.
+
 This mirrors the semantics of ``MPI_Allreduce`` et al. while staying a
 single deterministic process; it is the substitution DESIGN.md records
 for the paper's OpenMPI / Cray MPICH runs.
@@ -27,15 +36,18 @@ for the paper's OpenMPI / Cray MPICH runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, NamedTuple
 
 import numpy as np
+
+from .faults import FaultInjector, FaultPlan, TransientCommError
 
 __all__ = [
     "Allreduce",
     "Allgather",
     "Bcast",
     "Barrier",
+    "CommCall",
     "CommStats",
     "CollectiveMismatchError",
     "run_spmd",
@@ -60,7 +72,11 @@ class Allreduce:
 
 @dataclass
 class Allgather:
-    """All ranks receive the list ``[data_0, ..., data_{p-1}]``."""
+    """All ranks receive the list ``[data_0, ..., data_{p-1}]``.
+
+    Like ``MPI_Allgather``, array contributions must agree in shape and
+    dtype across ranks (mismatched counts hang a real job).
+    """
 
     data: Any
 
@@ -78,24 +94,50 @@ class Barrier:
     """Synchronization only; resumes with ``None``."""
 
 
+class CommCall(NamedTuple):
+    """One ledger entry: collective kind, per-rank payload bytes, and the
+    phase/recovery label active when it was issued (``""`` = unlabeled
+    first-attempt traffic; ``"retry"``/``"replay"`` mark recovery traffic)."""
+
+    kind: str
+    nbytes: int
+    label: str = ""
+
+
 @dataclass
 class CommStats:
     """Ledger of collective traffic for the cost model.
 
     ``payload_bytes`` counts the per-rank buffer size of each call (the
     quantity the α–β model multiplies by the tree depth), summed over
-    calls; ``per_call`` retains ``(kind, nbytes)`` tuples in issue order
-    so phases can be priced separately.
+    calls; ``per_call`` retains :class:`CommCall` entries in issue order
+    so phases — and retried/replayed recovery traffic — can be priced
+    separately.  Rank programs set ``phase`` via :meth:`set_phase`;
+    recovery runtimes pass explicit ``label`` overrides.
     """
 
     calls: int = 0
     payload_bytes: int = 0
-    per_call: list[tuple[str, int]] = field(default_factory=list)
+    per_call: list[CommCall] = field(default_factory=list)
+    phase: str = ""
 
-    def record(self, kind: str, nbytes: int) -> None:
+    def record(self, kind: str, nbytes: int, label: str | None = None) -> None:
         self.calls += 1
         self.payload_bytes += nbytes
-        self.per_call.append((kind, nbytes))
+        self.per_call.append(CommCall(kind, nbytes, self.phase if label is None else label))
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent calls with ``phase`` (idempotent, rank-safe:
+        lockstep ranks setting the same phase is a no-op)."""
+        self.phase = phase
+
+    def label_totals(self) -> dict[str, tuple[int, int]]:
+        """``label -> (calls, payload_bytes)`` aggregation of the ledger."""
+        totals: dict[str, tuple[int, int]] = {}
+        for call in self.per_call:
+            calls, nbytes = totals.get(call.label, (0, 0))
+            totals[call.label] = (calls + 1, nbytes + call.nbytes)
+        return totals
 
 
 def _nbytes(data: Any) -> int:
@@ -104,7 +146,12 @@ def _nbytes(data: Any) -> int:
     return 8  # scalar payload
 
 
-def _combine(kind_op: Allreduce | Allgather | Bcast | Barrier, buffers: list[Any]) -> Any:
+def _combine(kind_op: Allreduce | Allgather, buffers: list[Any]) -> Any:
+    """Combine ``buffers`` (one per rank, rank order) for a data collective.
+
+    ``Bcast``/``Barrier`` never reach this function: broadcast resolves to
+    the root's buffer alone and a barrier carries no data.
+    """
     if isinstance(kind_op, Allreduce):
         op = kind_op.op
         arrays = [np.asarray(b) for b in buffers]
@@ -124,10 +171,66 @@ def _combine(kind_op: Allreduce | Allgather | Bcast | Barrier, buffers: list[Any
             return out.item()
         return out
     if isinstance(kind_op, Allgather):
+        is_array = [isinstance(b, np.ndarray) for b in buffers]
+        if any(is_array):
+            if not all(is_array):
+                raise CollectiveMismatchError(
+                    "allgather mixes array and scalar contributions"
+                )
+            shapes = {b.shape for b in buffers}
+            if len(shapes) != 1:
+                raise CollectiveMismatchError(f"allgather shape mismatch: {shapes}")
+            dtypes = {b.dtype for b in buffers}
+            if len(dtypes) != 1:
+                raise CollectiveMismatchError(f"allgather dtype mismatch: {dtypes}")
         return list(buffers)
-    if isinstance(kind_op, Bcast):
-        return buffers  # handled specially (root's buffer)
-    return None  # Barrier
+    raise TypeError(f"not a data collective: {type(kind_op).__name__}")
+
+
+def _validate_step(ops: list[tuple[int, Any]], num_ranks: int) -> Any:
+    """Check concurrently-issued ops agree; return the prototype op.
+
+    ``ops`` is ``[(rank, op), ...]`` for the ranks participating in this
+    step.  Shared by :func:`run_spmd` and the resilient runtime.
+    """
+    kinds = {type(op) for _, op in ops}
+    if len(kinds) != 1:
+        raise CollectiveMismatchError(
+            f"mixed collectives in one step: {sorted(k.__name__ for k in kinds)}"
+        )
+    proto = ops[0][1]
+    if isinstance(proto, Allreduce):
+        reduce_ops = {op.op for _, op in ops}
+        if len(reduce_ops) != 1:
+            raise CollectiveMismatchError(f"mixed allreduce ops: {reduce_ops}")
+    if isinstance(proto, Bcast):
+        roots = {op.root for _, op in ops}
+        if len(roots) != 1:
+            raise CollectiveMismatchError(f"mixed bcast roots: {roots}")
+        if not 0 <= proto.root < num_ranks:
+            raise ValueError(f"bcast root {proto.root} out of range")
+        if proto.root not in {rank for rank, _ in ops}:
+            raise CollectiveMismatchError(
+                f"bcast root {proto.root} is not participating in this step"
+            )
+    return proto
+
+
+def _as_injector(faults: FaultPlan | FaultInjector | None) -> FaultInjector | None:
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults.injector()
+    if isinstance(faults, FaultInjector):
+        return faults
+    raise TypeError(f"faults must be a FaultPlan or FaultInjector, got {type(faults).__name__}")
+
+
+def _close_quietly(gen: Generator) -> None:
+    try:
+        gen.close()
+    except Exception:
+        pass  # a rank swallowing GeneratorExit must not mask the real error
 
 
 def run_spmd(
@@ -135,11 +238,13 @@ def run_spmd(
     program: Callable[[int, int], Generator],
     *,
     stats: CommStats | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> tuple[list[Any], CommStats]:
     """Execute ``program(rank, num_ranks)`` on every rank to completion.
 
     Returns ``(results, stats)`` where ``results[r]`` is rank ``r``'s
-    generator return value.
+    generator return value.  All rank generators are closed on exit,
+    normal or not — an aborted job leaves no suspended rank frames.
 
     Raises
     ------
@@ -147,66 +252,69 @@ def run_spmd(
         If ranks diverge: some finish while others still wait in a
         collective, or concurrent operations have mismatched types,
         reduce ops, or broadcast roots.
+    RankFailedError, SimulatedOOMError, TransientCommError
+        If ``faults`` injects a failure; this runtime aborts on the
+        first one (recovery lives in ``run_spmd_resilient``).
     """
     if num_ranks < 1:
         raise ValueError("need at least one rank")
     if stats is None:
         stats = CommStats()
+    injector = _as_injector(faults)
     gens = [program(rank, num_ranks) for rank in range(num_ranks)]
     results: list[Any] = [None] * num_ranks
     done = [False] * num_ranks
     send_values: list[Any] = [None] * num_ranks
     first = True
-    while not all(done):
-        ops: list[Any] = [None] * num_ranks
-        for r, gen in enumerate(gens):
-            if done[r]:
-                continue
-            try:
-                ops[r] = gen.send(None if first else send_values[r])
-            except StopIteration as stop:
-                results[r] = stop.value
-                done[r] = True
-        first = False
-        active = [r for r in range(num_ranks) if not done[r]]
-        if not active:
-            break
-        if len(active) != num_ranks and any(done):
-            finished = [r for r in range(num_ranks) if done[r]]
-            raise CollectiveMismatchError(
-                f"ranks {finished} returned while ranks {active} wait in a "
-                "collective — a real MPI job would hang here"
-            )
-        kinds = {type(ops[r]) for r in active}
-        if len(kinds) != 1:
-            raise CollectiveMismatchError(
-                f"mixed collectives in one step: {[k.__name__ for k in kinds]}"
-            )
-        proto = ops[active[0]]
-        if isinstance(proto, Allreduce):
-            reduce_ops = {ops[r].op for r in active}
-            if len(reduce_ops) != 1:
-                raise CollectiveMismatchError(f"mixed allreduce ops: {reduce_ops}")
-        if isinstance(proto, Bcast):
-            roots = {ops[r].root for r in active}
-            if len(roots) != 1:
-                raise CollectiveMismatchError(f"mixed bcast roots: {roots}")
-            root = proto.root
-            if not 0 <= root < num_ranks:
-                raise ValueError(f"bcast root {root} out of range")
-            value = ops[root].data
-            stats.record("bcast", _nbytes(value))
-            for r in active:
-                send_values[r] = value
-            continue
-        if isinstance(proto, Barrier):
-            stats.record("barrier", 0)
-            for r in active:
-                send_values[r] = None
-            continue
-        buffers = [ops[r].data for r in active]
-        combined = _combine(proto, buffers)
-        stats.record(type(proto).__name__.lower(), _nbytes(buffers[0]))
-        for r in active:
-            send_values[r] = combined
+    try:
+        while not all(done):
+            ops: list[Any] = [None] * num_ranks
+            for r, gen in enumerate(gens):
+                if done[r]:
+                    continue
+                try:
+                    ops[r] = gen.send(None if first else send_values[r])
+                except StopIteration as stop:
+                    results[r] = stop.value
+                    done[r] = True
+                    continue
+                if injector is not None:
+                    injector.check_rank(r, phase=stats.phase)
+            first = False
+            active = [r for r in range(num_ranks) if not done[r]]
+            if not active:
+                break
+            if len(active) != num_ranks and any(done):
+                finished = [r for r in range(num_ranks) if done[r]]
+                raise CollectiveMismatchError(
+                    f"ranks {finished} returned while ranks {active} wait in a "
+                    "collective — a real MPI job would hang here"
+                )
+            proto = _validate_step([(r, ops[r]) for r in active], num_ranks)
+            if injector is not None and injector.transient_failure():
+                raise TransientCommError(injector.step, 1)
+            if isinstance(proto, Bcast):
+                value = ops[proto.root].data
+                stats.record("bcast", _nbytes(value))
+                for r in active:
+                    send_values[r] = value
+            elif isinstance(proto, Barrier):
+                stats.record("barrier", 0)
+                for r in active:
+                    send_values[r] = None
+            else:
+                buffers = [ops[r].data for r in active]
+                if injector is not None and isinstance(proto, Allreduce):
+                    buffers = [
+                        injector.corrupt_buffer(r, b) for r, b in zip(active, buffers)
+                    ]
+                combined = _combine(proto, buffers)
+                stats.record(type(proto).__name__.lower(), _nbytes(buffers[0]))
+                for r in active:
+                    send_values[r] = combined
+            if injector is not None:
+                injector.advance_step()
+    finally:
+        for gen in gens:
+            _close_quietly(gen)
     return results, stats

@@ -15,10 +15,14 @@ Figures 7–8 by construction.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Iterable
 
 from ..parallel.machine import MachineSpec
 
-__all__ = ["allreduce_seconds", "collective_seconds"]
+if TYPE_CHECKING:
+    from .comm import CommCall
+
+__all__ = ["allreduce_seconds", "collective_seconds", "comm_seconds_by_label"]
 
 
 def allreduce_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> float:
@@ -40,3 +44,21 @@ def collective_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> flo
         return 0.0
     hops = math.ceil(math.log2(num_ranks))
     return hops * (machine.alpha + machine.beta * nbytes)
+
+
+def comm_seconds_by_label(
+    machine: MachineSpec, num_ranks: int, per_call: Iterable["CommCall"]
+) -> dict[str, float]:
+    """Price a :class:`~repro.mpi.comm.CommStats` ledger per label.
+
+    Labels separate phase traffic (``"EstimateTheta"``, …) from the
+    recovery traffic the resilient runtime marks ``"retry"`` /
+    ``"replay"`` — so the cost of fault handling is visible instead of
+    smeared across the phases it interrupted.
+    """
+    totals: dict[str, float] = {}
+    for call in per_call:
+        totals[call.label] = totals.get(call.label, 0.0) + collective_seconds(
+            machine, num_ranks, call.nbytes
+        )
+    return totals

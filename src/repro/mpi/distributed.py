@@ -3,13 +3,15 @@
 Every rank executes the full Algorithm 1 control flow on its own slice
 of the sample space:
 
-* **Sampling** — the θ samples are partitioned across ranks (strided
-  ownership: rank ``r`` generates global sample indices ``r, r+p, ...``,
-  a balanced partition that stays stable as θ grows across estimation
-  rounds).  Each rank holds a full graph replica and draws its own
-  random numbers — either from the per-sample counter streams (default;
-  makes the seed set independent of ``p``) or from the paper's
-  leap-frog LCG substreams (``rng_scheme="leapfrog"``).
+* **Sampling** — the θ samples are partitioned across ranks by the
+  **deal-epoch ownership map** (:mod:`repro.mpi.checkpoint`): a
+  fault-free job has one epoch — the strided partition where rank ``r``
+  generates global sample indices ``r, r+p, ...`` — and a shrink
+  recovery appends an epoch re-dealing the tail to survivors.  Each
+  rank holds a full graph replica and draws its own random numbers —
+  either from the per-sample counter streams (default; makes the seed
+  set independent of ``p``) or from the paper's leap-frog LCG
+  substreams (``rng_scheme="leapfrog"``).
 
 * **Seed selection** — each rank counts vertex memberships over its
   local partition ``R_r``; one All-Reduce produces the global counters;
@@ -22,10 +24,21 @@ of the sample space:
   :class:`SimulatedOOMError`, reproducing the Linux-OOM-killed runs
   that appear as missing points in Figure 7.
 
+* **Fault tolerance** — ``fault_plan`` injects crashes, stragglers,
+  transient collective failures, reduce corruption, and OOM kills
+  (:mod:`repro.mpi.faults`); ``policy`` selects abort (default) or one
+  of the :mod:`repro.mpi.resilient` recovery policies.  The driver
+  writes per-estimation-round checkpoints (cursor-only — RRR sets are
+  re-derivable from the counter-addressable streams) which power both
+  ``resume_from=`` restarts and the shrink policy's re-dealing; a
+  shrunk run is flagged ``degraded=True`` in ``extra`` with the
+  effective θ and the ε its surviving sample budget still certifies.
+
 The collectives are executed for real (bit-exact sums) by
-:func:`repro.mpi.comm.run_spmd`; the phase times are modeled from
-per-rank work meters, intra-node OpenMP speedup, and the α–β collective
-costs.
+:func:`repro.mpi.comm.run_spmd` /
+:func:`repro.mpi.resilient.run_spmd_resilient`; the phase times are
+modeled from per-rank work meters, intra-node OpenMP speedup, and the
+α–β collective costs.
 """
 
 from __future__ import annotations
@@ -46,36 +59,19 @@ from ..perf.timers import PhaseTimer
 from ..rng import Lcg64, spawn_streams
 from ..sampling import BatchedRRRSampler, RRRSampler, SortedRRRCollection
 from ..parallel.machine import PUMA, MachineSpec
-from .comm import Allreduce, run_spmd
+from .checkpoint import (
+    DistCheckpoint,
+    initial_deals,
+    live_count,
+    owned_indices,
+    shrink_deals,
+)
+from .comm import Allreduce, CommStats, run_spmd
 from .costmodel import collective_seconds
+from .faults import FaultInjector, FaultPlan, SimulatedOOMError, _fmt_bytes
+from .resilient import POLICIES, RecoveryLog, run_spmd_resilient
 
 __all__ = ["imm_dist", "SimulatedOOMError"]
-
-
-class SimulatedOOMError(MemoryError):
-    """A rank's modeled resident set exceeded the node memory.
-
-    Mirrors the paper's observation that "points missing in Figures 7c
-    and 7d are experiments that were killed by the Linux Out of Memory
-    killer" — the experiment harness records these as absent points.
-    """
-
-    def __init__(self, rank: int, needed: int, limit: int) -> None:
-        super().__init__(
-            f"rank {rank}: modeled footprint {_fmt_bytes(needed)} exceeds "
-            f"node memory {_fmt_bytes(limit)}"
-        )
-        self.rank = rank
-        self.needed = needed
-        self.limit = limit
-
-
-def _fmt_bytes(value: int) -> str:
-    """Human-readable byte count (stand-ins are MiB-scale, clusters GiB)."""
-    for unit, factor in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
-        if value >= factor:
-            return f"{value / factor:.2f} {unit}"
-    return f"{value} B"
 
 
 @dataclass
@@ -89,6 +85,10 @@ class _RankRecord:
     local_samples: int = 0
     collection_bytes: int = 0
     edges_total: int = 0
+    #: edges spent re-deriving the partition on a resume/shrink restart
+    rebuild_edges: int = 0
+    #: final RNG cursor (first global sample index never considered)
+    cursor: int = 0
     #: per estimation round: (local sampling edges, local selection entries)
     round_meters: list[tuple[int, int]] = field(default_factory=list)
     #: per estimation round: (theta_x, covered fraction) — the same
@@ -98,6 +98,40 @@ class _RankRecord:
     final_sample_edges: int = 0
     final_select_entries: int = 0
     rounds: int = 0
+
+
+@dataclass
+class _JobState:
+    """Driver-side state shared across rank incarnations of one job.
+
+    This models the durable side of a real deployment (the checkpoint
+    store): it is only ever read at generator (re)start and written at
+    checkpoint boundaries, both of which happen at deterministic,
+    replicated points of the lockstep schedule.
+    """
+
+    deals: tuple
+    alive: tuple[int, ...]
+    resume: DistCheckpoint | None = None
+    sink: list | None = None
+    #: most recent checkpoint — the shrink policy's restart point
+    holder: DistCheckpoint | None = None
+    #: dedup of checkpoint writes (recovery replays re-execute them)
+    written: set = field(default_factory=set)
+    #: samples owned by dead ranks that were already generated at their
+    #: last checkpoint — unrecoverable under shrink
+    lost: int = 0
+
+    def write_checkpoint(self, rank: int, ck: DistCheckpoint) -> None:
+        if rank != self.alive[0]:
+            return
+        key = ck.key()
+        if key in self.written:
+            return
+        self.written.add(key)
+        self.holder = ck
+        if self.sink is not None:
+            self.sink.append(ck.to_dict())
 
 
 def _dist_select(
@@ -157,8 +191,10 @@ def _make_rank_program(
     theta_cap: int | None,
     mem_limit: int | None,
     records: list[_RankRecord],
+    state: _JobState,
+    stats: CommStats,
 ):
-    """Build the SPMD rank program closure for :func:`run_spmd`."""
+    """Build the SPMD rank program closure for the SPMD runtimes."""
     n = graph.n
     l_eff = _inflated_l(n, l)
     eps_p = math.sqrt(2.0) * eps
@@ -167,6 +203,9 @@ def _make_rank_program(
     max_x = max(1, int(math.ceil(math.log2(n))) - 1)
 
     def program(rank: int, size: int) -> Generator:
+        # A (re)started incarnation reports fresh meters: respawn replays
+        # and shrink restarts must not double-count the dead attempt.
+        records[rank] = _RankRecord()
         rec = records[rank]
         collection = SortedRRRCollection(n)
         lcg: Lcg64 | None = None
@@ -187,9 +226,10 @@ def _make_rank_program(
         def extend_to(theta_target: int) -> int:
             """Generate this rank's share of samples in [next_global, θ)."""
             nonlocal next_global
+            target = max(next_global, theta_target)
             edges = 0
             if lcg is not None:
-                for j in range(next_global, theta_target):
+                for j in range(next_global, target):
                     if j % size != rank:
                         continue
                     root = lcg.randint(0, n)
@@ -197,47 +237,93 @@ def _make_rank_program(
                     collection.append(verts)
                     edges += e
             else:
-                js = np.arange(next_global, max(next_global, theta_target))
-                js = js[js % size == rank]
+                js = owned_indices(state.deals, rank, next_global, target)
                 if len(js):
                     per = batched.sample_into(collection, js, seed)
                     edges = int(per.sum())
-            next_global = max(next_global, theta_target)
+            next_global = target
+            rec.cursor = next_global
             if mem_limit is not None:
                 footprint = MemoryModel.for_rank(graph, collection).total
                 if footprint > mem_limit:
                     raise SimulatedOOMError(rank, footprint, mem_limit)
             return edges
 
-        # --- EstimateTheta (Algorithm 2, replicated control flow) --------
+        def snapshot(stage: str, round_: int, lb: float, theta: int | None) -> DistCheckpoint:
+            return DistCheckpoint(
+                stage=stage,
+                round=round_,
+                next_global=next_global,
+                lb=lb,
+                theta=theta,
+                rounds_done=rec.rounds,
+                coverage_history=tuple(rec.coverage_history),
+                deals=tuple(state.deals),
+                alive=tuple(state.alive),
+                lost_samples=state.lost,
+                num_nodes=size,
+                seed=seed,
+                k=k,
+                eps=eps,
+                model=model.value,
+                n=n,
+                rng_scheme=rng_scheme,
+            )
+
+        # --- resume: re-derive the local partition from the cursor alone -
+        ck = state.resume
         lb = 1.0
-        for x in range(1, max_x + 1):
-            rec.rounds += 1
-            y = n / (2.0**x)
-            theta_x = int(math.ceil(lam_p / y))
+        theta: int | None = None
+        start_x = 1
+        if ck is not None:
+            rec.rebuild_edges = extend_to(ck.next_global)
+            rec.edges_total += rec.rebuild_edges
+            lb = ck.lb
+            theta = ck.theta
+            rec.coverage_history = [tuple(h) for h in ck.coverage_history]
+            rec.rounds = ck.rounds_done
+            start_x = ck.round
+
+        # --- EstimateTheta (Algorithm 2, replicated control flow) --------
+        if ck is None or ck.stage == "estimate":
+            stats.set_phase("EstimateTheta")
+            for x in range(start_x, max_x + 1):
+                state.write_checkpoint(rank, snapshot("estimate", x, lb, None))
+                rec.rounds += 1
+                y = n / (2.0**x)
+                theta_x = int(math.ceil(lam_p / y))
+                if theta_cap is not None:
+                    theta_x = min(theta_x, theta_cap)
+                round_edges = extend_to(theta_x)
+                seeds, covered_total, entries = yield from _dist_select(collection, n, k)
+                rec.round_meters.append((round_edges, entries))
+                rec.edges_total += round_edges
+                # Fractions are over the *live* sample count: after a
+                # shrink, dead ranks' lost samples are not in anyone's
+                # partition, so θ_x overstates the population.  Fault-free,
+                # live_x == theta_x and histories match the serial driver.
+                live_x = live_count(state.deals, state.alive, theta_x)
+                frac = covered_total / max(live_x, 1)
+                rec.coverage_history.append((theta_x, frac))
+                if n * frac >= (1.0 + eps_p) * y:
+                    lb = n * frac / (1.0 + eps_p)
+                    break
+                if theta_cap is not None and theta_x >= theta_cap:
+                    break
+            theta = int(math.ceil(lam_s / lb))
             if theta_cap is not None:
-                theta_x = min(theta_x, theta_cap)
-            round_edges = extend_to(theta_x)
-            seeds, covered_total, entries = yield from _dist_select(collection, n, k)
-            rec.round_meters.append((round_edges, entries))
-            rec.edges_total += round_edges
-            frac = covered_total / max(theta_x, 1)
-            rec.coverage_history.append((theta_x, frac))
-            if n * frac >= (1.0 + eps_p) * y:
-                lb = n * frac / (1.0 + eps_p)
-                break
-            if theta_cap is not None and theta_x >= theta_cap:
-                break
-        theta = int(math.ceil(lam_s / lb))
-        if theta_cap is not None:
-            theta = min(theta, theta_cap)
+                theta = min(theta, theta_cap)
+        assert theta is not None
         rec.theta, rec.lb = theta, lb
+        state.write_checkpoint(rank, snapshot("final", max_x + 1, lb, theta))
 
         # --- Sample (top-up to θ) -----------------------------------------
+        stats.set_phase("Sample")
         rec.final_sample_edges = extend_to(theta)
         rec.edges_total += rec.final_sample_edges
 
         # --- SelectSeeds ----------------------------------------------------
+        stats.set_phase("SelectSeeds")
         seeds, covered_total, entries = yield from _dist_select(collection, n, k)
         rec.final_select_entries = entries
         rec.seeds = seeds
@@ -263,6 +349,11 @@ def imm_dist(
     rng_scheme: str = "per-sample",
     theta_cap: int | None = None,
     mem_per_node: int | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    policy: str = "abort",
+    max_retries: int = 3,
+    resume_from: DistCheckpoint | dict | None = None,
+    checkpoint_sink: list | None = None,
 ) -> IMMResult:
     """Run the distributed IMM and return modeled-time results.
 
@@ -285,18 +376,46 @@ def imm_dist(
     mem_per_node:
         Override of the node DRAM for the simulated OOM killer (the
         experiment harness uses it to scale limits to stand-in graphs).
+    fault_plan:
+        A :class:`~repro.mpi.faults.FaultPlan` (or its CLI spec string)
+        injected into the SPMD run.
+    policy:
+        ``"abort"`` (default: typed errors propagate, as before) or a
+        :data:`~repro.mpi.resilient.POLICIES` recovery policy.
+    max_retries:
+        Transient-failure retry budget per collective (recovery
+        policies only).
+    resume_from:
+        A :class:`~repro.mpi.checkpoint.DistCheckpoint` (or its
+        ``to_dict`` form) to restart from instead of a cold start.
+    checkpoint_sink:
+        A list that receives every checkpoint written (``to_dict``
+        form, in write order) — the in-process stand-in for a
+        checkpoint store.
 
     Raises
     ------
     SimulatedOOMError
-        If any rank's modeled footprint exceeds the node memory.
+        If any rank's modeled footprint exceeds the node memory (and no
+        policy absorbs it).
+    RankFailedError, TransientCommError
+        Injected faults that the selected policy does not recover.
     """
     if num_nodes < 1:
         raise ValueError("need at least one node")
     if rng_scheme not in ("per-sample", "leapfrog"):
         raise ValueError(f"unknown rng_scheme {rng_scheme!r}")
+    if policy not in ("abort",) + POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected abort or one of {POLICIES}")
+    if policy == "shrink" and rng_scheme == "leapfrog":
+        raise ValueError(
+            "shrink recovery requires the per-sample rng_scheme: leap-frog "
+            "substreams are bound to ranks and cannot be re-dealt"
+        )
     validate_eps(eps)
     model = DiffusionModel.parse(model)
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.parse(fault_plan)
     if threads_per_node is None:
         threads_per_node = machine.threads_per_node
     if not 1 <= threads_per_node <= machine.threads_per_node:
@@ -305,28 +424,84 @@ def imm_dist(
         )
     mem_limit = machine.mem_per_node if mem_per_node is None else mem_per_node
 
+    if isinstance(resume_from, dict):
+        resume_from = DistCheckpoint.from_dict(resume_from)
+    if resume_from is not None:
+        _check_resume_compat(resume_from, graph, k, eps, model, seed, rng_scheme, num_nodes)
+        state = _JobState(
+            deals=tuple(resume_from.deals),
+            alive=tuple(resume_from.alive),
+            resume=resume_from,
+            sink=checkpoint_sink,
+            holder=resume_from,
+            lost=resume_from.lost_samples,
+        )
+        state.written.add(resume_from.key())
+    else:
+        state = _JobState(
+            deals=initial_deals(num_nodes),
+            alive=tuple(range(num_nodes)),
+            sink=checkpoint_sink,
+        )
+
     records = [_RankRecord() for _ in range(num_nodes)]
+    comm_stats = CommStats()
+    injector = fault_plan.injector() if fault_plan is not None else None
     program = _make_rank_program(
-        graph, k, eps, model, seed, l, rng_scheme, theta_cap, mem_limit, records
+        graph, k, eps, model, seed, l, rng_scheme, theta_cap, mem_limit,
+        records, state, comm_stats,
     )
+
+    def on_shrink(dead: tuple[int, ...], alive_now: tuple[int, ...]) -> None:
+        ck = state.holder
+        cursor = ck.next_global if ck is not None else 0
+        for d in dead:
+            if d not in state.alive:
+                continue  # already accounted in a previous shrink
+            state.lost += len(owned_indices(state.deals, d, 0, cursor))
+            records[d] = _RankRecord()
+        state.alive = tuple(alive_now)
+        state.deals = shrink_deals(state.deals, cursor, alive_now)
+        state.resume = ck
+
     wall = PhaseTimer()
+    rlog: RecoveryLog | None = None
     with wall.phase("Other"):
-        _, comm_stats = run_spmd(num_nodes, program)
+        if policy == "abort":
+            run_spmd(num_nodes, program, stats=comm_stats, faults=injector)
+        else:
+            _, _, rlog = run_spmd_resilient(
+                num_nodes,
+                program,
+                policy=policy,
+                faults=injector,
+                max_retries=max_retries,
+                stats=comm_stats,
+                on_shrink=on_shrink,
+            )
 
     # ---- price the phases ----------------------------------------------
     n = graph.n
     eff = machine.effective_threads(threads_per_node)
+    slow = [
+        injector.slowdown(r) if injector is not None else 1.0
+        for r in range(num_nodes)
+    ]
     t_sel_comm = (k + 1) * collective_seconds(
         machine, num_nodes, 8 * n
     ) + collective_seconds(machine, num_nodes, 8)
 
     def sample_seconds(edges_per_rank: list[int]) -> float:
-        makespan = max(edges_per_rank) * machine.t_edge / eff
+        makespan = max(
+            e * s for e, s in zip(edges_per_rank, slow)
+        ) * machine.t_edge / eff
         return makespan + threads_per_node * machine.thread_overhead
 
     def select_seconds(entries_per_rank: list[int]) -> float:
-        local = max(entries_per_rank) * machine.t_update / eff
-        argmax = k * (n / eff) * machine.t_update
+        local = max(
+            e * s for e, s in zip(entries_per_rank, slow)
+        ) * machine.t_update / eff
+        argmax = k * (n / eff) * machine.t_update * max(slow)
         return local + argmax + t_sel_comm
 
     sim = PhaseTimer()
@@ -348,7 +523,35 @@ def imm_dist(
     )
     sim.charge("Other", graph.n * machine.t_update + 2 * machine.alpha)
 
-    rec0 = records[0]
+    # Recovery surcharge: modeled backoff waits, the α cost of replayed
+    # collectives, and the re-derivation sampling work (rebuilds after a
+    # shrink restart; a respawned rank's full regenerated partition).
+    recovery_seconds = 0.0
+    if rlog is not None and (rlog.retries or rlog.respawns or rlog.shrinks):
+        rebuild_edges = sum(rec.rebuild_edges for rec in records)
+        respawn_edges = sum(
+            records[r].edges_total for r in set(rlog.respawned_ranks)
+        )
+        recovery_seconds = (
+            rlog.backoff_seconds
+            + rlog.replayed_calls * machine.alpha
+            + (rebuild_edges + respawn_edges) * machine.t_edge / eff
+        )
+        sim.charge("Other", recovery_seconds)
+
+    first_alive = state.alive[0]
+    rec0 = records[first_alive]
+    theta_eff = live_count(state.deals, state.alive, rec0.theta)
+    degraded = theta_eff < rec0.theta
+    if degraded:
+        # λ* scales as 1/ε² at fixed (n, k, l), so the ε the surviving
+        # θ_eff·LB sample budget still certifies inverts in closed form.
+        eps_eff = math.sqrt(
+            lambda_star(n, k, 1.0, _inflated_l(n, l)) / max(theta_eff * rec0.lb, 1.0)
+        )
+    else:
+        eps_eff = eps
+
     counters = WorkCounters(
         edges_examined=sum(rec.edges_total for rec in records),
         samples_generated=sum(rec.local_samples for rec in records),
@@ -372,7 +575,7 @@ def imm_dist(
         layout="sorted",
         theta=rec0.theta,
         num_samples=sum(rec.local_samples for rec in records),
-        coverage=rec0.covered / max(rec0.theta, 1),
+        coverage=rec0.covered / max(theta_eff, 1),
         lb=rec0.lb,
         breakdown=sim.breakdown(),
         counters=counters,
@@ -386,10 +589,52 @@ def imm_dist(
             "rng_scheme": rng_scheme,
             "comm_calls": comm_stats.calls,
             "comm_bytes": comm_stats.payload_bytes,
+            "comm_by_label": comm_stats.label_totals(),
             "measured_breakdown": wall.breakdown(),
             "per_rank_samples": [rec.local_samples for rec in records],
             "estimation_rounds": rec0.rounds,
             "coverage_history": rec0.coverage_history,
             "theta_capped": theta_cap is not None and rec0.theta >= theta_cap,
+            "policy": policy,
+            "degraded": degraded,
+            "theta_effective": theta_eff,
+            "lost_samples": rec0.theta - theta_eff,
+            "epsilon_effective": eps_eff,
+            "alive_ranks": list(state.alive),
+            "rng_cursor": rec0.cursor,
+            "recovery": rlog.as_dict() if rlog is not None else None,
+            "recovery_seconds": recovery_seconds,
+            "fault_plan": fault_plan.describe() if fault_plan is not None else None,
         },
     )
+
+
+def _check_resume_compat(
+    ck: DistCheckpoint,
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel,
+    seed: int,
+    rng_scheme: str,
+    num_nodes: int,
+) -> None:
+    """A checkpoint is only valid against the job that wrote it."""
+    expected = {
+        "n": (ck.n, graph.n),
+        "k": (ck.k, k),
+        "eps": (ck.eps, eps),
+        "model": (ck.model, model.value),
+        "seed": (ck.seed, seed),
+        "rng_scheme": (ck.rng_scheme, rng_scheme),
+        "num_nodes": (ck.num_nodes, num_nodes),
+    }
+    mismatched = {
+        name: pair for name, pair in expected.items() if pair[0] != pair[1]
+    }
+    if mismatched:
+        detail = ", ".join(
+            f"{name}: checkpoint={a!r} vs job={b!r}"
+            for name, (a, b) in sorted(mismatched.items())
+        )
+        raise ValueError(f"checkpoint incompatible with this job ({detail})")

@@ -1,0 +1,340 @@
+"""Declarative fault injection for the SPMD runtime.
+
+Real IMMdist runs die in exactly a handful of ways: a rank crashes
+(node failure, the Linux OOM killer behind Figure 7's missing points),
+a rank straggles (NUMA imbalance, a busy neighbor), a collective fails
+transiently (link flap), or a reduce buffer is silently corrupted.
+:class:`FaultPlan` declares any mix of those against an otherwise
+deterministic run; :class:`FaultInjector` is the live cursor the SPMD
+runtimes (:func:`repro.mpi.comm.run_spmd`,
+:func:`repro.mpi.resilient.run_spmd_resilient`) consult at every
+collective step.
+
+Faults are addressed by **collective step** — the global, lockstep
+counter of completed collectives — or by **phase label** (the value of
+``CommStats.phase`` when the collective is issued).  Because ranks only
+interact at collectives, a "crash at step N" is the precise in-process
+analog of a node dying between two MPI calls.  One-shot events (crash,
+OOM, corruption) are consumed when they fire, so a recovered job does
+not re-die on the same event; replayed collectives during recovery do
+not advance the step counter and therefore cannot re-trigger anything.
+
+Typed errors (:class:`RankFailedError`, :class:`TransientCommError`)
+surface instead of raw exceptions so recovery policies and experiment
+harnesses can dispatch on failure kind.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = [
+    "RankFailedError",
+    "TransientCommError",
+    "SimulatedOOMError",
+    "RankCrash",
+    "Straggler",
+    "TransientFault",
+    "CorruptReduce",
+    "OOMKill",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+class RankFailedError(RuntimeError):
+    """A rank died — the typed surface of mpirun's job abort."""
+
+    def __init__(self, rank: int, step: int, phase: str = "") -> None:
+        where = f" in phase {phase!r}" if phase else ""
+        super().__init__(f"rank {rank} failed at collective step {step}{where}")
+        self.rank = rank
+        self.step = step
+        self.phase = phase
+
+
+class TransientCommError(RuntimeError):
+    """A collective failed transiently and retries were exhausted."""
+
+    def __init__(self, step: int, attempts: int) -> None:
+        super().__init__(
+            f"collective step {step} still failing after {attempts} attempt(s)"
+        )
+        self.step = step
+        self.attempts = attempts
+
+
+class SimulatedOOMError(MemoryError):
+    """A rank's modeled resident set exceeded the node memory.
+
+    Mirrors the paper's observation that "points missing in Figures 7c
+    and 7d are experiments that were killed by the Linux Out of Memory
+    killer" — the experiment harness records these as absent points.
+    """
+
+    def __init__(self, rank: int, needed: int, limit: int) -> None:
+        super().__init__(
+            f"rank {rank}: modeled footprint {_fmt_bytes(needed)} exceeds "
+            f"node memory {_fmt_bytes(limit)}"
+        )
+        self.rank = rank
+        self.needed = needed
+        self.limit = limit
+
+
+def _fmt_bytes(value: int) -> str:
+    """Human-readable byte count (stand-ins are MiB-scale, clusters GiB)."""
+    for unit, factor in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+        if value >= factor:
+            return f"{value / factor:.2f} {unit}"
+    return f"{value} B"
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill ``rank`` at collective step ``at_call`` or at the first
+    collective it issues while the runtime is in phase ``at_phase``."""
+
+    rank: int
+    at_call: int | None = None
+    at_phase: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.at_call is None) == (self.at_phase is None):
+            raise ValueError("RankCrash needs exactly one of at_call / at_phase")
+        if self.at_call is not None and self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply ``rank``'s modeled compute time by ``factor`` (>= 1)."""
+
+    rank: int
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """The collective at step ``at_call`` fails ``failures`` consecutive
+    times before succeeding (a link flap, not a dead rank)."""
+
+    at_call: int
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+        if self.failures < 1:
+            raise ValueError(f"failures must be >= 1, got {self.failures}")
+
+
+@dataclass(frozen=True)
+class CorruptReduce:
+    """Perturb the last element of ``rank``'s reduce buffer at step
+    ``at_call`` by ``delta`` (silent data corruption; must target an
+    ``Allreduce`` step to have any effect)."""
+
+    rank: int
+    at_call: int
+    delta: int = 1 << 20
+
+
+@dataclass(frozen=True)
+class OOMKill:
+    """Raise :class:`SimulatedOOMError` on ``rank`` at step ``at_call``
+    (an injected OOM kill, as opposed to the modeled one the memory
+    model raises when the partition genuinely outgrows the node)."""
+
+    rank: int
+    at_call: int
+    needed: int = 2 << 30
+    limit: int = 1 << 30
+
+
+FaultEvent = Union[RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill]
+_EVENT_TYPES = (RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault events against one SPMD job."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise TypeError(f"not a fault event: {event!r}")
+
+    def injector(self) -> "FaultInjector":
+        """A fresh live cursor over this plan (one per job execution)."""
+        return FaultInjector(self)
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no faults"
+        return "; ".join(_describe(e) for e in self.events)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI grammar into a plan.
+
+        Events are separated by ``;`` or ``,``::
+
+            crash:1@3              rank 1 dies at collective step 3
+            crash:1@phase=Sample   rank 1 dies at its first collective in phase
+            oom:2@4                rank 2 is OOM-killed at step 4
+            straggler:2x4.0        rank 2's compute runs 4x slower
+            transient:@5           the step-5 collective fails once
+            transient:@5x2         ... fails twice before healing
+            corrupt:0@1            rank 0's reduce buffer corrupted at step 1
+        """
+        events: list[FaultEvent] = []
+        for token in re.split(r"[;,]", spec):
+            token = token.strip()
+            if not token:
+                continue
+            kind, sep, rest = token.partition(":")
+            if not sep:
+                raise ValueError(f"bad fault token {token!r} (expected kind:spec)")
+            events.append(_parse_event(kind.strip().lower(), rest.strip(), token))
+        return cls(tuple(events))
+
+
+def _parse_event(kind: str, rest: str, token: str) -> FaultEvent:
+    try:
+        if kind in ("crash", "oom"):
+            target, sep, at = rest.partition("@")
+            if not sep:
+                raise ValueError("missing '@step'")
+            rank = int(target)
+            if at.startswith("phase="):
+                if kind == "oom":
+                    raise ValueError("oom events are step-addressed only")
+                return RankCrash(rank=rank, at_phase=at[len("phase="):])
+            if kind == "oom":
+                return OOMKill(rank=rank, at_call=int(at))
+            return RankCrash(rank=rank, at_call=int(at))
+        if kind == "straggler":
+            target, sep, factor = rest.partition("x")
+            return Straggler(int(target), float(factor) if sep else 2.0)
+        if kind == "transient":
+            at = rest.lstrip("@")
+            call, sep, failures = at.partition("x")
+            return TransientFault(int(call), int(failures) if sep else 1)
+        if kind == "corrupt":
+            target, sep, at = rest.partition("@")
+            if not sep:
+                raise ValueError("missing '@step'")
+            return CorruptReduce(int(target), int(at))
+    except ValueError as exc:
+        raise ValueError(f"bad fault token {token!r}: {exc}") from None
+    raise ValueError(f"unknown fault kind {kind!r} in token {token!r}")
+
+
+def _describe(event: FaultEvent) -> str:
+    if isinstance(event, RankCrash):
+        where = (
+            f"step {event.at_call}"
+            if event.at_call is not None
+            else f"phase {event.at_phase!r}"
+        )
+        return f"crash rank {event.rank} at {where}"
+    if isinstance(event, OOMKill):
+        return f"oom-kill rank {event.rank} at step {event.at_call}"
+    if isinstance(event, Straggler):
+        return f"straggler rank {event.rank} x{event.factor:g}"
+    if isinstance(event, TransientFault):
+        return f"transient failure at step {event.at_call} x{event.failures}"
+    return f"corrupt rank {event.rank} reduce buffer at step {event.at_call}"
+
+
+class FaultInjector:
+    """Live cursor over a :class:`FaultPlan` for one job execution.
+
+    Holds the monotonic collective-step counter.  The counter advances
+    only when a collective *completes for the first time* — retried
+    attempts and recovery replays do not move it, so fault addresses
+    stay stable across recoveries (and one-shot events, being consumed
+    on firing, never re-fire after a restart re-executes the step).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(f"expected FaultPlan, got {type(plan).__name__}")
+        self.plan = plan
+        self.step = 0
+        self._fired: set[int] = set()
+        self._transient_left = {
+            i: e.failures
+            for i, e in enumerate(plan.events)
+            if isinstance(e, TransientFault)
+        }
+
+    def check_rank(self, rank: int, phase: str = "") -> None:
+        """Raise if ``rank`` dies while issuing the current collective."""
+        for i, event in enumerate(self.plan.events):
+            if i in self._fired:
+                continue
+            if isinstance(event, RankCrash) and event.rank == rank:
+                if self._due(event, phase):
+                    self._fired.add(i)
+                    raise RankFailedError(rank, self.step, phase)
+            elif isinstance(event, OOMKill) and event.rank == rank:
+                if self.step >= event.at_call:
+                    self._fired.add(i)
+                    raise SimulatedOOMError(rank, event.needed, event.limit)
+
+    def _due(self, event: RankCrash, phase: str) -> bool:
+        if event.at_call is not None:
+            return self.step >= event.at_call
+        return bool(phase) and event.at_phase == phase
+
+    def transient_failure(self) -> bool:
+        """One attempt of the current step; ``True`` means it failed."""
+        for i, event in enumerate(self.plan.events):
+            if isinstance(event, TransientFault) and event.at_call == self.step:
+                remaining = self._transient_left.get(i, 0)
+                if remaining > 0:
+                    self._transient_left[i] = remaining - 1
+                    return True
+        return False
+
+    def corrupt_buffer(self, rank: int, data: Any) -> Any:
+        """Apply any due reduce-buffer corruption for ``rank``."""
+        for i, event in enumerate(self.plan.events):
+            if i in self._fired:
+                continue
+            if (
+                isinstance(event, CorruptReduce)
+                and event.rank == rank
+                and event.at_call == self.step
+            ):
+                self._fired.add(i)
+                if isinstance(data, np.ndarray):
+                    bad = data.copy()
+                    bad.reshape(-1)[-1] += bad.dtype.type(event.delta)
+                    return bad
+                return data + event.delta
+        return data
+
+    def slowdown(self, rank: int) -> float:
+        """Compound straggler factor for ``rank`` (1.0 = nominal)."""
+        factor = 1.0
+        for event in self.plan.events:
+            if isinstance(event, Straggler) and event.rank == rank:
+                factor *= event.factor
+        return factor
+
+    def advance_step(self) -> None:
+        self.step += 1

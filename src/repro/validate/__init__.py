@@ -25,7 +25,7 @@ from .invariants import (
     check_hypergraph_collection,
     check_sorted_collection,
 )
-from .mutation import MutantResult, run_mutation_suite
+from .mutation import SMOKE_MUTANTS, MutantResult, run_mutation_suite
 from .oracle import (
     OracleConfig,
     check_graph_equivalence,
@@ -33,6 +33,13 @@ from .oracle import (
     full_config,
     quick_config,
     run_oracle,
+)
+from .recovery import (
+    check_community_driver,
+    check_degraded_accounting,
+    check_partitioned_equivalence,
+    check_rebuild_fidelity,
+    check_recovery_equivalence,
 )
 from .report import ValidationReport, Violation
 from .rnglaws import check_counter_streams, check_leapfrog_tiling, check_rng_laws
@@ -52,8 +59,14 @@ __all__ = [
     "check_graph_equivalence",
     "check_selection_meters",
     "run_oracle",
+    "check_recovery_equivalence",
+    "check_degraded_accounting",
+    "check_rebuild_fidelity",
+    "check_partitioned_equivalence",
+    "check_community_driver",
     "MutantResult",
     "run_mutation_suite",
+    "SMOKE_MUTANTS",
     "validate_quick",
     "validate_full",
 ]
@@ -64,6 +77,11 @@ def validate_quick(*, progress=None) -> ValidationReport:
     return run_oracle(quick_config(), progress=progress)
 
 
-def validate_full(*, progress=None) -> ValidationReport:
-    """The full acceptance sweep over every registry graph."""
-    return run_oracle(full_config(), progress=progress)
+def validate_full(*, progress=None, shard=None) -> ValidationReport:
+    """The full acceptance sweep over every registry graph.
+
+    Pass ``shard=(i, m)`` (1-based) to run the ``i``-th of ``m``
+    interleaved subject slices — used by CI to keep each job under the
+    one-minute budget.
+    """
+    return run_oracle(full_config(), progress=progress, shard=shard)

@@ -20,6 +20,9 @@ byte-model drift            ``collection.byte-model`` invariant
 dropped inverted entry      ``collection.inverted-index`` invariant
 skipped counter decrement   seed-set equivalence comparison
 biased RNG draw             bitwise collection comparison
+recovery skips a sample     ``recovery.rebuild-count``
+wrong-stream replay         ``recovery.rebuild-bitwise``
+double-count after shrink   ``recovery.degraded-accounting``
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -36,6 +39,7 @@ import numpy as np
 
 from ..datasets import load
 from ..imm.select import select_seeds_sorted
+from ..mpi import imm_dist, rebuild_partition
 from ..sampling import (
     BatchedRRRSampler,
     HypergraphRRRCollection,
@@ -44,8 +48,9 @@ from ..sampling import (
     sample_batch,
 )
 from .invariants import check_hypergraph_collection, check_sorted_collection
+from .recovery import check_degraded_accounting, check_rebuild_fidelity
 
-__all__ = ["MutantResult", "run_mutation_suite"]
+__all__ = ["MutantResult", "run_mutation_suite", "SMOKE_MUTANTS"]
 
 #: The small real workload every sampler-level mutant runs against.
 _MUTATION_DATASET = "cit-HepTh"
@@ -253,22 +258,119 @@ def _mutant_biased_rng(seed: int) -> MutantResult:
     )
 
 
-_MUTANTS = (
-    _mutant_unsorted,
-    _mutant_duplicate,
-    _mutant_indptr,
-    _mutant_sample_of,
-    _mutant_byte_model,
-    _mutant_inverted_index,
-    _mutant_skipped_decrement,
-    _mutant_biased_rng,
+def _mutant_recovery_skip(seed: int) -> MutantResult:
+    """Buggy respawn that drops the last sample of the lost rank's slice.
+
+    The classic off-by-one in the rebuild bound: the recovered rank
+    regenerates ``[0, upto - stride)`` instead of ``[0, upto)``.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    deals = ((0, (0, 1)),)
+    upto = 60
+    # rank 1 owns the odd indices; stopping 2 short drops exactly index 59
+    bad, _, _ = rebuild_partition(graph, "IC", deals, 1, upto - 2, seed)
+    detected, evidence = _violated(
+        check_rebuild_fidelity(bad, graph, "IC", deals, 1, upto, seed, "mutant"),
+        "recovery.rebuild-count",
+    )
+    return MutantResult(
+        "recovery-skips-sample",
+        "respawn rebuild stops one stride short of the crash cursor",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_wrong_stream(seed: int) -> MutantResult:
+    """Buggy respawn that replays the wrong RNG stream (seed off by one).
+
+    Sample counts come out right — only the bitwise comparison against
+    the index-derived reference partition can see it.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    deals = ((0, (0, 1)),)
+    upto = 60
+    bad, _, _ = rebuild_partition(graph, "IC", deals, 1, upto, seed + 1)
+    detected, evidence = _violated(
+        check_rebuild_fidelity(bad, graph, "IC", deals, 1, upto, seed, "mutant"),
+        "recovery.rebuild-bitwise",
+    )
+    return MutantResult(
+        "wrong-stream-replay",
+        "respawn rebuild draws from seed+1 instead of the job seed",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_double_count(seed: int) -> MutantResult:
+    """Shrink accounting that still counts the lost block toward θ_eff.
+
+    A real shrunk run is taken and its ``theta_effective`` is inflated
+    back to the nominal θ — the "forgot to subtract the dead rank's
+    samples" bug.  The accounting checker must notice the books no
+    longer balance.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    res = imm_dist(
+        graph, 5, 0.5, "IC", num_nodes=2, seed=seed, theta_cap=150,
+        fault_plan="crash:1@phase=SelectSeeds", policy="shrink",
+    )
+    assert res.extra["degraded"], "mutant needs a genuinely shrunk run"
+    res.extra["theta_effective"] = res.theta  # lost block double-counted
+    detected, evidence = _violated(
+        check_degraded_accounting(res, "mutant"), "recovery.degraded-accounting"
+    )
+    return MutantResult(
+        "double-count-after-shrink",
+        "degraded result reports the lost samples as still present",
+        detected,
+        evidence,
+    )
+
+
+_MUTANTS = {
+    "unsorted-sample": _mutant_unsorted,
+    "within-sample-duplicate": _mutant_duplicate,
+    "indptr-corruption": _mutant_indptr,
+    "sample-of-corruption": _mutant_sample_of,
+    "byte-model-drift": _mutant_byte_model,
+    "inverted-index-drop": _mutant_inverted_index,
+    "skipped-decrement": _mutant_skipped_decrement,
+    "biased-rng": _mutant_biased_rng,
+    "recovery-skips-sample": _mutant_recovery_skip,
+    "wrong-stream-replay": _mutant_wrong_stream,
+    "double-count-after-shrink": _mutant_double_count,
+}
+
+#: The cheap subset tier-1 CI runs on every commit (sub-second each):
+#: one representative per checker family, including all recovery classes.
+SMOKE_MUTANTS = (
+    "unsorted-sample",
+    "indptr-corruption",
+    "skipped-decrement",
+    "recovery-skips-sample",
+    "wrong-stream-replay",
+    "double-count-after-shrink",
 )
 
 
-def run_mutation_suite(seed: int = 1) -> list[MutantResult]:
-    """Inject every fault class; return one result per mutant.
+def run_mutation_suite(
+    seed: int = 1, names: tuple[str, ...] | None = None
+) -> list[MutantResult]:
+    """Inject every fault class (or the ``names`` subset); return one
+    result per mutant.
 
     The caller fails the run if any result has ``detected=False`` —
     a surviving mutant means the oracle has a blind spot.
     """
-    return [mutant(seed) for mutant in _MUTANTS]
+    if names is None:
+        chosen = _MUTANTS
+    else:
+        unknown = [n for n in names if n not in _MUTANTS]
+        if unknown:
+            raise ValueError(
+                f"unknown mutants {unknown}; known: {sorted(_MUTANTS)}"
+            )
+        chosen = {n: _MUTANTS[n] for n in names}
+    return [mutant(seed) for mutant in chosen.values()]

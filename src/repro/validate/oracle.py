@@ -48,6 +48,11 @@ from ..sampling import (
     sample_batch,
 )
 from .invariants import check_collection
+from .recovery import (
+    check_community_driver,
+    check_partitioned_equivalence,
+    check_recovery_equivalence,
+)
 from .report import ValidationReport
 from .rnglaws import check_rng_laws
 
@@ -86,6 +91,17 @@ class OracleConfig:
     mt_threads: tuple[int, ...] = (1, 2, 5)
     #: exercise the leap-frog scheme's determinism contract.
     check_leapfrog: bool = True
+    #: sweep fault plans × recovery policies against the fault-free run.
+    check_faults: bool = True
+    #: ``imm_dist`` node counts for the fault sweep (>= 2: a fault on a
+    #: single-rank job has nobody to recover with).
+    fault_rank_counts: tuple[int, ...] = (2, 5)
+    #: cover the graph-partitioned sampler (IC graphs only).
+    check_partitioned: bool = True
+    partitioned_ranks: tuple[int, ...] = (1, 3)
+    partitioned_samples: int = 40
+    #: cover the community-IMM driver.
+    check_community: bool = True
 
 
 def quick_config() -> OracleConfig:
@@ -96,6 +112,9 @@ def quick_config() -> OracleConfig:
         cohort_sizes=(1, 7),
         rank_counts=(1, 2),
         mt_threads=(2,),
+        fault_rank_counts=(2,),
+        partitioned_ranks=(3,),
+        partitioned_samples=25,
     )
 
 
@@ -331,30 +350,58 @@ def check_graph_equivalence(
     rep.merge(
         check_selection_meters(ref_coll, graph.n, k, cfg.rank_counts, subject)
     )
+
+    # -- fault plans × recovery policies ----------------------------------
+    if cfg.check_faults:
+        rep.merge(check_recovery_equivalence(graph, model, cfg, subject))
+
+    # -- graph-partitioned distributed sampler (hash coins are IC-only) ---
+    if cfg.check_partitioned and model == "IC":
+        rep.merge(check_partitioned_equivalence(graph, cfg, subject))
+
+    # -- community-IMM driver ---------------------------------------------
+    if cfg.check_community:
+        rep.merge(check_community_driver(graph, model, cfg, subject))
     return rep
 
 
-def run_oracle(cfg: OracleConfig, *, progress=None) -> ValidationReport:
+def run_oracle(
+    cfg: OracleConfig, *, progress=None, shard: tuple[int, int] | None = None
+) -> ValidationReport:
     """Sweep the configured datasets × models, plus the RNG laws.
 
     ``progress`` is an optional callable receiving one status line per
     completed subject (the CLI passes ``print``).
+
+    ``shard=(i, m)`` (1-based) runs only every ``m``-th
+    ``dataset × model`` subject starting at the ``i``-th — the CI path
+    for keeping ``--full`` under its time budget: the union of the
+    ``m`` shards is exactly the unsharded sweep.  The (cheap,
+    graph-independent) RNG laws run on shard 1 only.
     """
     rep = ValidationReport()
-    rng_rep = check_rng_laws(cfg.seed)
-    if progress is not None:
-        progress(f"rng laws: {rng_rep.checks_run} checks, "
-                 f"{len(rng_rep.violations)} violations")
-    rep.merge(rng_rep)
-    for name in cfg.datasets:
-        for model in cfg.models:
-            subject = f"{name}/{model}"
-            graph = load(name, model)
-            graph_rep = check_graph_equivalence(graph, model, cfg, subject)
-            if progress is not None:
-                progress(
-                    f"{subject}: {graph_rep.checks_run} checks, "
-                    f"{len(graph_rep.violations)} violations"
-                )
-            rep.merge(graph_rep)
+    subjects = [
+        (name, model) for name in cfg.datasets for model in cfg.models
+    ]
+    if shard is not None:
+        i, m = shard
+        if not (1 <= i <= m):
+            raise ValueError(f"shard index must satisfy 1 <= i <= m, got {i}/{m}")
+        subjects = subjects[i - 1 :: m]
+    if shard is None or shard[0] == 1:
+        rng_rep = check_rng_laws(cfg.seed)
+        if progress is not None:
+            progress(f"rng laws: {rng_rep.checks_run} checks, "
+                     f"{len(rng_rep.violations)} violations")
+        rep.merge(rng_rep)
+    for name, model in subjects:
+        subject = f"{name}/{model}"
+        graph = load(name, model)
+        graph_rep = check_graph_equivalence(graph, model, cfg, subject)
+        if progress is not None:
+            progress(
+                f"{subject}: {graph_rep.checks_run} checks, "
+                f"{len(graph_rep.violations)} violations"
+            )
+        rep.merge(graph_rep)
     return rep

@@ -199,6 +199,59 @@ class TestNewSubcommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["validate", "--quick", "--full"])
 
+    def test_validate_mutate_smoke(self, capsys):
+        code = main(["validate", "--mutate-smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke subset" in out
+        assert "SURVIVED" not in out
+
+    def test_validate_shard(self, capsys):
+        code = main(
+            ["validate", "--quick", "--dataset", "cit-HepTh",
+             "--no-faults", "--shard", "2/2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard 2/2" in out
+        assert "OK" in out
+
+    def test_validate_bad_shard(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--quick", "--shard", "nope"])
+
+    def test_dist_fault_plan_and_policy(self, capsys):
+        code = main(
+            ["dist", "--dataset", "cit-HepTh", "--k", "3", "--theta-cap",
+             "150", "--nodes", "3", "--fault-plan", "crash:1@3",
+             "--policy", "respawn"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy: respawn" in out
+        assert "respawns=1" in out
+
+    def test_dist_checkpoint_round_trip(self, tmp_path, capsys):
+        ck = tmp_path / "trail.json"
+        base = ["dist", "--dataset", "cit-HepTh", "--k", "3",
+                "--theta-cap", "150", "--nodes", "2"]
+        assert main(base + ["--checkpoint-out", str(ck)]) == 0
+        first = capsys.readouterr().out
+        assert "checkpoint(s)" in first
+        assert main(base + ["--resume-from", str(ck)]) == 0
+        second = capsys.readouterr().out
+        seeds = [l for l in first.splitlines() if l.startswith("seeds:")]
+        assert seeds and seeds[0] in second
+
+    def test_dist_degraded_shrink(self, capsys):
+        code = main(
+            ["dist", "--dataset", "cit-HepTh", "--k", "3", "--theta-cap",
+             "150", "--nodes", "3", "--fault-plan",
+             "crash:2@phase=SelectSeeds", "--policy", "shrink"]
+        )
+        assert code == 0
+        assert "DEGRADED" in capsys.readouterr().out
+
     def test_metis_input(self, tmp_path, capsys):
         path = tmp_path / "g.metis"
         # a 4-cycle, both directions

@@ -1,9 +1,21 @@
-"""Failure-injection tests: how the runtime behaves when things break."""
+"""Failure-injection tests: how the runtime behaves when things break.
+
+The policy suites at the bottom pin the end-to-end recovery contract of
+``imm_dist``: retry exhaustion surfaces the typed error, respawn is
+bit-exact, shrink degrades honestly and conserves the work meters.
+"""
 
 import numpy as np
 import pytest
 
-from repro.mpi import Allreduce, SimulatedOOMError, imm_dist, run_spmd
+from repro.mpi import (
+    Allreduce,
+    RankFailedError,
+    SimulatedOOMError,
+    TransientCommError,
+    imm_dist,
+    run_spmd,
+)
 from repro.sampling import SortedRRRCollection
 
 
@@ -68,3 +80,142 @@ class TestCollectionMisuse:
 
         with pytest.raises((TypeError, AttributeError)):
             run_spmd(2, not_a_generator)
+
+    def test_generators_closed_after_injected_abort(self):
+        """An aborted SPMD run delivers GeneratorExit to every rank
+        program — no dangling generators holding buffers."""
+        closed = []
+
+        def program(rank, size):
+            try:
+                yield Allreduce(np.array([rank]))
+                yield Allreduce(np.array([rank]))
+            finally:
+                closed.append(rank)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(3, program, faults=_plan("crash:1@1"))
+        assert sorted(closed) == [0, 1, 2]
+
+
+def _plan(spec):
+    from repro.mpi import FaultPlan
+
+    return FaultPlan.parse(spec)
+
+
+def _dist(graph, **kw):
+    kw.setdefault("k", 4)
+    kw.setdefault("eps", 0.5)
+    kw.setdefault("num_nodes", 3)
+    kw.setdefault("seed", 2)
+    kw.setdefault("theta_cap", 120)
+    return imm_dist(graph, **kw)
+
+
+class TestAbortPolicy:
+    def test_crash_propagates_by_default(self, ba_graph):
+        with pytest.raises(RankFailedError, match="rank 1"):
+            _dist(ba_graph, fault_plan="crash:1@3")
+
+    def test_transient_propagates_by_default(self, ba_graph):
+        with pytest.raises(TransientCommError):
+            _dist(ba_graph, fault_plan="transient:@2")
+
+    def test_unknown_policy_rejected(self, ba_graph):
+        with pytest.raises(ValueError, match="policy"):
+            _dist(ba_graph, policy="hope")
+
+
+class TestRetryPolicy:
+    def test_transient_healed_and_metered(self, ba_graph):
+        base = _dist(ba_graph)
+        res = _dist(ba_graph, fault_plan="transient:@2x2", policy="retry")
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+        assert res.theta == base.theta
+        rec = res.extra["recovery"]
+        assert rec["retries"] == 2
+        calls, _ = res.extra["comm_by_label"]["retry"]
+        assert calls == 2
+        assert res.extra["recovery_seconds"] > 0
+
+    def test_exhaustion_surfaces_typed_error(self, ba_graph):
+        with pytest.raises(TransientCommError, match="still failing"):
+            _dist(
+                ba_graph, fault_plan="transient:@2x9", policy="retry",
+                max_retries=2,
+            )
+
+
+class TestRespawnPolicy:
+    def test_bitexact_and_work_conserved(self, ba_graph):
+        base = _dist(ba_graph)
+        res = _dist(ba_graph, fault_plan="crash:2@4", policy="respawn")
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+        assert res.theta == base.theta
+        assert res.extra["coverage_history"] == base.extra["coverage_history"]
+        assert not res.extra["degraded"]
+        rec = res.extra["recovery"]
+        assert rec["respawns"] == 1 and rec["respawned_ranks"] == [2]
+        # first-time sampling work is identical; the respawn surcharge
+        # is carried separately in the modeled time
+        assert res.num_samples == base.num_samples
+        assert res.extra["recovery_seconds"] > 0
+
+    def test_phase_addressed_crash(self, ba_graph):
+        base = _dist(ba_graph)
+        res = _dist(
+            ba_graph, fault_plan="crash:0@phase=SelectSeeds", policy="respawn"
+        )
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+        assert res.extra["recovery"]["respawns"] == 1
+
+    def test_leapfrog_scheme_can_respawn(self, ba_graph):
+        # generic history replay does not need counter-addressable RNG
+        base = _dist(ba_graph, rng_scheme="leapfrog")
+        res = _dist(
+            ba_graph, rng_scheme="leapfrog", fault_plan="crash:1@3",
+            policy="respawn",
+        )
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+
+
+class TestShrinkPolicy:
+    def test_late_crash_degrades_honestly(self, ba_graph):
+        res = _dist(
+            ba_graph, fault_plan="crash:2@phase=SelectSeeds", policy="shrink"
+        )
+        ex = res.extra
+        assert ex["degraded"]
+        assert ex["alive_ranks"] == [0, 1]
+        assert ex["theta_effective"] + ex["lost_samples"] == res.theta
+        assert ex["epsilon_effective"] > res.epsilon
+        # the work meters account exactly for the surviving samples
+        assert res.num_samples == ex["theta_effective"]
+
+    def test_early_crash_redeals_losslessly(self, ba_graph):
+        base = _dist(ba_graph)
+        res = _dist(ba_graph, fault_plan="crash:0@0", policy="shrink")
+        assert not res.extra["degraded"]
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+        assert res.theta == base.theta
+
+    def test_oom_absorbed_by_shrink(self, ba_graph):
+        res = _dist(ba_graph, fault_plan="oom:1@3", policy="shrink")
+        assert res.extra["recovery"]["dead_ranks"] == [1]
+        assert 1 not in res.extra["alive_ranks"]
+
+    def test_leapfrog_shrink_rejected(self, ba_graph):
+        with pytest.raises(ValueError, match="per-sample"):
+            _dist(
+                ba_graph, rng_scheme="leapfrog", fault_plan="crash:0@0",
+                policy="shrink",
+            )
+
+
+class TestStragglerPricing:
+    def test_straggler_slows_but_does_not_change_output(self, ba_graph):
+        base = _dist(ba_graph)
+        res = _dist(ba_graph, fault_plan="straggler:1x8")
+        np.testing.assert_array_equal(base.seeds, res.seeds)
+        assert res.breakdown.total > base.breakdown.total

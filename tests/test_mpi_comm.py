@@ -62,6 +62,35 @@ class TestOtherCollectives:
         results, _ = run_spmd(3, program)
         assert results == [[0, 10, 20]] * 3
 
+    def test_allgather_arrays(self):
+        def program(rank, size):
+            everyone = yield Allgather(np.full(3, rank))
+            return [a.tolist() for a in everyone]
+
+        results, _ = run_spmd(2, program)
+        assert results == [[[0, 0, 0], [1, 1, 1]]] * 2
+
+    def test_allgather_shape_mismatch_detected(self):
+        def program(rank, size):
+            yield Allgather(np.zeros(rank + 1))
+
+        with pytest.raises(CollectiveMismatchError, match="allgather shape"):
+            run_spmd(2, program)
+
+    def test_allgather_dtype_mismatch_detected(self):
+        def program(rank, size):
+            yield Allgather(np.zeros(2, dtype=np.int32 if rank else np.int64))
+
+        with pytest.raises(CollectiveMismatchError, match="allgather dtype"):
+            run_spmd(2, program)
+
+    def test_allgather_mixed_scalar_array_detected(self):
+        def program(rank, size):
+            yield Allgather(np.zeros(2) if rank else 7)
+
+        with pytest.raises(CollectiveMismatchError, match="mixes array and scalar"):
+            run_spmd(2, program)
+
     def test_bcast_from_root(self):
         def program(rank, size):
             value = yield Bcast("payload" if rank == 1 else None, root=1)
@@ -69,6 +98,18 @@ class TestOtherCollectives:
 
         results, _ = run_spmd(3, program)
         assert results == ["payload"] * 3
+
+    def test_bcast_payload_counted_from_root_only(self):
+        # Non-root ranks contribute a large dummy; only the root's buffer
+        # is what travels, so only it may be metered.
+        def program(rank, size):
+            payload = np.zeros(2) if rank == 0 else np.zeros(1000)
+            yield Bcast(payload, root=0)
+            return None
+
+        _, stats = run_spmd(3, program)
+        assert stats.payload_bytes == 16
+        assert stats.per_call[0].kind == "bcast"
 
     def test_bcast_mixed_roots_rejected(self):
         def program(rank, size):
@@ -154,5 +195,29 @@ class TestRuntime:
             return None
 
         _, stats = run_spmd(2, program)
-        assert [kind for kind, _ in stats.per_call] == ["allreduce", "barrier"]
-        assert stats.per_call[0][1] == 80
+        assert [call.kind for call in stats.per_call] == ["allreduce", "barrier"]
+        assert stats.per_call[0].nbytes == 80
+        # unlabeled by default; kind/nbytes stay positionally compatible
+        assert stats.per_call[0].label == ""
+        assert stats.per_call[0][:2] == ("allreduce", 80)
+
+    def test_per_call_phase_labels(self):
+        def program(rank, size):
+            stats.set_phase("EstimateTheta")
+            yield Allreduce(np.zeros(4))
+            stats.set_phase("SelectSeeds")
+            yield Allreduce(np.zeros(4))
+            return None
+
+        from repro.mpi import CommStats
+
+        stats = CommStats()
+        run_spmd(2, program, stats=stats)
+        assert [call.label for call in stats.per_call] == [
+            "EstimateTheta",
+            "SelectSeeds",
+        ]
+        assert stats.label_totals() == {
+            "EstimateTheta": (1, 32),
+            "SelectSeeds": (1, 32),
+        }

@@ -4,7 +4,9 @@ Every deliberately injected fault must be *killed* — a surviving mutant
 means the oracle would wave through the corresponding real bug.
 """
 
-from repro.validate import MutantResult, run_mutation_suite
+import pytest
+
+from repro.validate import SMOKE_MUTANTS, MutantResult, run_mutation_suite
 
 EXPECTED_MUTANTS = {
     "unsorted-sample",
@@ -15,6 +17,9 @@ EXPECTED_MUTANTS = {
     "inverted-index-drop",
     "skipped-decrement",
     "biased-rng",
+    "recovery-skips-sample",
+    "wrong-stream-replay",
+    "double-count-after-shrink",
 }
 
 
@@ -32,6 +37,24 @@ class TestMutationSuite:
         # The detectors must not depend on a lucky draw.
         for seed in (2, 17):
             assert all(r.detected for r in run_mutation_suite(seed=seed))
+
+    def test_names_filter(self):
+        results = run_mutation_suite(seed=1, names=("biased-rng",))
+        assert [r.name for r in results] == ["biased-rng"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutants"):
+            run_mutation_suite(names=("not-a-mutant",))
+
+    def test_smoke_subset_valid_and_killed(self):
+        assert set(SMOKE_MUTANTS) <= EXPECTED_MUTANTS
+        # all three recovery fault classes stay in the cheap CI set
+        assert {
+            "recovery-skips-sample",
+            "wrong-stream-replay",
+            "double-count-after-shrink",
+        } <= set(SMOKE_MUTANTS)
+        assert all(r.detected for r in run_mutation_suite(names=SMOKE_MUTANTS))
 
     def test_result_rendering(self):
         killed = MutantResult("x", "fault", True, "flagged")

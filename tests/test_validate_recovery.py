@@ -1,0 +1,84 @@
+"""Tests for the recovery-equivalence oracle (repro.validate.recovery)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.mpi import imm_dist, initial_deals, rebuild_partition
+from repro.validate import (
+    check_community_driver,
+    check_degraded_accounting,
+    check_partitioned_equivalence,
+    check_rebuild_fidelity,
+    check_recovery_equivalence,
+    quick_config,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return replace(
+        quick_config(),
+        fault_rank_counts=(2,),
+        partitioned_ranks=(2,),
+        partitioned_samples=15,
+    )
+
+
+class TestRebuildFidelity:
+    def test_faithful_rebuild_passes(self, ba_graph):
+        deals = initial_deals(2)
+        coll, _, _ = rebuild_partition(ba_graph, "IC", deals, 1, 40, seed=5)
+        rep = check_rebuild_fidelity(coll, ba_graph, "IC", deals, 1, 40, 5, "t")
+        assert rep.ok, rep.violations
+
+    def test_wrong_seed_caught(self, ba_graph):
+        deals = initial_deals(2)
+        coll, _, _ = rebuild_partition(ba_graph, "IC", deals, 1, 40, seed=6)
+        rep = check_rebuild_fidelity(coll, ba_graph, "IC", deals, 1, 40, 5, "t")
+        assert any(v.check == "recovery.rebuild-bitwise" for v in rep.violations)
+
+
+class TestDegradedAccounting:
+    @pytest.fixture(scope="class")
+    def shrunk(self, ba_graph):
+        return imm_dist(
+            ba_graph, k=4, eps=0.5, num_nodes=3, seed=2, theta_cap=120,
+            fault_plan="crash:2@phase=SelectSeeds", policy="shrink",
+        )
+
+    def test_honest_run_passes(self, shrunk):
+        rep = check_degraded_accounting(shrunk, "t")
+        assert rep.ok, rep.violations
+
+    def test_tampered_theta_caught(self, shrunk):
+        bad = dict(shrunk.extra)
+        bad["theta_effective"] = shrunk.theta
+        tampered = replace(shrunk, extra=bad)
+        rep = check_degraded_accounting(tampered, "t")
+        assert any(
+            v.check == "recovery.degraded-accounting" for v in rep.violations
+        )
+
+    def test_cleared_flag_caught(self, shrunk):
+        bad = dict(shrunk.extra)
+        bad["degraded"] = False
+        rep = check_degraded_accounting(replace(shrunk, extra=bad), "t")
+        assert any(v.check == "recovery.degraded-flag" for v in rep.violations)
+
+
+class TestOracleAxes:
+    def test_recovery_equivalence_clean(self, ba_graph, cfg):
+        rep = check_recovery_equivalence(ba_graph, "IC", cfg, "ba")
+        assert rep.ok, rep.violations
+        # respawn x3 plans (x2 checks + meters), retry x2, straggler x2,
+        # shrink late (+accounting) and early, corruption: a real sweep
+        assert rep.checks_run >= 15
+
+    def test_partitioned_equivalence_clean(self, ba_graph, cfg):
+        rep = check_partitioned_equivalence(ba_graph, cfg, "ba")
+        assert rep.ok, rep.violations
+
+    def test_community_driver_clean(self, ba_graph, cfg):
+        rep = check_community_driver(ba_graph, "IC", cfg, "ba")
+        assert rep.ok, rep.violations
