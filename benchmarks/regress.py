@@ -6,6 +6,13 @@ Runs a fixed micro-suite and writes commit-stamped numbers to
 * **Sampling throughput** — serial vs batched engine generating the full
   θ(ε=0.5, k=50) sample set on the largest registry stand-in
   (com-Orkut, IC): edges/s for both engines and the speedup ratio.
+* **Worker scaling** — the process-pool engine at 1/2/4 workers on the
+  two largest registry graphs (com-Orkut, soc-LiveJournal1): sampling
+  seconds per worker count and the 4-worker speedup.  The ``≥1.6×``
+  speedup gate is enforced only on hosts with at least 4 usable CPUs
+  (``os.sched_getaffinity``); the numbers and the host CPU count are
+  recorded unconditionally so a capable host can audit a cramped one's
+  run.
 * **End-to-end ``imm()``** — total seconds, θ, and the selected seed set
   on two registry graphs (cit-HepTh IC, com-YouTube LT).
 
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -49,6 +57,7 @@ from repro.datasets import load  # noqa: E402
 from repro.imm.imm import imm  # noqa: E402
 from repro.sampling import (  # noqa: E402
     BatchedRRRSampler,
+    ParallelSamplingEngine,
     RRRSampler,
     SortedRRRCollection,
     sample_batch,
@@ -74,6 +83,28 @@ IMM_WORKLOADS = (
     ("cit-HepTh", "IC", 10, 0.5, 1),
     ("com-YouTube", "LT", 10, 0.5, 1),
 )
+
+#: Worker-scaling workloads: the two largest registry graphs.
+WORKER_SCALING_DATASETS = (
+    ("com-Orkut", "IC", 9980),
+    ("soc-LiveJournal1", "IC", 8000),
+)
+WORKER_COUNTS = (1, 2, 4)
+#: Repetitions per (dataset, worker count) — pool spin-up is excluded
+#: from the timing, so fewer reps suffice than for the microseconds-scale
+#: engine comparisons above.
+WORKER_REPS = 3
+#: Required 4-worker sampling speedup on the largest graph — enforced
+#: only on hosts that actually have ≥ ``MIN_CPUS_FOR_GATE`` usable CPUs.
+MIN_WORKER_SPEEDUP = 1.6
+MIN_CPUS_FOR_GATE = 4
+
+
+def _host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _commit() -> str:
@@ -129,6 +160,36 @@ def bench_sampling() -> dict:
     }
 
 
+def bench_worker_scaling() -> dict:
+    """Time the process-pool engine at each worker count.
+
+    Engine construction (pool spin-up + shared-memory population) is
+    excluded: it is a once-per-run cost the drivers pay once, while the
+    per-θ sampling loop is what the paper's scaling figures measure.
+    """
+    out: dict = {"host_cpus": _host_cpus(), "workers": list(WORKER_COUNTS)}
+    for name, model, theta in WORKER_SCALING_DATASETS:
+        graph = load(name, model)
+        indices = np.arange(theta, dtype=np.int64)
+        per_worker: dict[str, float] = {}
+        for w in WORKER_COUNTS:
+            with ParallelSamplingEngine(graph, model, workers=w) as eng:
+                times = []
+                for _ in range(WORKER_REPS):
+                    coll = SortedRRRCollection(graph.n)
+                    t0 = time.perf_counter()
+                    eng.sample_into(coll, indices, SAMPLING_SEED)
+                    times.append(time.perf_counter() - t0)
+            per_worker[str(w)] = round(min(times), 4)
+        t1, tmax = per_worker[str(WORKER_COUNTS[0])], per_worker[str(WORKER_COUNTS[-1])]
+        out[f"{name}/{model}"] = {
+            "theta": theta,
+            "seconds": per_worker,
+            "speedup_at_max_workers": round(t1 / tmax, 2),
+        }
+    return out
+
+
 def bench_imm() -> dict:
     out = {}
     for name, model, k, eps, seed in IMM_WORKLOADS:
@@ -179,6 +240,24 @@ def compare(fresh: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def worker_scaling_gate(ws: dict) -> list[str]:
+    """The ``≥1.6×`` 4-worker gate, enforced only on capable hosts."""
+    if ws["host_cpus"] < MIN_CPUS_FOR_GATE:
+        print(
+            f"  worker-scaling gate skipped: host has {ws['host_cpus']} usable "
+            f"CPU(s) < {MIN_CPUS_FOR_GATE} (numbers recorded for audit)"
+        )
+        return []
+    name, model, _ = WORKER_SCALING_DATASETS[0]  # the largest graph
+    got = ws[f"{name}/{model}"]["speedup_at_max_workers"]
+    if got < MIN_WORKER_SPEEDUP:
+        return [
+            f"SCALING {name}/{model}: {WORKER_COUNTS[-1]}-worker sampling "
+            f"speedup {got}x is below the required {MIN_WORKER_SPEEDUP}x"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -204,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         "reps": REPS,
         "tolerance": TOLERANCE,
         "sampling": bench_sampling(),
+        "worker_scaling": bench_worker_scaling(),
         "imm": bench_imm(),
     }
     s = fresh["sampling"]
@@ -213,12 +293,22 @@ def main(argv: list[str] | None = None) -> int:
         f"batched {s['batched_s']}s ({s['batched_edges_per_s']:,} e/s), "
         f"speedup {s['speedup']}x"
     )
+    ws = fresh["worker_scaling"]
+    for wl, r in ws.items():
+        if not isinstance(r, dict):
+            continue
+        timings = ", ".join(f"{w}w {t}s" for w, t in r["seconds"].items())
+        print(
+            f"  pool {wl} theta={r['theta']}: {timings} "
+            f"(speedup {r['speedup_at_max_workers']}x, "
+            f"host_cpus={ws['host_cpus']})"
+        )
     for wl, r in fresh["imm"].items():
         print(f"  imm {wl}: theta={r['theta']} {r['seconds']}s")
 
-    failures = []
+    failures = worker_scaling_gate(ws)
     if baseline is not None and not args.update_baseline:
-        failures = compare(fresh, baseline)
+        failures.extend(compare(fresh, baseline))
 
     if not args.skip_validate:
         from repro.validate import validate_quick  # noqa: E402

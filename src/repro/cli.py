@@ -83,6 +83,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 layout=args.layout,
                 theta_cap=args.theta_cap,
+                workers=args.workers,
             )
         if args.variant == "mt":
             return imm_mt(
@@ -94,6 +95,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 machine=_MACHINES[args.machine],
                 seed=args.seed,
                 theta_cap=args.theta_cap,
+                real_parallel=args.workers > 1,
+                workers=args.workers if args.workers > 1 else None,
             )
         return imm_dist(
             graph,
@@ -112,9 +115,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         result = execute()
     print(result.summary())
-    b = result.breakdown
-    for phase, seconds in b.as_dict().items():
-        print(f"  {phase:13s} {seconds:.4f}s")
+    if "time_report" in result.extra:
+        for line in result.extra["time_report"].splitlines():
+            print(f"  {line}")
+    else:
+        b = result.breakdown
+        for phase, seconds in b.as_dict().items():
+            print(f"  {phase:13s} {seconds:.4f}s")
+    if result.extra.get("workers", 0) > 1 or result.extra.get("engine_workers", 0) > 1:
+        w = result.extra.get("engine_workers") or result.extra["workers"]
+        print(f"  (sampling + counting executed on a {w}-worker process pool)")
     print(f"seeds: {' '.join(map(str, result.seeds.tolist()))}")
     if args.evaluate:
         sp = estimate_spread(
@@ -142,6 +152,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         model=args.model,
         seed=args.seed,
         theta_cap=args.theta_cap,
+        workers=args.workers,
     )
     print(f"{'k':>5s} {'theta':>8s} {'samples':>8s} {'reused':>8s} {'est.spread':>11s}")
     for res in results:
@@ -320,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--layout", choices=("sorted", "hypergraph"), default="sorted")
     p_run.add_argument("--threads", type=int, default=20, help="mt threads")
+    p_run.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for real multicore sampling (serial and mt "
+        "variants; >1 turns the mt cost model's run into measured parallel "
+        "execution, output stays bit-identical)",
+    )
     p_run.add_argument("--nodes", type=int, default=8, help="dist nodes")
     p_run.add_argument("--machine", choices=tuple(_MACHINES), default="puma")
     p_run.add_argument("--theta-cap", type=int, default=None)
@@ -341,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--ks", required=True, help="comma-separated k values")
     p_sw.add_argument("--eps", type=float, default=0.5)
     p_sw.add_argument("--theta-cap", type=int, default=None)
+    p_sw.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size shared across all sweep points",
+    )
     p_sw.set_defaults(func=_cmd_sweep)
 
     p_co = sub.add_parser(

@@ -24,6 +24,7 @@ from ..perf.timers import PhaseTimer
 from ..sampling import (
     BatchedRRRSampler,
     HypergraphRRRCollection,
+    ParallelSamplingEngine,
     SortedRRRCollection,
     sample_batch,
 )
@@ -44,6 +45,8 @@ def imm(
     *,
     layout: str = "sorted",
     theta_cap: int | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> IMMResult:
     """Run serial IMM and return the seed set with full diagnostics.
 
@@ -68,48 +71,71 @@ def imm(
         Optional ceiling on θ for bounded benchmark runs; a capped run
         reports ``extra["theta_capped"] = True`` and waives the formal
         guarantee.
+    workers, start_method:
+        ``workers > 1`` executes sampling and the selection counting
+        pass on a real
+        :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
+        process pool (shared-memory CSR, ``start_method`` selects how
+        workers are started).  Results are bit-identical to the serial
+        run — same seeds, θ, and coverage history — only the wall clock
+        in ``breakdown`` changes.  Requires ``layout="sorted"``.
 
     Returns
     -------
     :class:`IMMResult`
     """
     model = DiffusionModel.parse(model)
+    if workers < 1:
+        raise ValueError("need at least one worker")
     if layout == "sorted":
         collection = SortedRRRCollection(graph.n)
     elif layout == "hypergraph":
+        if workers > 1:
+            raise ValueError("workers > 1 requires layout='sorted'")
         collection = HypergraphRRRCollection(graph.n)
     else:
         raise ValueError(f"unknown layout {layout!r}; expected 'sorted' or 'hypergraph'")
 
     timer = PhaseTimer()
     counters = WorkCounters()
-    sampler = BatchedRRRSampler(graph, model)
-
-    with timer.phase("EstimateTheta"):
-        est = estimate_theta(
-            graph,
-            k,
-            eps,
-            model,
-            seed,
-            l,
-            collection=collection,
-            sampler=sampler,
-            counters=counters,
-            theta_cap=theta_cap,
+    engine = None
+    if workers > 1:
+        engine = ParallelSamplingEngine(
+            graph, model, workers=workers, start_method=start_method
         )
+        sampler = engine
+    else:
+        sampler = BatchedRRRSampler(graph, model)
 
-    with timer.phase("Sample"):
-        batch = sample_batch(
-            graph, model, collection, est.theta, seed, sampler=sampler
-        )
-        counters.edges_examined += batch.edges_examined
-        counters.samples_generated += batch.count
+    try:
+        with timer.phase("EstimateTheta"):
+            est = estimate_theta(
+                graph,
+                k,
+                eps,
+                model,
+                seed,
+                l,
+                collection=collection,
+                sampler=sampler,
+                counters=counters,
+                theta_cap=theta_cap,
+            )
 
-    with timer.phase("SelectSeeds"):
-        sel = select_seeds(collection, graph.n, k)
-        counters.entries_scanned += sel.entries_scanned
-        counters.counter_updates += sel.counter_updates
+        with timer.phase("Sample"):
+            batch = sample_batch(
+                graph, model, collection, est.theta, seed, sampler=sampler
+            )
+            counters.edges_examined += batch.edges_examined
+            counters.samples_generated += batch.count
+
+        with timer.phase("SelectSeeds"):
+            sel = select_seeds(collection, graph.n, k, count_engine=engine)
+            counters.entries_scanned += sel.entries_scanned
+            counters.counter_updates += sel.counter_updates
+    finally:
+        if engine is not None:
+            engine.close()
 
     return IMMResult(
         seeds=sel.seeds,
@@ -131,5 +157,6 @@ def imm(
             "estimation_rounds": est.rounds,
             "coverage_history": est.coverage_history,
             "theta_capped": theta_cap is not None and est.theta >= theta_cap,
+            "workers": workers,
         },
     )

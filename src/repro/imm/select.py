@@ -101,6 +101,8 @@ def select_seeds_sorted(
     n: int,
     k: int,
     num_ranks: int = 1,
+    *,
+    count_engine=None,
 ) -> SelectionResult:
     """Greedy selection over the sorted one-directional layout.
 
@@ -108,6 +110,12 @@ def select_seeds_sorted(
     follows Algorithm 4's partitioned execution: counter updates are
     attributed to the rank owning the vertex, and each rank is charged
     ``O(log |R_j|)`` searches per visited sample to find its interval.
+
+    ``count_engine`` (a
+    :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`)
+    replaces the serial ``np.bincount`` of the first counting pass with
+    its partitioned ``count_partitioned`` kernel — bit-identical
+    counters, computed by the worker pool for large collections.
     """
     if not 1 <= k <= n:
         raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
@@ -118,9 +126,19 @@ def select_seeds_sorted(
     bounds = _interval_bounds(n, num_ranks)
 
     # --- counting pass (first step of Algorithm 4) -----------------------
-    counters = np.bincount(flat, minlength=n).astype(np.int64)
-    rank_of_entry = np.searchsorted(bounds, flat, side="right") - 1
-    per_rank_entries = np.bincount(rank_of_entry, minlength=num_ranks)
+    if count_engine is not None:
+        counters = count_engine.count_partitioned(flat, n).astype(np.int64)
+    else:
+        counters = np.bincount(flat, minlength=n).astype(np.int64)
+    # Rank attribution of every entry is only needed when the cost model
+    # actually partitions the vertex space; the common single-rank path
+    # skips the O(E log p) searchsorted and charges everything to rank 0.
+    if num_ranks > 1:
+        rank_of_entry = np.searchsorted(bounds, flat, side="right") - 1
+        per_rank_entries = np.bincount(rank_of_entry, minlength=num_ranks)
+    else:
+        rank_of_entry = None
+        per_rank_entries = np.asarray([len(flat)], dtype=np.int64)
     # Each rank visits every sample and runs two binary searches on it.
     if num_samples:
         sizes = np.diff(indptr)
@@ -143,6 +161,10 @@ def select_seeds_sorted(
     sample_alive = np.ones(num_samples, dtype=bool)
     seeds = np.empty(k, dtype=np.int64)
     covered = 0
+    # Kill-pass scratch, hoisted out of the loop: grows to the largest
+    # kill seen so far instead of re-allocating repeat/arange/sum
+    # temporaries on every iteration.
+    entry_scratch = np.empty(0, dtype=np.int64)
     for i in range(k):
         v = int(np.argmax(counters))
         seeds[i] = v
@@ -155,15 +177,32 @@ def select_seeds_sorted(
             starts = indptr[killed]
             stops = indptr[killed + 1]
             counts = stops - starts
-            total = int(counts.sum())
-            entry_idx = np.repeat(stops - np.cumsum(counts), counts) + np.arange(total)
+            ends = np.cumsum(counts)
+            total = int(ends[-1])
+            if len(entry_scratch) < total:
+                entry_scratch = np.empty(
+                    max(total, 2 * len(entry_scratch)), dtype=np.int64
+                )
+            # Concatenated ranges [start_j, stop_j) built in place: ones,
+            # with each range's first slot holding the jump from the
+            # previous range's last value, then one cumulative sum.
+            # Equivalent to repeat(starts, counts) + intra-range iota
+            # without allocating either temporary.
+            entry_idx = entry_scratch[:total]
+            entry_idx.fill(1)
+            entry_idx[0] = starts[0]
+            entry_idx[ends[:-1]] = starts[1:] - stops[:-1] + 1
+            np.cumsum(entry_idx, out=entry_idx)
             dead_vertices = flat[entry_idx]
             counters -= np.bincount(dead_vertices, minlength=n)
             # Metering: each decrement belongs to the rank owning the vertex;
             # each rank also pays a binary search per killed sample.
-            per_rank_entries += np.bincount(
-                rank_of_entry[entry_idx], minlength=num_ranks
-            )
+            if rank_of_entry is not None:
+                per_rank_entries += np.bincount(
+                    rank_of_entry[entry_idx], minlength=num_ranks
+                )
+            else:
+                per_rank_entries[0] += total
             kill_search = int(search_per_sample[killed].sum())
             per_rank_searches += kill_search
             entries_scanned += total
@@ -232,15 +271,21 @@ def select_seeds(
     n: int,
     k: int,
     num_ranks: int = 1,
+    *,
+    count_engine=None,
 ) -> SelectionResult:
     """Dispatch to the layout-appropriate selector.
 
     Both selectors implement the identical greedy policy (including tie
     breaking), so the chosen seeds depend only on the collection
-    contents — a property the test suite asserts.
+    contents — a property the test suite asserts.  ``count_engine``
+    applies to the sorted layout only (the hypergraph layout reads its
+    counters off the inverted index, no counting pass exists).
     """
     if isinstance(collection, SortedRRRCollection):
-        return select_seeds_sorted(collection, n, k, num_ranks=num_ranks)
+        return select_seeds_sorted(
+            collection, n, k, num_ranks=num_ranks, count_engine=count_engine
+        )
     if isinstance(collection, HypergraphRRRCollection):
         return select_seeds_hypergraph(collection, n, k)
     raise TypeError(f"unsupported collection type {type(collection).__name__}")

@@ -27,7 +27,12 @@ from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
-from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
+from ..sampling import (
+    BatchedRRRSampler,
+    ParallelSamplingEngine,
+    SortedRRRCollection,
+    sample_batch,
+)
 from .result import IMMResult
 from .select import select_seeds
 from .theta import estimate_theta
@@ -44,6 +49,8 @@ def imm_sweep(
     l: float = 1.0,
     *,
     theta_cap: int | None = None,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> list[IMMResult]:
     """Run IMM for every k in ``ks``, sharing one RRR collection.
 
@@ -54,6 +61,12 @@ def imm_sweep(
     ks:
         Seed-set sizes to evaluate (any order; processed ascending, and
         results are returned in the caller's order).
+    workers, start_method:
+        ``workers > 1`` runs the whole sweep on one shared
+        :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
+        process pool (same bit-identical-output contract as
+        ``imm(..., workers=w)``); the pool and its shared-memory CSR are
+        paid once for all sweep points.
 
     Returns
     -------
@@ -71,10 +84,48 @@ def imm_sweep(
     for k in ks:
         if not 1 <= k <= graph.n:
             raise ValueError(f"need 1 <= k <= n, got k={k}, n={graph.n}")
+    if workers < 1:
+        raise ValueError("need at least one worker")
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
-    sampler = BatchedRRRSampler(graph, model)
+    engine = None
+    if workers > 1:
+        engine = ParallelSamplingEngine(
+            graph, model, workers=workers, start_method=start_method
+        )
+        sampler = engine
+    else:
+        sampler = BatchedRRRSampler(graph, model)
 
+    try:
+        results = _sweep_loop(
+            graph, ks, eps, model, seed, l,
+            theta_cap=theta_cap,
+            collection=collection,
+            sampler=sampler,
+            engine=engine,
+            workers=workers,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
+    return [results[k] for k in ks]
+
+
+def _sweep_loop(
+    graph: CSRGraph,
+    ks: list[int],
+    eps: float,
+    model: DiffusionModel,
+    seed: int,
+    l: float,
+    *,
+    theta_cap: int | None,
+    collection: SortedRRRCollection,
+    sampler,
+    engine,
+    workers: int,
+) -> dict[int, IMMResult]:
     results: dict[int, IMMResult] = {}
     for k in sorted(set(ks)):
         timer = PhaseTimer()
@@ -100,7 +151,7 @@ def imm_sweep(
             counters.edges_examined += batch.edges_examined
             counters.samples_generated += batch.count
         with timer.phase("SelectSeeds"):
-            sel = select_seeds(collection, graph.n, k)
+            sel = select_seeds(collection, graph.n, k, count_engine=engine)
             counters.entries_scanned += sel.entries_scanned
             counters.counter_updates += sel.counter_updates
         results[k] = IMMResult(
@@ -123,6 +174,7 @@ def imm_sweep(
                 "estimation_rounds": est.rounds,
                 "samples_reused": reused,
                 "theta_capped": theta_cap is not None and est.theta >= theta_cap,
+                "workers": workers,
             },
         )
-    return [results[k] for k in ks]
+    return results

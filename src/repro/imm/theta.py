@@ -137,6 +137,8 @@ def estimate_theta(
     theta_cap: int | None = None,
     trace: list | None = None,
     num_ranks: int = 1,
+    workers: int = 1,
+    start_method: str | None = None,
 ) -> ThetaEstimate:
     """Estimate θ and return it with the samples drawn along the way.
 
@@ -176,6 +178,14 @@ def estimate_theta(
         Vertex-interval rank count forwarded to the selection kernel so
         the per-rank work meters in the trace reflect the intended
         parallel decomposition.  Does not affect the selected seeds.
+    workers, start_method:
+        ``workers > 1`` runs the estimation's sampling (and the counting
+        pass of its per-round selections) on a
+        :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
+        process pool — bit-identical output, real cores.  Ignored when a
+        ``sampler`` is passed explicitly (the caller owns the engine
+        choice then); an internally created engine is closed before
+        returning.
 
     Raises
     ------
@@ -192,9 +202,52 @@ def estimate_theta(
     model = DiffusionModel.parse(model)
     if collection is None:
         collection = SortedRRRCollection(n)
+    owned_engine = None
     if sampler is None:
-        sampler = BatchedRRRSampler(graph, model)
+        if workers > 1:
+            from ..sampling import ParallelSamplingEngine
 
+            owned_engine = ParallelSamplingEngine(
+                graph, model, workers=workers, start_method=start_method
+            )
+            sampler = owned_engine
+        else:
+            sampler = BatchedRRRSampler(graph, model)
+    try:
+        return _estimate_theta_loop(
+            graph, k, eps, model, seed, l,
+            collection=collection,
+            sampler=sampler,
+            counters=counters,
+            theta_cap=theta_cap,
+            trace=trace,
+            num_ranks=num_ranks,
+        )
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
+
+
+def _estimate_theta_loop(
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel,
+    seed: int,
+    l: float,
+    *,
+    collection: RRRCollection,
+    sampler,
+    counters: WorkCounters | None,
+    theta_cap: int | None,
+    trace: list | None,
+    num_ranks: int,
+) -> ThetaEstimate:
+    """The doubling search itself, with sampler/engine already resolved."""
+    from ..sampling import ParallelSamplingEngine
+
+    n = graph.n
+    count_engine = sampler if isinstance(sampler, ParallelSamplingEngine) else None
     l_eff = _inflated_l(n, l)
     eps_p = math.sqrt(2.0) * eps
     lam_p = lambda_prime(n, k, eps, l_eff)
@@ -216,7 +269,9 @@ def estimate_theta(
             counters.samples_generated += batch.count
         if trace is not None:
             trace.append(("sample", batch))
-        sel = select_seeds(collection, n, k, num_ranks=num_ranks)
+        sel = select_seeds(
+            collection, n, k, num_ranks=num_ranks, count_engine=count_engine
+        )
         if counters is not None:
             counters.entries_scanned += sel.entries_scanned
             counters.counter_updates += sel.counter_updates

@@ -1,11 +1,21 @@
 """``imm_mt``: the multithreaded IMM of Section 3.1.
 
-The implementation executes the identical sequential kernels (so the
-selected seeds are bit-identical to :func:`repro.imm.imm` — per-sample
-counter-based RNG streams make the samples independent of the thread
-count) and charges *modeled* phase time from the per-rank work meters
-through a :class:`~repro.parallel.cost.CostModel`.  See the package
-docstring and DESIGN.md for why this substitution is faithful.
+By default the implementation executes the identical sequential kernels
+(so the selected seeds are bit-identical to :func:`repro.imm.imm` —
+per-sample counter-based RNG streams make the samples independent of the
+thread count) and charges *modeled* phase time from the per-rank work
+meters through a :class:`~repro.parallel.cost.CostModel`.  See the
+package docstring and DESIGN.md for why this substitution is faithful.
+
+``real_parallel=True`` replaces the sequential execution with the
+shared-memory process-pool engine
+(:class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`):
+sampling and the selection counting pass actually run on ``workers``
+cores, and the result carries the **measured** wall-clock breakdown next
+to the cost model's prediction for the same run (both are reported; the
+modeled figures remain what the paper's plots are reproduced from).  The
+seeds, θ and all work meters are unchanged either way — that is the
+engine's bit-identical contract, enforced by ``repro-imm validate``.
 
 What the model reproduces from the paper:
 
@@ -24,8 +34,13 @@ from ..imm.result import IMMResult
 from ..imm.select import select_seeds
 from ..imm.theta import estimate_theta
 from ..perf.counters import WorkCounters
-from ..perf.timers import PhaseTimer
-from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
+from ..perf.timers import PhaseTimer, side_by_side
+from ..sampling import (
+    BatchedRRRSampler,
+    ParallelSamplingEngine,
+    SortedRRRCollection,
+    sample_batch,
+)
 from .cost import CostModel
 from .machine import PUMA, MachineSpec
 
@@ -43,6 +58,9 @@ def imm_mt(
     l: float = 1.0,
     *,
     theta_cap: int | None = None,
+    real_parallel: bool = False,
+    workers: int | None = None,
+    start_method: str | None = None,
 ) -> IMMResult:
     """Run the multithreaded IMM and return modeled-time results.
 
@@ -55,6 +73,18 @@ def imm_mt(
         Puma node).  Must not exceed ``machine.threads_per_node``.
     machine:
         Hardware model supplying the cost constants.
+    real_parallel:
+        Execute sampling and the selection counting pass on a real
+        process pool instead of sequential kernels.  The modeled
+        breakdown (and every meter the model consumes) is unchanged —
+        the engine is bit-identical — but ``extra["measured_breakdown"]``
+        then reports genuinely parallel wall-clock, and
+        ``extra["time_report"]`` renders the two side by side.
+    workers:
+        Pool size for ``real_parallel`` (defaults to ``num_threads``).
+    start_method:
+        Worker start method for ``real_parallel``
+        (``fork``/``spawn``/``forkserver``; ``None`` = platform default).
 
     Returns
     -------
@@ -77,46 +107,66 @@ def imm_mt(
         )
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
-    sampler = BatchedRRRSampler(graph, model)
+    engine = None
+    if real_parallel:
+        engine = ParallelSamplingEngine(
+            graph,
+            model,
+            workers=workers if workers is not None else num_threads,
+            start_method=start_method,
+        )
+        sampler = engine
+    elif workers is not None:
+        raise ValueError("workers is only meaningful with real_parallel=True")
+    else:
+        sampler = BatchedRRRSampler(graph, model)
     counters = WorkCounters()
     cost = CostModel(machine=machine, threads=num_threads)
 
     wall = PhaseTimer()
     sim = PhaseTimer()
 
-    trace: list = []
-    with wall.phase("EstimateTheta"):
-        est = estimate_theta(
-            graph,
-            k,
-            eps,
-            model,
-            seed,
-            l,
-            collection=collection,
-            sampler=sampler,
-            counters=counters,
-            theta_cap=theta_cap,
-            trace=trace,
-            num_ranks=num_threads,
-        )
-    for kind, event in trace:
-        if kind == "sample":
-            sim.charge("EstimateTheta", cost.sample_seconds(event))
-        else:
-            sim.charge("EstimateTheta", cost.select_seconds(event, graph.n, k))
+    try:
+        trace: list = []
+        with wall.phase("EstimateTheta"):
+            est = estimate_theta(
+                graph,
+                k,
+                eps,
+                model,
+                seed,
+                l,
+                collection=collection,
+                sampler=sampler,
+                counters=counters,
+                theta_cap=theta_cap,
+                trace=trace,
+                num_ranks=num_threads,
+            )
+        for kind, event in trace:
+            if kind == "sample":
+                sim.charge("EstimateTheta", cost.sample_seconds(event))
+            else:
+                sim.charge("EstimateTheta", cost.select_seconds(event, graph.n, k))
 
-    with wall.phase("Sample"):
-        batch = sample_batch(graph, model, collection, est.theta, seed, sampler=sampler)
-        counters.edges_examined += batch.edges_examined
-        counters.samples_generated += batch.count
-    sim.charge("Sample", cost.sample_seconds(batch))
+        with wall.phase("Sample"):
+            batch = sample_batch(
+                graph, model, collection, est.theta, seed, sampler=sampler
+            )
+            counters.edges_examined += batch.edges_examined
+            counters.samples_generated += batch.count
+        sim.charge("Sample", cost.sample_seconds(batch))
 
-    with wall.phase("SelectSeeds"):
-        sel = select_seeds(collection, graph.n, k, num_ranks=num_threads)
-        counters.entries_scanned += sel.entries_scanned
-        counters.counter_updates += sel.counter_updates
-    sim.charge("SelectSeeds", cost.select_seconds(sel, graph.n, k))
+        with wall.phase("SelectSeeds"):
+            sel = select_seeds(
+                collection, graph.n, k, num_ranks=num_threads, count_engine=engine
+            )
+            counters.entries_scanned += sel.entries_scanned
+            counters.counter_updates += sel.counter_updates
+        sim.charge("SelectSeeds", cost.select_seconds(sel, graph.n, k))
+    finally:
+        if engine is not None:
+            engine.close()
 
     # "Other": the serial scaffolding around the parallel regions —
     # allocation of the counter arrays and per-run setup.
@@ -142,5 +192,17 @@ def imm_mt(
             "measured_breakdown": wall.breakdown(),
             "estimation_rounds": est.rounds,
             "theta_capped": theta_cap is not None and est.theta >= theta_cap,
+            "real_parallel": real_parallel,
+            "engine_workers": (
+                (workers if workers is not None else num_threads)
+                if real_parallel
+                else 0
+            ),
+            "time_report": side_by_side(
+                wall.breakdown(),
+                sim.breakdown(),
+                measured_label="measured",
+                modeled_label=f"modeled(p={num_threads})",
+            ),
         },
     )

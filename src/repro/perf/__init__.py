@@ -18,12 +18,13 @@ from .counters import WorkCounters
 from .layoutmodel import modeled_serial_breakdown
 from .memory import MemoryModel, collection_bytes, graph_bytes, peak_rss_bytes
 from .profiling import profile_run
-from .timers import PHASES, PhaseBreakdown, PhaseTimer
+from .timers import PHASES, PhaseBreakdown, PhaseTimer, side_by_side
 
 __all__ = [
     "PhaseTimer",
     "PhaseBreakdown",
     "PHASES",
+    "side_by_side",
     "WorkCounters",
     "MemoryModel",
     "collection_bytes",

@@ -19,7 +19,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["PhaseTimer", "PhaseBreakdown", "PHASES"]
+__all__ = ["PhaseTimer", "PhaseBreakdown", "PHASES", "side_by_side"]
 
 #: Canonical phase names, in the order the paper's figure legends use.
 PHASES = ("EstimateTheta", "Sample", "SelectSeeds", "Other")
@@ -122,3 +122,26 @@ class PhaseTimer:
     def _check(name: str) -> None:
         if name not in PHASES:
             raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+
+
+def side_by_side(
+    measured: PhaseBreakdown,
+    modeled: PhaseBreakdown,
+    *,
+    measured_label: str = "measured",
+    modeled_label: str = "modeled",
+) -> str:
+    """Render two breakdowns as one aligned per-phase table.
+
+    Used by the real-parallel drivers, which carry both a measured
+    wall-clock breakdown (the process pool actually ran) and the cost
+    model's prediction for the same phases — the paper's figures are
+    modeled, the reproduction's speedups are measured, and printing them
+    side by side is how the substitution stays inspectable.
+    """
+    rows = [f"{'phase':<15} {measured_label:>12} {modeled_label:>12}"]
+    md, sd = measured.as_dict(), modeled.as_dict()
+    for name in PHASES:
+        rows.append(f"{name:<15} {md[name]:>11.4f}s {sd[name]:>11.4f}s")
+    rows.append(f"{'total':<15} {measured.total:>11.4f}s {modeled.total:>11.4f}s")
+    return "\n".join(rows)

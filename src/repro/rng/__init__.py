@@ -24,7 +24,7 @@ subpackage provides:
 
 from .lcg import LCG64_DEFAULT_A, LCG64_DEFAULT_C, Lcg64, lcg_affine_power
 from .splitmix import SplitMix64, mix64
-from .streams import sample_stream, spawn_streams
+from .streams import sample_stream, spawn_streams, stream_checksum, stream_seeds_array
 
 __all__ = [
     "Lcg64",
@@ -35,4 +35,6 @@ __all__ = [
     "mix64",
     "sample_stream",
     "spawn_streams",
+    "stream_checksum",
+    "stream_seeds_array",
 ]

@@ -10,14 +10,38 @@ the paper:
   used by the rest of this library: the RRR set with global index ``j``
   is identical no matter which rank computes it, so seed sets do not
   change with the processor count (verified by the test suite).
+
+Spawn-safety helpers
+--------------------
+Counter-addressed streams are what make *process*-level parallelism safe:
+a worker spawned in a fresh interpreter reconstructs sample ``j``'s
+stream from ``(seed, j)`` alone — no RNG state crosses the process
+boundary, so ``fork`` and ``spawn`` start methods are bit-equivalent.
+:func:`stream_seeds_array` is the vectorized form of that identity and
+:func:`stream_checksum` folds a block of it into one integer: the
+process-pool sampling engine has each worker return the checksum of the
+global indices it actually sampled, and the parent rejects the block if
+it disagrees with the checksum of the indices it sent — catching
+off-by-block stream-addressing bugs (a worker silently sampling local
+``[0, hi-lo)`` instead of global ``[lo, hi)``) at the protocol layer.
 """
 
 from __future__ import annotations
 
-from .lcg import Lcg64
-from .splitmix import SplitMix64
+import numpy as np
 
-__all__ = ["spawn_streams", "sample_stream"]
+from .lcg import Lcg64
+from .splitmix import SplitMix64, mix64_array
+
+__all__ = [
+    "spawn_streams",
+    "sample_stream",
+    "stream_seeds_array",
+    "stream_checksum",
+]
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_M64 = (1 << 64) - 1
 
 
 def spawn_streams(seed: int, size: int) -> list[Lcg64]:
@@ -44,3 +68,29 @@ def sample_stream(seed: int, sample_index: int) -> SplitMix64:
     if sample_index < 0:
         raise ValueError(f"sample index must be non-negative, got {sample_index}")
     return SplitMix64(seed).split(sample_index)
+
+
+def stream_seeds_array(seed: int, sample_indices: np.ndarray) -> np.ndarray:
+    """Vectorized ``sample_stream(seed, j).seed`` for an index array.
+
+    Reproduces ``SplitMix64(seed).split(j)`` — the per-sample stream
+    identity — as one ufunc expression, bit-equal to the scalar path.
+    Pure function of its arguments, so any process (however started)
+    computes the same values.
+    """
+    j = np.asarray(sample_indices, dtype=np.uint64)
+    return mix64_array(np.uint64(seed & _M64) ^ mix64_array((j + np.uint64(1)) * _GAMMA))
+
+
+def stream_checksum(seed: int, sample_indices: np.ndarray) -> int:
+    """Order-free fingerprint of a block's stream identities.
+
+    XOR-fold of the block's per-sample stream seeds, mixed with the
+    block length.  Two processes agree on the checksum iff they agree on
+    the *set* of global sample indices (and the master seed) — the
+    cross-process handshake the parallel sampling engine uses to verify
+    a worker sampled the indices it was sent.
+    """
+    seeds = stream_seeds_array(seed, sample_indices)
+    folded = int(np.bitwise_xor.reduce(seeds)) if len(seeds) else 0
+    return folded ^ ((len(seeds) * 0x9E3779B97F4A7C15) & _M64)

@@ -30,6 +30,12 @@ contribution of Section 3.1:
 
 from .batched import BatchedRRRSampler
 from .collection import HypergraphRRRCollection, RRRCollection, SortedRRRCollection
+from .parallel_engine import (
+    EngineProtocolError,
+    ParallelEngineError,
+    ParallelSamplingEngine,
+    WorkerCrashError,
+)
 from .rrr import RRRSampler, generate_rr, in_edge_cumweights
 from .sampler import SampleBatch, sample_batch
 
@@ -37,6 +43,10 @@ __all__ = [
     "generate_rr",
     "RRRSampler",
     "BatchedRRRSampler",
+    "ParallelSamplingEngine",
+    "ParallelEngineError",
+    "WorkerCrashError",
+    "EngineProtocolError",
     "RRRCollection",
     "SortedRRRCollection",
     "HypergraphRRRCollection",

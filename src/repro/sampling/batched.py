@@ -62,6 +62,7 @@ import numpy as np
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..rng.splitmix import mix64_array
+from ..rng.streams import stream_seeds_array
 from .collection import RRRCollection
 from .rrr import in_edge_cumweights
 
@@ -111,11 +112,11 @@ def _key_dtype(B: int, n: int) -> type:
 def stream_seeds(seed: int, sample_indices: np.ndarray) -> np.ndarray:
     """Vectorized ``sample_stream(seed, j).seed`` for an index array.
 
-    Reproduces ``SplitMix64(seed).split(j)`` — the per-sample stream
-    identity — as one ufunc expression, bit-equal to the scalar path.
+    Alias of :func:`repro.rng.streams.stream_seeds_array`, kept here for
+    the cohort kernel's callers; the identity itself lives with the RNG
+    substrate so process-pool workers share one definition.
     """
-    j = np.asarray(sample_indices, dtype=np.uint64)
-    return mix64_array(np.uint64(seed & _M64) ^ mix64_array((j + np.uint64(1)) * _GAMMA))
+    return stream_seeds_array(seed, sample_indices)
 
 
 def stream_coins(seeds: np.ndarray, counters: np.ndarray) -> np.ndarray:

@@ -1,0 +1,450 @@
+"""Real multicore RRR sampling: a shared-memory process-pool engine.
+
+Everything above this module so far *modeled* parallel time; this module
+actually uses the cores.  The design follows the shared-memory scaling
+recipe of Ripples/HBMax (read-only CSR + embarrassingly parallel sample
+blocks + partitioned counting), adapted to a Python substrate where the
+unit of parallelism must be a *process* (the GIL rules out threads for
+NumPy-dispatch-bound kernels):
+
+* The graph's reverse-CSR arrays (``in_indptr``/``in_indices``/
+  ``in_probs``) — plus, for LT, the precomputed per-vertex cumulative
+  weight table — are placed in :mod:`multiprocessing.shared_memory`
+  **once** at engine construction.  Workers attach zero-copy NumPy views;
+  no graph bytes are pickled per task.
+* ``sample_into`` splits the global sample indices into contiguous
+  blocks ``[lo, hi)`` and fans them out to ``w`` workers.  Each worker
+  runs the existing :class:`~repro.sampling.batched.BatchedRRRSampler`
+  cohort kernel against the shared CSR and returns ``(flat, sizes,
+  edges)`` buffers; the parent lands the blocks **in index order** via
+  ``append_batch``.
+* ``count_partitioned`` parallelizes the first counting pass of
+  Algorithm 4: each worker bincounts its contiguous block of the flat
+  incidence array into a private counter vector, and the parent reduces
+  by summation — integer addition is exact and associative, so the
+  result equals the serial ``np.bincount`` bit for bit.
+
+Determinism contract
+--------------------
+Sample ``j`` is a pure function of ``(graph, model, seed, j)`` (the
+counter-addressed stream discipline of :mod:`repro.rng.streams`), and the
+parent lands blocks in index order — so the produced collection is
+**bit-identical** to the serial and batched engines for every worker
+count, chunk size, and start method.  ``repro-imm validate`` enforces
+this, and two mutation hooks below exist so the mutation suite can prove
+the oracle would catch the characteristic failure modes:
+
+``_mutate_land_order="reversed"``
+    the parent lands blocks in reverse index order (a completion-order
+    landing bug's deterministic stand-in);
+``_mutate_stream_offset=True``
+    workers sample local ``[0, hi-lo)`` indices instead of the global
+    block (the classic lost-offset bug).  The mutation deliberately
+    leaves the protocol checksum computed from the *received* indices,
+    modeling a bug inside the sampling call itself — the engine's own
+    checksum handshake (:func:`repro.rng.streams.stream_checksum`)
+    already rejects disagreements at the protocol layer.
+
+Cleanup discipline
+------------------
+The parent owns every shared-memory segment: ``close()`` (idempotent,
+also invoked by ``__exit__``, ``__del__``, and every error path) shuts
+the pool down and unlinks all segments.  Pool workers share the parent's
+``resource_tracker`` process (its fd rides along under both ``fork`` and
+``spawn``), and the tracker's cache is a set — so a worker's attach-time
+re-registration is a no-op and the parent's single unlink-time
+unregistration leaves the cache clean.  Workers must therefore *not*
+unregister segments themselves (that would race the parent's cleanup);
+the test suite asserts the net effect — no ``resource_tracker`` warnings
+or "leaked shared_memory" messages — by scanning a subprocess's stderr.
+
+Failure modes raise typed errors, never hang: a dead worker surfaces as
+:class:`WorkerCrashError` (via the executor's broken-pool detection or
+the per-block ``task_timeout``), and a stream-addressing disagreement as
+:class:`EngineProtocolError`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+
+import numpy as np
+
+from ..diffusion import DiffusionModel
+from ..graph import CSRGraph
+from ..rng.streams import stream_checksum
+from .batched import BatchedRRRSampler
+from .collection import RRRCollection
+from .rrr import in_edge_cumweights
+
+__all__ = [
+    "ParallelSamplingEngine",
+    "ParallelEngineError",
+    "WorkerCrashError",
+    "EngineProtocolError",
+]
+
+#: Below this many incidences, ``count_partitioned`` stays serial — the
+#: pickle+IPC round trip costs more than the bincount it would save.
+PARALLEL_COUNT_THRESHOLD = 1 << 15
+
+
+class ParallelEngineError(RuntimeError):
+    """Base class for process-pool sampling-engine failures."""
+
+
+class WorkerCrashError(ParallelEngineError):
+    """A worker died (or timed out) mid-block; the engine is closed."""
+
+
+class EngineProtocolError(ParallelEngineError):
+    """Parent and worker disagree on a block's stream identities."""
+
+
+# ---------------------------------------------------------------------------
+# worker-side code (module-level so every start method can pickle it)
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_worker_init`.
+_WORKER: dict | None = None
+
+
+def _worker_init(payload: dict) -> None:
+    """Pool initializer: attach the shared CSR and build the sampler.
+
+    Attaching re-registers each segment with the resource tracker the
+    worker shares with the parent — a set-insert no-op.  Ownership stays
+    with the parent (create + unlink); workers only hold views.
+    """
+    global _WORKER
+    views: dict[str, np.ndarray] = {}
+    segments: list[_shm.SharedMemory] = []
+    for key, (name, shape, dtype) in payload["arrays"].items():
+        seg = _shm.SharedMemory(name=name)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        arr.flags.writeable = False  # the CSR is read-only by contract
+        views[key] = arr
+        segments.append(seg)
+    # The sampler only touches the in-direction and ``n``; aliasing the
+    # out-direction to the same arrays satisfies the CSRGraph constructor
+    # without shipping bytes the kernels never read.
+    graph = CSRGraph(
+        payload["n"],
+        views["in_indptr"],
+        views["in_indices"],
+        views["in_probs"],
+        views["in_indptr"],
+        views["in_indices"],
+        views["in_probs"],
+    )
+    sampler = BatchedRRRSampler(
+        graph, payload["model"], max_cohort=payload["max_cohort"]
+    )
+    if "lt_cum" in views:
+        sampler._lt_cum = views["lt_cum"]  # shared, bit-equal to a local build
+    _WORKER = {"sampler": sampler, "segments": segments}
+
+
+def _worker_block(
+    indices: np.ndarray,
+    seed: int,
+    edge_flip: str,
+    mutate_offset: bool,
+    crash: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Sample one block of global indices; return flat buffers + checksum."""
+    if crash:  # test/mutation hook: simulate a worker dying mid-block
+        os._exit(1)
+    assert _WORKER is not None, "worker initializer did not run"
+    sampler: BatchedRRRSampler = _WORKER["sampler"]
+    checksum = stream_checksum(seed, indices)
+    if mutate_offset:
+        indices = indices - indices[0]  # the injected lost-offset bug
+    flats: list[np.ndarray] = []
+    sizes: list[np.ndarray] = []
+    edges: list[np.ndarray] = []
+    for lo in range(0, len(indices), sampler.max_cohort):
+        v, s, e = sampler.sample_cohort(
+            indices[lo : lo + sampler.max_cohort], seed, edge_flip=edge_flip
+        )
+        flats.append(v)
+        sizes.append(s)
+        edges.append(e)
+    return (
+        np.concatenate(flats) if flats else np.empty(0, dtype=np.int32),
+        np.concatenate(sizes) if sizes else np.empty(0, dtype=np.int64),
+        np.concatenate(edges) if edges else np.empty(0, dtype=np.int64),
+        checksum,
+    )
+
+
+def _worker_count(block: np.ndarray, minlength: int) -> np.ndarray:
+    """Private bincount of one contiguous block of the incidence array."""
+    return np.bincount(block, minlength=minlength)
+
+
+# ---------------------------------------------------------------------------
+# parent-side engine
+# ---------------------------------------------------------------------------
+
+
+class ParallelSamplingEngine:
+    """Process-pool RRR sampling over a shared-memory CSR.
+
+    Drop-in alternative to :class:`BatchedRRRSampler` for the batch
+    drivers: it exposes the same ``sample_into`` interface (and
+    :func:`~repro.sampling.sampler.sample_batch` accepts it as
+    ``sampler=``), plus the ``count_partitioned`` selection kernel.
+
+    Parameters
+    ----------
+    graph, model:
+        The input graph and diffusion model.
+    workers:
+        Pool size.  ``workers=1`` degenerates to the in-process batched
+        sampler — no pool, no shared memory, no IPC.
+    chunk_size:
+        Samples per fan-out block.  ``None`` picks ``count / (4·w)``
+        per call (at least one cohort) so each worker sees several
+        blocks for load balance.  Results never depend on it.
+    max_cohort:
+        Forwarded to every worker's :class:`BatchedRRRSampler`.
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"`` or ``None`` for the
+        platform default.  Output is bit-identical across all of them.
+    task_timeout:
+        Seconds to wait for any single block before declaring the pool
+        wedged (:class:`WorkerCrashError`).  ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        model: DiffusionModel | str,
+        *,
+        workers: int,
+        chunk_size: int | None = None,
+        max_cohort: int | None = None,
+        start_method: str | None = None,
+        task_timeout: float | None = 300.0,
+        _mutate_land_order: str | None = None,
+        _mutate_stream_offset: bool = False,
+        _crash_block: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.graph = graph
+        self.model = DiffusionModel.parse(model)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self._mutate_land_order = _mutate_land_order
+        self._mutate_stream_offset = _mutate_stream_offset
+        self._crash_block = _crash_block
+        self._closed = False
+        self._segments: list[_shm.SharedMemory] = []
+        self._pool: ProcessPoolExecutor | None = None
+        # LT: one cumulative-weight table, built once and shared with
+        # every worker (bit-equal to what each would build locally).
+        self._lt_cum = (
+            in_edge_cumweights(graph) if self.model is DiffusionModel.LT else None
+        )
+        self._local = BatchedRRRSampler(graph, self.model, max_cohort=max_cohort)
+        if self._lt_cum is not None:
+            self._local._lt_cum = self._lt_cum
+        if workers == 1:
+            return  # in-process degenerate mode: nothing else to set up
+        arrays = {
+            "in_indptr": graph.in_indptr,
+            "in_indices": graph.in_indices,
+            "in_probs": graph.in_probs,
+        }
+        if self._lt_cum is not None:
+            arrays["lt_cum"] = self._lt_cum
+        spec: dict[str, tuple[str, tuple, str]] = {}
+        try:
+            for key, arr in arrays.items():
+                seg = _shm.SharedMemory(create=True, size=max(1, arr.nbytes))
+                self._segments.append(seg)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[:] = arr
+                spec[key] = (seg.name, tuple(arr.shape), arr.dtype.str)
+            payload = {
+                "arrays": spec,
+                "n": graph.n,
+                "model": self.model.value,
+                "max_cohort": self._local.max_cohort,
+            }
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context(start_method),
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "ParallelSamplingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ParallelEngineError("engine is closed")
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_into(
+        self,
+        collection: RRRCollection,
+        sample_indices: np.ndarray,
+        seed: int,
+        *,
+        edge_flip: str = "stream",
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        """Generate the given global sample indices into ``collection``.
+
+        Same contract as :meth:`BatchedRRRSampler.sample_into`; returns
+        the per-sample examined-edge counts aligned with
+        ``sample_indices``.  Blocks land in index order, so the
+        collection is bit-identical to the serial engines' output.
+        """
+        self._require_open()
+        sample_indices = np.asarray(sample_indices, dtype=np.int64)
+        if self._pool is None or len(sample_indices) == 0:
+            return self._local.sample_into(
+                collection, sample_indices, seed, edge_flip=edge_flip
+            )
+        chunk = chunk_size or self.chunk_size
+        if chunk is None:
+            chunk = max(
+                self._local.max_cohort,
+                math.ceil(len(sample_indices) / (4 * self.workers)),
+            )
+        blocks = [
+            sample_indices[lo : lo + chunk]
+            for lo in range(0, len(sample_indices), chunk)
+        ]
+        starts = [lo for lo in range(0, len(sample_indices), chunk)]
+        expected = [stream_checksum(seed, b) for b in blocks]
+        futures = [
+            self._pool.submit(
+                _worker_block,
+                block,
+                seed,
+                edge_flip,
+                self._mutate_stream_offset,
+                i == self._crash_block,
+            )
+            for i, block in enumerate(blocks)
+        ]
+        per_sample = np.empty(len(sample_indices), dtype=np.int64)
+        order = range(len(futures))
+        if self._mutate_land_order == "reversed":
+            order = reversed(range(len(futures)))
+        for bi in order:
+            try:
+                flat, sizes, edges, checksum = futures[bi].result(
+                    timeout=self.task_timeout
+                )
+            except BrokenProcessPool as exc:
+                self.close()
+                raise WorkerCrashError(
+                    f"worker died while sampling block {bi} "
+                    f"[{starts[bi]}, {starts[bi] + len(blocks[bi])}); "
+                    "shared memory unlinked"
+                ) from exc
+            except _FuturesTimeout as exc:
+                self.close()
+                raise WorkerCrashError(
+                    f"block {bi} exceeded task_timeout={self.task_timeout}s; "
+                    "pool shut down, shared memory unlinked"
+                ) from exc
+            if checksum != expected[bi]:
+                self.close()
+                raise EngineProtocolError(
+                    f"block {bi} stream-checksum mismatch: the worker did not "
+                    "sample the global indices it was sent"
+                )
+            collection.append_batch(flat, sizes)
+            per_sample[starts[bi] : starts[bi] + len(edges)] = edges
+        return per_sample
+
+    # -- selection counting kernel -------------------------------------------
+
+    def count_partitioned(self, flat: np.ndarray, minlength: int) -> np.ndarray:
+        """Partitioned replacement for ``np.bincount(flat, minlength)``.
+
+        Splits ``flat`` into ``workers`` contiguous blocks, bincounts
+        each in a worker's private vector, and sums in the parent —
+        exact integer arithmetic, so the result is bit-identical to the
+        serial bincount.  Falls back to serial when the pool is absent
+        or the array is too small to amortize the IPC.
+        """
+        self._require_open()
+        flat = np.asarray(flat)
+        if self._pool is None or len(flat) < PARALLEL_COUNT_THRESHOLD:
+            return np.bincount(flat, minlength=minlength)
+        bounds = np.linspace(0, len(flat), self.workers + 1, dtype=np.int64)
+        futures = [
+            self._pool.submit(_worker_count, flat[lo:hi], minlength)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        total = np.zeros(minlength, dtype=np.int64)
+        for fut in futures:
+            try:
+                part = fut.result(timeout=self.task_timeout)
+            except BrokenProcessPool as exc:
+                self.close()
+                raise WorkerCrashError(
+                    "worker died during partitioned counting; "
+                    "shared memory unlinked"
+                ) from exc
+            except _FuturesTimeout as exc:
+                self.close()
+                raise WorkerCrashError(
+                    f"counting block exceeded task_timeout={self.task_timeout}s"
+                ) from exc
+            total += part
+        return total

@@ -19,6 +19,11 @@ Two engines execute the same contract:
 * ``"serial"`` — one :meth:`RRRSampler.generate` call per sample, kept
   as the reference implementation and for callers that thread their own
   per-sample streams.
+* ``"parallel"`` — a pre-built
+  :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
+  fanning blocks of the same global indices out to a process pool over a
+  shared-memory CSR.  Bit-identical to the other two at any worker
+  count (the engine's determinism contract).
 
 Passing a pre-built sampler selects the engine implicitly (its type
 says which loop it feeds); otherwise ``engine`` decides, defaulting to
@@ -36,6 +41,7 @@ from ..graph import CSRGraph
 from ..rng import sample_stream
 from .batched import BatchedRRRSampler
 from .collection import RRRCollection
+from .parallel_engine import ParallelSamplingEngine
 from .rrr import RRRSampler
 
 __all__ = ["sample_batch", "SampleBatch"]
@@ -75,7 +81,7 @@ def sample_batch(
     target: int,
     seed: int,
     *,
-    sampler: RRRSampler | BatchedRRRSampler | None = None,
+    sampler: RRRSampler | BatchedRRRSampler | ParallelSamplingEngine | None = None,
     engine: str | None = None,
 ) -> SampleBatch:
     """Grow ``collection`` to ``target`` samples (Algorithm 3).
@@ -97,8 +103,11 @@ def sample_batch(
         or :class:`RRRSampler` to reuse scratch space across invocations;
         its type selects the engine when ``engine`` is not given.
     engine:
-        ``"batched"`` or ``"serial"``; defaults to the sampler's engine,
-        or batched.  Both produce bit-identical collections.
+        ``"batched"``, ``"serial"`` or ``"parallel"``; defaults to the
+        sampler's engine, or batched.  All produce bit-identical
+        collections.  ``"parallel"`` requires a pre-built
+        :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
+        (pool lifetime belongs to the caller, not to one batch).
 
     Returns
     -------
@@ -107,16 +116,28 @@ def sample_batch(
     if target < 0:
         raise ValueError("target sample count must be non-negative")
     if engine is None:
-        engine = "serial" if isinstance(sampler, RRRSampler) else "batched"
-    if engine not in ("batched", "serial"):
-        raise ValueError(f"unknown engine {engine!r}; expected 'batched' or 'serial'")
+        if isinstance(sampler, RRRSampler):
+            engine = "serial"
+        elif isinstance(sampler, ParallelSamplingEngine):
+            engine = "parallel"
+        else:
+            engine = "batched"
+    if engine not in ("batched", "serial", "parallel"):
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'batched', 'serial' or 'parallel'"
+        )
+    if engine == "parallel" and not isinstance(sampler, ParallelSamplingEngine):
+        raise ValueError(
+            "engine='parallel' requires a pre-built ParallelSamplingEngine "
+            "(its process pool outlives any single batch)"
+        )
     first = len(collection)
     count = max(0, target - first)
     if count == 0:
         return SampleBatch(first_index=first, count=0)
     n = graph.n
-    if engine == "batched":
-        if not isinstance(sampler, BatchedRRRSampler):
+    if engine in ("batched", "parallel"):
+        if engine == "batched" and not isinstance(sampler, BatchedRRRSampler):
             sampler = BatchedRRRSampler(graph, model)
         indices = np.arange(first, first + count, dtype=np.int64)
         per_sample = sampler.sample_into(collection, indices, seed)

@@ -20,6 +20,7 @@ All checkers are importable individually for targeted tests (see
 
 from __future__ import annotations
 
+from .engine import check_engine_sampling
 from .invariants import (
     check_collection,
     check_hypergraph_collection,
@@ -57,6 +58,7 @@ __all__ = [
     "quick_config",
     "full_config",
     "check_graph_equivalence",
+    "check_engine_sampling",
     "check_selection_meters",
     "run_oracle",
     "check_recovery_equivalence",

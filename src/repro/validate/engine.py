@@ -1,0 +1,99 @@
+"""Equivalence checks for the process-pool sampling engine.
+
+The parallel engine's whole value proposition is the determinism
+contract: for any worker count, chunk size, and start method it must
+produce the **bit-identical** collection (and per-sample edge meters)
+that the serial and batched engines produce.  This module states that
+contract as oracle checks:
+
+``engine.collection-bitwise``
+    flat vertex buffer and sample boundaries equal the batched
+    reference's, byte for byte;
+``engine.per-sample-edges``
+    the examined-edge meter of every sample matches (the cost models
+    consume these, so a silent disagreement would skew modeled time);
+``engine.count-partitioned``
+    the partitioned counting kernel equals ``np.bincount`` exactly.
+
+The checker accepts a pre-built engine (``engine=``) so the mutation
+suite can hand it a deliberately broken one
+(``_mutate_land_order`` / ``_mutate_stream_offset``) and demand these
+checks light up — proving the oracle would catch a real landing-order
+or stream-offset bug, not just asserting the healthy path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sampling import BatchedRRRSampler, SortedRRRCollection
+from ..sampling.parallel_engine import ParallelSamplingEngine
+from .report import ValidationReport
+
+__all__ = ["check_engine_sampling"]
+
+
+def check_engine_sampling(
+    graph,
+    model: str,
+    theta: int,
+    seed: int,
+    subject: str,
+    *,
+    workers: tuple[int, ...] = (1, 2, 4),
+    chunk_sizes: tuple[int | None, ...] = (None,),
+    engine: ParallelSamplingEngine | None = None,
+) -> ValidationReport:
+    """Engine output must be bit-identical to the batched sampler's.
+
+    One engine per worker count is constructed (pool + shared CSR paid
+    once) and every chunk size is driven through it via the per-call
+    ``chunk_size`` override.  When ``engine`` is given, only that engine
+    is exercised (the mutation-suite path).
+    """
+    rep = ValidationReport()
+    indices = np.arange(theta, dtype=np.int64)
+    ref_coll = SortedRRRCollection(graph.n)
+    ref_edges = BatchedRRRSampler(graph, model).sample_into(ref_coll, indices, seed)
+    ref_flat, ref_indptr, _ = ref_coll.flattened()
+    ref_counts = np.bincount(ref_flat, minlength=graph.n)
+
+    def drive(eng: ParallelSamplingEngine, w, label_workers: bool = True) -> None:
+        for chunk in chunk_sizes:
+            sub = f"{subject} engine[workers={w}, chunk={chunk}]"
+            coll = SortedRRRCollection(graph.n)
+            edges = eng.sample_into(coll, indices, seed, chunk_size=chunk)
+            flat, indptr, _ = coll.flattened()
+            rep.check(
+                bool(np.array_equal(flat, ref_flat))
+                and bool(np.array_equal(indptr, ref_indptr)),
+                "engine.collection-bitwise",
+                sub,
+                "process-pool collection is not bit-identical to the batched "
+                "engine's (landing order or stream addressing is broken)",
+            )
+            rep.check(
+                bool(np.array_equal(edges, ref_edges)),
+                "engine.per-sample-edges",
+                sub,
+                "per-sample examined-edge meters disagree with the batched "
+                "engine's",
+            )
+        rep.check(
+            bool(
+                np.array_equal(
+                    eng.count_partitioned(ref_flat, graph.n), ref_counts
+                )
+            ),
+            "engine.count-partitioned",
+            f"{subject} engine[workers={w}]",
+            "count_partitioned disagrees with np.bincount",
+        )
+
+    if engine is not None:
+        drive(engine, engine.workers)
+        return rep
+    for w in workers:
+        with ParallelSamplingEngine(graph, model, workers=w) as eng:
+            drive(eng, w)
+    return rep

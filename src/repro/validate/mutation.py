@@ -23,6 +23,8 @@ biased RNG draw             bitwise collection comparison
 recovery skips a sample     ``recovery.rebuild-count``
 wrong-stream replay         ``recovery.rebuild-bitwise``
 double-count after shrink   ``recovery.degraded-accounting``
+worker reorders landing     ``engine.collection-bitwise``
+worker wrong stream offset  ``engine.collection-bitwise``
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -47,6 +49,8 @@ from ..sampling import (
     SortedRRRCollection,
     sample_batch,
 )
+from ..sampling.parallel_engine import ParallelSamplingEngine
+from .engine import check_engine_sampling
 from .invariants import check_hypergraph_collection, check_sorted_collection
 from .recovery import check_degraded_accounting, check_rebuild_fidelity
 
@@ -329,6 +333,58 @@ def _mutant_double_count(seed: int) -> MutantResult:
     )
 
 
+def _mutant_engine_landing(seed: int) -> MutantResult:
+    """Parent lands worker blocks in the wrong order.
+
+    Models a completion-order landing bug (appending blocks as futures
+    finish instead of in global index order).  Every block's *contents*
+    are correct, so only the bitwise comparison of the assembled
+    collection can see the permutation.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with ParallelSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, _mutate_land_order="reversed"
+    ) as eng:
+        report = check_engine_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant",
+            chunk_sizes=(37,), engine=eng,
+        )
+    detected, evidence = _violated(report, "engine.collection-bitwise")
+    return MutantResult(
+        "worker-reorders-cohort-landing",
+        "pool parent appends sample blocks in reverse index order",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_engine_offset(seed: int) -> MutantResult:
+    """Worker samples block-local indices instead of global ones.
+
+    The classic lost-offset bug: a worker handed global indices
+    ``[lo, hi)`` draws the streams of ``[0, hi - lo)``.  The mutation
+    sits *inside* the sampling call — the worker still checksums the
+    indices it received, deliberately slipping past the protocol
+    handshake — so the oracle's bitwise comparison is the detector
+    under test.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with ParallelSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, _mutate_stream_offset=True
+    ) as eng:
+        report = check_engine_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant",
+            chunk_sizes=(37,), engine=eng,
+        )
+    detected, evidence = _violated(report, "engine.collection-bitwise")
+    return MutantResult(
+        "worker-uses-wrong-stream-offset",
+        "pool worker samples local [0, hi-lo) instead of global [lo, hi)",
+        detected,
+        evidence,
+    )
+
+
 _MUTANTS = {
     "unsorted-sample": _mutant_unsorted,
     "within-sample-duplicate": _mutant_duplicate,
@@ -341,6 +397,8 @@ _MUTANTS = {
     "recovery-skips-sample": _mutant_recovery_skip,
     "wrong-stream-replay": _mutant_wrong_stream,
     "double-count-after-shrink": _mutant_double_count,
+    "worker-reorders-cohort-landing": _mutant_engine_landing,
+    "worker-uses-wrong-stream-offset": _mutant_engine_offset,
 }
 
 #: The cheap subset tier-1 CI runs on every commit (sub-second each):

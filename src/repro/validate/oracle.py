@@ -10,9 +10,10 @@ axis                      values exercised
 ========================  =============================================
 driver                    ``imm`` / ``imm_mt`` / ``imm_dist`` (per-sample)
 storage layout            ``sorted`` / ``hypergraph``
-sampler engine            serial / batched cohort
+sampler engine            serial / batched cohort / process-pool
 cohort size               {1, 7, 64, θ} (or the configured subset)
 rank / thread count       {1, 2, 5} (or the configured subset)
+pool workers × chunk      {1, 2, 4} × configured chunk sizes
 RNG scheme                per-sample counter streams / leap-frog LCG
 ========================  =============================================
 
@@ -47,6 +48,7 @@ from ..sampling import (
     SortedRRRCollection,
     sample_batch,
 )
+from .engine import check_engine_sampling
 from .invariants import check_collection
 from .recovery import (
     check_community_driver,
@@ -102,6 +104,12 @@ class OracleConfig:
     partitioned_samples: int = 40
     #: cover the community-IMM driver.
     check_community: bool = True
+    #: cover the shared-memory process-pool engine.
+    check_engine: bool = True
+    #: pool sizes for the engine equivalence sweep.
+    engine_workers: tuple[int, ...] = (1, 2, 4)
+    #: fan-out block sizes driven through each engine (``None`` = auto).
+    engine_chunk_sizes: tuple[int | None, ...] = (None, 37)
 
 
 def quick_config() -> OracleConfig:
@@ -115,6 +123,8 @@ def quick_config() -> OracleConfig:
         fault_rank_counts=(2,),
         partitioned_ranks=(3,),
         partitioned_samples=25,
+        engine_workers=(2,),
+        engine_chunk_sizes=(None,),
     )
 
 
@@ -338,6 +348,43 @@ def check_graph_equivalence(
                 "oracle.seed-set-wellformed",
                 sub,
                 f"leap-frog seed set malformed: {lf1.seeds.tolist()}",
+            )
+
+    # -- real-parallel process-pool engine --------------------------------
+    if cfg.check_engine:
+        # Sampling-level: bitwise equality across workers × chunk sizes.
+        rep.merge(
+            check_engine_sampling(
+                graph, model, min(ref.theta, cap), cfg.seed, subject,
+                workers=cfg.engine_workers,
+                chunk_sizes=cfg.engine_chunk_sizes,
+            )
+        )
+        # End-to-end: the full driver on a pool must reproduce the serial
+        # run exactly — seeds, theta, and the per-round coverage history.
+        for w in cfg.engine_workers:
+            if w <= 1:
+                continue
+            par = imm(
+                graph, k, eps, model, seed=seed, layout="sorted",
+                theta_cap=cap, workers=w,
+            )
+            sub = f"{subject} imm[workers={w}]"
+            rep.check(
+                bool(np.array_equal(ref.seeds, par.seeds))
+                and ref.theta == par.theta,
+                "oracle.engine-seed-set",
+                sub,
+                _seed_mismatch(ref.seeds, par.seeds)
+                + f"; theta {ref.theta} vs {par.theta}",
+            )
+            rep.check(
+                par.extra["coverage_history"] == ref.extra["coverage_history"],
+                "oracle.engine-coverage-history",
+                sub,
+                f"per-round (theta_x, frac) diverges: "
+                f"{par.extra['coverage_history']} vs "
+                f"{ref.extra['coverage_history']}",
             )
 
     # -- sampling engines × cohort sizes × layouts ------------------------

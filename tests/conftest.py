@@ -1,6 +1,15 @@
-"""Shared fixtures: small deterministic graphs used across the suite."""
+"""Shared fixtures: small deterministic graphs used across the suite.
+
+Also hosts the ``parallel`` marker's watchdog: process-pool tests can
+hang (a dead worker whose future is never resolved), and pytest-timeout
+is not available in this environment, so a SIGALRM-based guard fails any
+``@pytest.mark.parallel`` test that exceeds its budget instead of
+wedging the whole suite.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
@@ -15,6 +24,37 @@ from repro.graph import (
     star_graph,
     uniform_random_weights,
 )
+
+
+PARALLEL_TEST_TIMEOUT = 120  # seconds; generous — pool spin-up dominates
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Per-test timeout for ``parallel``-marked tests (SIGALRM based).
+
+    SIGALRM only exists on the main thread of POSIX platforms, which is
+    exactly where pytest runs test bodies; a non-POSIX platform simply
+    skips the guard.
+    """
+    marker = item.get_closest_marker("parallel")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    budget = int(marker.kwargs.get("timeout", PARALLEL_TEST_TIMEOUT))
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"parallel test exceeded its {budget}s watchdog budget "
+            "(likely a hung pool worker)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(budget)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

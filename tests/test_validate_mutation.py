@@ -8,6 +8,10 @@ import pytest
 
 from repro.validate import SMOKE_MUTANTS, MutantResult, run_mutation_suite
 
+# The two engine mutants spin real process pools; the conftest watchdog
+# turns a wedged pool into a failure instead of a hung suite.
+pytestmark = pytest.mark.parallel
+
 EXPECTED_MUTANTS = {
     "unsorted-sample",
     "within-sample-duplicate",
@@ -20,6 +24,8 @@ EXPECTED_MUTANTS = {
     "recovery-skips-sample",
     "wrong-stream-replay",
     "double-count-after-shrink",
+    "worker-reorders-cohort-landing",
+    "worker-uses-wrong-stream-offset",
 }
 
 
