@@ -15,6 +15,11 @@ Runs a fixed micro-suite and writes commit-stamped numbers to
   run.
 * **End-to-end ``imm()``** — total seconds, θ, and the selected seed set
   on two registry graphs (cit-HepTh IC, com-YouTube LT).
+* **Supervision tax** — the supervised engine with zero faults vs the
+  plain pool engine on the same workload; the run fails if supervision
+  costs more than ``SUPERVISED_OVERHEAD_TOLERANCE`` (5 %) extra
+  wall-clock, so the self-healing bookkeeping can never quietly become
+  a per-sample cost.
 
 Against the checked-in ``BENCH_sampling.json`` the harness fails loudly
 (exit 1) when
@@ -36,6 +41,8 @@ Usage::
 
     python benchmarks/regress.py                   # measure + compare
     python benchmarks/regress.py --update-baseline # accept new numbers
+    python benchmarks/regress.py --full-shard 2/3  # one slice of the FULL oracle
+    python benchmarks/regress.py --full-shards 3   # the whole 1/3..3/3 matrix
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ from repro.sampling import (  # noqa: E402
     SortedRRRCollection,
     sample_batch,
 )
+from repro.sampling.supervisor import SupervisedSamplingEngine  # noqa: E402
 
 BASELINE_PATH = ROOT / "BENCH_sampling.json"
 #: Allowed slowdown vs baseline before the harness fails.
@@ -98,6 +106,11 @@ WORKER_REPS = 3
 #: only on hosts that actually have ≥ ``MIN_CPUS_FOR_GATE`` usable CPUs.
 MIN_WORKER_SPEEDUP = 1.6
 MIN_CPUS_FOR_GATE = 4
+#: Allowed zero-fault wall-clock tax of the supervised engine over the
+#: plain pool engine on the same workload.
+SUPERVISED_OVERHEAD_TOLERANCE = 0.05
+SUPERVISED_REPS = 5
+SUPERVISED_WORKERS = 2
 
 
 def _host_cpus() -> int:
@@ -190,6 +203,60 @@ def bench_worker_scaling() -> dict:
     return out
 
 
+def bench_supervised_overhead() -> dict:
+    """Zero-fault supervision tax vs the plain pool engine.
+
+    Both engines are pre-warmed (pool spin-up excluded, exactly as in
+    :func:`bench_worker_scaling`) and run the identical θ workload
+    interleaved.  Supervision bookkeeping — per-block deadlines, the
+    straggler median window, the fault clock — is per *block*, not per
+    sample, so its cost must stay inside the timing noise.
+    """
+    name, model, theta = WORKER_SCALING_DATASETS[0]
+    graph = load(name, model)
+    indices = np.arange(theta, dtype=np.int64)
+    plain_times, sup_times = [], []
+    with ParallelSamplingEngine(
+        graph, model, workers=SUPERVISED_WORKERS
+    ) as plain, SupervisedSamplingEngine(
+        graph, model, workers=SUPERVISED_WORKERS
+    ) as sup:
+        plain.worker_pids()  # force the lazy worker spawn before timing
+        sup.worker_pids()
+        for _ in range(SUPERVISED_REPS):
+            coll = SortedRRRCollection(graph.n)
+            t0 = time.perf_counter()
+            plain.sample_into(coll, indices, SAMPLING_SEED)
+            plain_times.append(time.perf_counter() - t0)
+            coll = SortedRRRCollection(graph.n)
+            t0 = time.perf_counter()
+            sup.sample_into(coll, indices, SAMPLING_SEED)
+            sup_times.append(time.perf_counter() - t0)
+    t_plain, t_sup = min(plain_times), min(sup_times)
+    return {
+        "dataset": name,
+        "model": model,
+        "theta": theta,
+        "workers": SUPERVISED_WORKERS,
+        "unsupervised_s": round(t_plain, 4),
+        "supervised_s": round(t_sup, 4),
+        "overhead": round(t_sup / t_plain - 1.0, 4),
+        "tolerance": SUPERVISED_OVERHEAD_TOLERANCE,
+    }
+
+
+def supervised_overhead_gate(so: dict) -> list[str]:
+    """Supervision with zero faults must cost < 5 % extra wall-clock."""
+    if so["overhead"] > SUPERVISED_OVERHEAD_TOLERANCE:
+        return [
+            f"OVERHEAD supervised[{so['dataset']}/{so['model']}]: zero-fault "
+            f"supervision tax {so['overhead']:+.1%} exceeds the allowed "
+            f"{SUPERVISED_OVERHEAD_TOLERANCE:.0%} "
+            f"({so['supervised_s']}s vs {so['unsupervised_s']}s)"
+        ]
+    return []
+
+
 def bench_imm() -> dict:
     out = {}
     for name, model, k, eps, seed in IMM_WORKLOADS:
@@ -270,7 +337,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the quick equivalence oracle (perf numbers only)",
     )
+    parser.add_argument(
+        "--full-shard",
+        default=None,
+        metavar="I/M",
+        help="run shard I of M of the FULL equivalence oracle instead of "
+        "the quick sweep (CI runs the shards as a job matrix)",
+    )
+    parser.add_argument(
+        "--full-shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="run the entire 1/M..M/M full-oracle shard matrix sequentially",
+    )
     args = parser.parse_args(argv)
+    if args.full_shard and args.full_shards:
+        parser.error("--full-shard and --full-shards are mutually exclusive")
+
+    # Resolve the oracle shard plan up front: a malformed spec must fail
+    # before minutes of benchmarking, not after.
+    shards: list[tuple[int, int]] = []
+    if args.full_shard:
+        try:
+            i_s, m_s = args.full_shard.split("/", 1)
+            i, m = int(i_s), int(m_s)
+        except ValueError:
+            parser.error(f"--full-shard expects I/M (e.g. 2/3), got {args.full_shard!r}")
+        if not 1 <= i <= m:
+            parser.error(f"--full-shard needs 1 <= I <= M, got {i}/{m}")
+        shards = [(i, m)]
+    elif args.full_shards:
+        if args.full_shards < 1:
+            parser.error("--full-shards must be >= 1")
+        shards = [(i, args.full_shards) for i in range(1, args.full_shards + 1)]
 
     baseline = None
     if BASELINE_PATH.exists():
@@ -284,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "tolerance": TOLERANCE,
         "sampling": bench_sampling(),
         "worker_scaling": bench_worker_scaling(),
+        "supervised_overhead": bench_supervised_overhead(),
         "imm": bench_imm(),
     }
     s = fresh["sampling"]
@@ -303,22 +404,40 @@ def main(argv: list[str] | None = None) -> int:
             f"(speedup {r['speedup_at_max_workers']}x, "
             f"host_cpus={ws['host_cpus']})"
         )
+    so = fresh["supervised_overhead"]
+    print(
+        f"  supervised {so['dataset']}/{so['model']} theta={so['theta']} "
+        f"({so['workers']}w): plain {so['unsupervised_s']}s, "
+        f"supervised {so['supervised_s']}s (tax {so['overhead']:+.1%})"
+    )
     for wl, r in fresh["imm"].items():
         print(f"  imm {wl}: theta={r['theta']} {r['seconds']}s")
 
     failures = worker_scaling_gate(ws)
+    failures.extend(supervised_overhead_gate(so))
     if baseline is not None and not args.update_baseline:
         failures.extend(compare(fresh, baseline))
 
     if not args.skip_validate:
-        from repro.validate import validate_quick  # noqa: E402
+        from repro.validate import validate_full, validate_quick  # noqa: E402
 
-        print("equivalence oracle (quick) ...", flush=True)
-        report = validate_quick()
-        print(f"  {report.summary().splitlines()[0]}")
-        failures.extend(
-            f"EQUIVALENCE {v}" for v in report.violations
-        )
+        if shards:
+            for i, m in shards:
+                print(f"equivalence oracle (full, shard {i}/{m}) ...", flush=True)
+                report = validate_full(
+                    progress=lambda line: print(f"  {line}"), shard=(i, m)
+                )
+                print(f"  {report.summary().splitlines()[0]}")
+                failures.extend(
+                    f"EQUIVALENCE[{i}/{m}] {v}" for v in report.violations
+                )
+        else:
+            print("equivalence oracle (quick) ...", flush=True)
+            report = validate_quick()
+            print(f"  {report.summary().splitlines()[0]}")
+            failures.extend(
+                f"EQUIVALENCE {v}" for v in report.violations
+            )
 
     BENCH_OUT = BASELINE_PATH
     BENCH_OUT.write_text(json.dumps(fresh, indent=2) + "\n")

@@ -5,7 +5,9 @@ Subcommands mirror the tool surface the paper's framework exposes:
 * ``repro-imm datasets`` — list the registered stand-ins with their
   Table 2 metadata;
 * ``repro-imm run`` — run a chosen IMM variant on a dataset or edge
-  list, printing seeds, θ, phase breakdown and optional spread;
+  list, printing seeds, θ, phase breakdown and optional spread; with
+  ``--supervise`` the process pool self-heals (``--spares``,
+  ``--deadline``, ``--checkpoint-out``/``--resume-from``);
 * ``repro-imm spread`` — Monte-Carlo spread of an explicit seed set;
 * ``repro-imm sweep`` — IMM across several k values with one shared RRR
   collection (the "multiple k values" workflow of the paper's intro);
@@ -68,7 +70,31 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervisor_opts(args: argparse.Namespace) -> dict | None:
+    """Collect the supervision knobs of ``run`` into ``supervisor_opts``."""
+    opts: dict = {}
+    if args.spares is not None:
+        opts["spares"] = args.spares
+    if args.deadline is not None:
+        opts["deadline"] = args.deadline
+    if args.checkpoint_out:
+        opts["checkpoint_dir"] = args.checkpoint_out
+    if args.resume_from:
+        opts["resume_from"] = args.resume_from
+    if opts and not args.supervise:
+        raise SystemExit(
+            "--spares/--deadline/--checkpoint-out/--resume-from require --supervise"
+        )
+    return opts or None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.supervise and args.variant != "serial":
+        raise SystemExit(
+            "--supervise applies to the serial variant (the real process-pool "
+            "sampling path); the dist variant has its own --fault-plan/--policy "
+            "resilience under `repro-imm dist`"
+        )
     graph = _load_graph(args)
     stats = graph_stats(graph)
     print(f"graph: n={stats.nodes} m={stats.edges} avg_deg={stats.avg_degree:.2f}")
@@ -84,6 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 layout=args.layout,
                 theta_cap=args.theta_cap,
                 workers=args.workers,
+                supervise=args.supervise,
+                supervisor_opts=_supervisor_opts(args),
             )
         if args.variant == "mt":
             return imm_mt(
@@ -125,6 +153,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.extra.get("workers", 0) > 1 or result.extra.get("engine_workers", 0) > 1:
         w = result.extra.get("engine_workers") or result.extra["workers"]
         print(f"  (sampling + counting executed on a {w}-worker process pool)")
+    sup = result.extra.get("supervisor")
+    if sup:
+        print(
+            f"  supervisor: crashes={sup['crashes_observed']}"
+            f" rebuilds={sup['rebuilds']} replayed={sup['blocks_replayed']}"
+            f" speculative_wins={sup['speculative_wins']}"
+            f" resumed={sup['resumed_samples']}"
+            f" count_fallbacks={sup['count_fallbacks']}"
+        )
+        if sup["checkpoint_bytes"]:
+            print(
+                f"  checkpoint: {sup['checkpoint_bytes']} bytes in"
+                f" {sup['checkpoint_seconds']:.4f}s -> {args.checkpoint_out}"
+            )
+    if result.extra.get("degraded"):
+        print(
+            f"DEGRADED: deadline expired with theta_effective="
+            f"{result.extra['theta_effective']} of theta={result.theta}"
+            f" (epsilon_effective={result.extra['epsilon_effective']:.4f})"
+        )
     print(f"seeds: {' '.join(map(str, result.seeds.tolist()))}")
     if args.evaluate:
         sp = estimate_spread(
@@ -153,6 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         theta_cap=args.theta_cap,
         workers=args.workers,
+        supervise=args.supervise,
     )
     print(f"{'k':>5s} {'theta':>8s} {'samples':>8s} {'reused':>8s} {'est.spread':>11s}")
     for res in results:
@@ -340,6 +389,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--nodes", type=int, default=8, help="dist nodes")
     p_run.add_argument("--machine", choices=tuple(_MACHINES), default="puma")
     p_run.add_argument("--theta-cap", type=int, default=None)
+    p_run.add_argument(
+        "--supervise", action="store_true",
+        help="run the sampling pool under the self-healing supervisor "
+        "(crash replay, spare workers, straggler speculation); serial "
+        "variant only, output stays bit-identical",
+    )
+    p_run.add_argument(
+        "--spares", type=int, default=None, metavar="N",
+        help="pre-spawned idle spare pools promoted on worker crash "
+        "(with --supervise; default 1)",
+    )
+    p_run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="overall run deadline; on expiry the run degrades gracefully "
+        "to the landed samples and reports theta_effective/epsilon_effective "
+        "(with --supervise)",
+    )
+    p_run.add_argument(
+        "--checkpoint-out", default=None, metavar="DIR",
+        help="spill landed sample blocks to a durable checkpoint under DIR "
+        "(with --supervise)",
+    )
+    p_run.add_argument(
+        "--resume-from", default=None, metavar="DIR",
+        help="resume sampling from a checkpoint directory written by "
+        "--checkpoint-out (with --supervise)",
+    )
     p_run.add_argument("--evaluate", action="store_true", help="MC-evaluate the seeds")
     p_run.add_argument("--trials", type=int, default=500)
     p_run.add_argument("--profile", action="store_true", help="cProfile the run")
@@ -361,6 +437,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument(
         "--workers", type=int, default=1,
         help="process-pool size shared across all sweep points",
+    )
+    p_sw.add_argument(
+        "--supervise", action="store_true",
+        help="run the shared pool under the self-healing supervisor",
     )
     p_sw.set_defaults(func=_cmd_sweep)
 

@@ -18,7 +18,7 @@ and reuse the kernels defined here.
 """
 
 from .imm import imm
-from .result import IMMResult
+from .result import DegradedResult, IMMResult
 from .select import SelectionResult, select_seeds, select_seeds_hypergraph, select_seeds_sorted
 from .sweep import imm_sweep
 from .theta import (
@@ -35,6 +35,7 @@ __all__ = [
     "imm",
     "imm_sweep",
     "IMMResult",
+    "DegradedResult",
     "estimate_theta",
     "ThetaEstimate",
     "EPS_UPPER_BOUND",

@@ -17,20 +17,25 @@ the top-up invocation from this skeleton is charged to *Sample*.
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
 from ..sampling import (
     BatchedRRRSampler,
+    DeadlineExceededError,
     HypergraphRRRCollection,
-    ParallelSamplingEngine,
     SortedRRRCollection,
     sample_batch,
 )
-from .result import IMMResult
+from ..sampling.supervisor import build_sampling_engine
+from .result import DegradedResult, IMMResult
 from .select import select_seeds
-from .theta import estimate_theta
+from .theta import _inflated_l, estimate_theta, lambda_star
 
 __all__ = ["imm"]
 
@@ -47,6 +52,8 @@ def imm(
     theta_cap: int | None = None,
     workers: int = 1,
     start_method: str | None = None,
+    supervise: bool = False,
+    supervisor_opts: dict | None = None,
 ) -> IMMResult:
     """Run serial IMM and return the seed set with full diagnostics.
 
@@ -79,10 +86,25 @@ def imm(
         workers are started).  Results are bit-identical to the serial
         run — same seeds, θ, and coverage history — only the wall clock
         in ``breakdown`` changes.  Requires ``layout="sorted"``.
+    supervise, supervisor_opts:
+        ``supervise=True`` runs on the self-healing
+        :class:`~repro.sampling.supervisor.SupervisedSamplingEngine`
+        instead: worker crashes are healed by deterministic block replay
+        (bit-identical output), and ``supervisor_opts`` passes through
+        any supervisor keyword — ``spares``, ``crash_budget``,
+        ``deadline``, ``checkpoint_dir``/``resume_from``, ``fault_plan``,
+        straggler-speculation knobs.  A ``deadline`` that expires mid-θ
+        returns a :class:`~repro.imm.result.DegradedResult` (seeds
+        selected from the landed prefix, ``theta_effective``/
+        ``epsilon_effective`` recomputed as the MPI shrink policy does)
+        instead of raising.  ``supervise=True`` works for any worker
+        count, including 1 (deadline and checkpointing still apply).
+        Requires ``layout="sorted"``.
 
     Returns
     -------
-    :class:`IMMResult`
+    :class:`IMMResult` (a :class:`DegradedResult` when a supervised run
+    deadline expired).
     """
     model = DiffusionModel.parse(model)
     if workers < 1:
@@ -90,8 +112,8 @@ def imm(
     if layout == "sorted":
         collection = SortedRRRCollection(graph.n)
     elif layout == "hypergraph":
-        if workers > 1:
-            raise ValueError("workers > 1 requires layout='sorted'")
+        if workers > 1 or supervise:
+            raise ValueError("workers > 1 / supervise=True require layout='sorted'")
         collection = HypergraphRRRCollection(graph.n)
     else:
         raise ValueError(f"unknown layout {layout!r}; expected 'sorted' or 'hypergraph'")
@@ -99,14 +121,20 @@ def imm(
     timer = PhaseTimer()
     counters = WorkCounters()
     engine = None
-    if workers > 1:
-        engine = ParallelSamplingEngine(
-            graph, model, workers=workers, start_method=start_method
+    if workers > 1 or supervise:
+        engine = build_sampling_engine(
+            graph,
+            model,
+            workers=workers,
+            start_method=start_method,
+            supervise=supervise,
+            supervisor_opts=supervisor_opts,
         )
         sampler = engine
     else:
         sampler = BatchedRRRSampler(graph, model)
 
+    est = None
     try:
         with timer.phase("EstimateTheta"):
             est = estimate_theta(
@@ -133,6 +161,17 @@ def imm(
             sel = select_seeds(collection, graph.n, k, count_engine=engine)
             counters.entries_scanned += sel.entries_scanned
             counters.counter_updates += sel.counter_updates
+    except DeadlineExceededError:
+        return _degraded_result(
+            graph, k, eps, model, seed, l,
+            layout=layout,
+            collection=collection,
+            est=est,
+            timer=timer,
+            counters=counters,
+            workers=workers,
+            engine=engine,
+        )
     finally:
         if engine is not None:
             engine.close()
@@ -158,5 +197,87 @@ def imm(
             "coverage_history": est.coverage_history,
             "theta_capped": theta_cap is not None and est.theta >= theta_cap,
             "workers": workers,
+            "supervised": supervise,
+            **(
+                {"supervisor": engine.stats.as_dict()}
+                if supervise and engine is not None
+                else {}
+            ),
+        },
+    )
+
+
+def _degraded_result(
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    model: DiffusionModel,
+    seed: int,
+    l: float,
+    *,
+    layout: str,
+    collection,
+    est,
+    timer: PhaseTimer,
+    counters: WorkCounters,
+    workers: int,
+    engine,
+) -> DegradedResult:
+    """Convert a supervised deadline expiry into an honest partial result.
+
+    Seeds are selected (serially) from the landed in-order prefix, and
+    ``epsilon_effective`` is recomputed exactly as the MPI shrink policy
+    does: λ* scales as 1/ε² at fixed ``(n, k, l)``, so the ε that the
+    surviving ``theta_effective · LB`` sample budget certifies inverts
+    in closed form.  If the deadline expired before θ estimation
+    produced a certified lower bound, the trivial ``OPT >= 1`` bound is
+    used (and no target θ is reported beyond the landed count).
+    """
+    n = graph.n
+    theta_eff = len(collection)
+    lb = est.lb if est is not None else 1.0
+    theta_target = est.theta if est is not None else theta_eff
+    eps_eff = math.sqrt(
+        lambda_star(n, k, 1.0, _inflated_l(n, l)) / max(theta_eff * lb, 1.0)
+    )
+    with timer.phase("SelectSeeds"):
+        if theta_eff > 0:
+            sel = select_seeds(collection, n, k)
+            counters.entries_scanned += sel.entries_scanned
+            counters.counter_updates += sel.counter_updates
+            seeds = sel.seeds
+            coverage = sel.coverage_fraction(theta_eff)
+        else:
+            seeds = np.empty(0, dtype=np.int64)
+            coverage = 0.0
+    stats = engine.stats.as_dict() if engine is not None else None
+    return DegradedResult(
+        seeds=seeds,
+        k=k,
+        epsilon=eps,
+        model=model.value,
+        layout=layout,
+        theta=theta_target,
+        num_samples=theta_eff,
+        coverage=coverage,
+        lb=lb,
+        breakdown=timer.breakdown(),
+        counters=counters,
+        memory_bytes=collection.nbytes_model(),
+        simulated=False,
+        ranks=1,
+        theta_effective=theta_eff,
+        epsilon_effective=eps_eff,
+        degraded_reason="deadline",
+        extra={
+            "n": n,
+            "workers": workers,
+            "supervised": True,
+            "degraded": True,
+            "theta_effective": theta_eff,
+            "lost_samples": theta_target - theta_eff,
+            "epsilon_effective": eps_eff,
+            "estimation_rounds": est.rounds if est is not None else None,
+            "supervisor": stats,
         },
     )

@@ -9,7 +9,7 @@ import numpy as np
 from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseBreakdown
 
-__all__ = ["IMMResult"]
+__all__ = ["IMMResult", "DegradedResult"]
 
 
 @dataclass
@@ -85,4 +85,41 @@ class IMMResult:
             f" theta={self.theta} coverage={self.coverage:.3f}"
             f" time={self.total_time:.3f}s ranks={self.ranks}"
             f"{' (simulated)' if self.simulated else ''}"
+        )
+
+
+@dataclass
+class DegradedResult(IMMResult):
+    """An honest partial result: the run budget expired mid-θ.
+
+    The supervised engine landed ``theta_effective`` samples before the
+    deadline; the seed set was selected from that in-order prefix.  The
+    full-θ ``(1 - 1/e - eps)`` guarantee is *waived*:
+    ``epsilon_effective`` is the ε the surviving sample budget still
+    certifies, recomputed exactly as the MPI shrink policy recomputes it
+    (``λ*`` scales as ``1/ε²`` at fixed ``(n, k, l)``, so the ε that
+    ``theta_effective · LB`` samples certify inverts in closed form).
+    When the deadline expired before θ estimation finished, ``LB`` falls
+    back to the trivial ``OPT >= 1`` bound and ``theta`` reports the
+    landed count itself (no target θ was ever certified).
+
+    The same accounting is mirrored into ``extra`` under the keys the
+    distributed shrink policy uses (``degraded``, ``theta_effective``,
+    ``lost_samples``, ``epsilon_effective``) so downstream tooling can
+    treat both degradation paths uniformly.
+    """
+
+    theta_effective: int = 0
+    epsilon_effective: float = float("inf")
+    degraded_reason: str = "deadline"
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+    def summary(self) -> str:
+        return (
+            super().summary()
+            + f" DEGRADED[{self.degraded_reason}] theta_eff={self.theta_effective}"
+            + f" eps_eff={self.epsilon_effective:.3f}"
         )

@@ -29,7 +29,6 @@ from ..perf.counters import WorkCounters
 from ..perf.timers import PhaseTimer
 from ..sampling import (
     BatchedRRRSampler,
-    ParallelSamplingEngine,
     SortedRRRCollection,
     sample_batch,
 )
@@ -51,6 +50,8 @@ def imm_sweep(
     theta_cap: int | None = None,
     workers: int = 1,
     start_method: str | None = None,
+    supervise: bool = False,
+    supervisor_opts: dict | None = None,
 ) -> list[IMMResult]:
     """Run IMM for every k in ``ks``, sharing one RRR collection.
 
@@ -67,6 +68,15 @@ def imm_sweep(
         process pool (same bit-identical-output contract as
         ``imm(..., workers=w)``); the pool and its shared-memory CSR are
         paid once for all sweep points.
+    supervise, supervisor_opts:
+        ``supervise=True`` runs the shared engine under the self-healing
+        supervisor (crash replay, spares, optional deadline /
+        checkpointing via ``supervisor_opts`` — see
+        :func:`repro.imm.imm`).  Because the collection is shared, a
+        checkpoint written during a sweep covers every sweep point's
+        samples.  A supervised deadline expiry raises
+        :class:`~repro.sampling.supervisor.DeadlineExceededError` (the
+        sweep has no single-k result to degrade into).
 
     Returns
     -------
@@ -89,9 +99,16 @@ def imm_sweep(
     model = DiffusionModel.parse(model)
     collection = SortedRRRCollection(graph.n)
     engine = None
-    if workers > 1:
-        engine = ParallelSamplingEngine(
-            graph, model, workers=workers, start_method=start_method
+    if workers > 1 or supervise:
+        from ..sampling.supervisor import build_sampling_engine
+
+        engine = build_sampling_engine(
+            graph,
+            model,
+            workers=workers,
+            start_method=start_method,
+            supervise=supervise,
+            supervisor_opts=supervisor_opts,
         )
         sampler = engine
     else:

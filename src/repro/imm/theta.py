@@ -139,6 +139,8 @@ def estimate_theta(
     num_ranks: int = 1,
     workers: int = 1,
     start_method: str | None = None,
+    supervise: bool = False,
+    supervisor_opts: dict | None = None,
 ) -> ThetaEstimate:
     """Estimate θ and return it with the samples drawn along the way.
 
@@ -186,6 +188,15 @@ def estimate_theta(
         ``sampler`` is passed explicitly (the caller owns the engine
         choice then); an internally created engine is closed before
         returning.
+    supervise, supervisor_opts:
+        ``supervise=True`` makes the internally created engine a
+        self-healing
+        :class:`~repro.sampling.supervisor.SupervisedSamplingEngine`
+        (any worker count, crash replay, optional deadline /
+        checkpointing via ``supervisor_opts``).  A supervised deadline
+        expiry raises
+        :class:`~repro.sampling.supervisor.DeadlineExceededError` with
+        the landed prefix intact in ``collection``.
 
     Raises
     ------
@@ -204,11 +215,16 @@ def estimate_theta(
         collection = SortedRRRCollection(n)
     owned_engine = None
     if sampler is None:
-        if workers > 1:
-            from ..sampling import ParallelSamplingEngine
+        if workers > 1 or supervise:
+            from ..sampling.supervisor import build_sampling_engine
 
-            owned_engine = ParallelSamplingEngine(
-                graph, model, workers=workers, start_method=start_method
+            owned_engine = build_sampling_engine(
+                graph,
+                model,
+                workers=workers,
+                start_method=start_method,
+                supervise=supervise,
+                supervisor_opts=supervisor_opts,
             )
             sampler = owned_engine
         else:

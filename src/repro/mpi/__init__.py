@@ -38,7 +38,12 @@ from .comm import (
     CommStats,
     run_spmd,
 )
-from .costmodel import allreduce_seconds, collective_seconds, comm_seconds_by_label
+from .costmodel import (
+    allreduce_seconds,
+    checkpoint_seconds,
+    collective_seconds,
+    comm_seconds_by_label,
+)
 from .checkpoint import (
     DistCheckpoint,
     initial_deals,
@@ -56,6 +61,7 @@ from .faults import (
     RankFailedError,
     SimulatedOOMError,
     Straggler,
+    SwitchOutage,
     TransientCommError,
     TransientFault,
 )
@@ -74,6 +80,7 @@ __all__ = [
     "CommStats",
     "CollectiveMismatchError",
     "allreduce_seconds",
+    "checkpoint_seconds",
     "collective_seconds",
     "comm_seconds_by_label",
     "imm_dist",
@@ -84,6 +91,7 @@ __all__ = [
     "FaultInjector",
     "RankCrash",
     "Straggler",
+    "SwitchOutage",
     "TransientFault",
     "CorruptReduce",
     "OOMKill",

@@ -22,7 +22,12 @@ from ..parallel.machine import MachineSpec
 if TYPE_CHECKING:
     from .comm import CommCall
 
-__all__ = ["allreduce_seconds", "collective_seconds", "comm_seconds_by_label"]
+__all__ = [
+    "allreduce_seconds",
+    "collective_seconds",
+    "comm_seconds_by_label",
+    "checkpoint_seconds",
+]
 
 
 def allreduce_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> float:
@@ -44,6 +49,21 @@ def collective_seconds(machine: MachineSpec, num_ranks: int, nbytes: int) -> flo
         return 0.0
     hops = math.ceil(math.log2(num_ranks))
     return hops * (machine.alpha + machine.beta * nbytes)
+
+
+def checkpoint_seconds(machine: MachineSpec, nbytes: int) -> float:
+    """Modeled seconds for one durable checkpoint write of ``nbytes``.
+
+    The same α–β shape as a collective, but against stable storage:
+    ``disk_alpha`` is the fixed fsync/commit latency, ``disk_beta`` the
+    per-byte streaming cost.  Cursor-only distributed checkpoints are a
+    few hundred bytes (latency-dominated); the supervised engine's
+    block-spill checkpoints stream the collection itself
+    (bandwidth-dominated) — one formula prices both regimes.
+    """
+    if nbytes < 0:
+        raise ValueError("payload size must be non-negative")
+    return machine.disk_alpha + machine.disk_beta * nbytes
 
 
 def comm_seconds_by_label(

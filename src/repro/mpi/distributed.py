@@ -43,6 +43,7 @@ modeled from per-rank work meters, intra-node OpenMP speedup, and the
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Generator
@@ -67,7 +68,7 @@ from .checkpoint import (
     shrink_deals,
 )
 from .comm import Allreduce, CommStats, run_spmd
-from .costmodel import collective_seconds
+from .costmodel import checkpoint_seconds, collective_seconds
 from .faults import FaultInjector, FaultPlan, SimulatedOOMError, _fmt_bytes
 from .resilient import POLICIES, RecoveryLog, run_spmd_resilient
 
@@ -444,6 +445,7 @@ def imm_dist(
             sink=checkpoint_sink,
         )
 
+    sink_start = len(checkpoint_sink) if checkpoint_sink is not None else 0
     records = [_RankRecord() for _ in range(num_nodes)]
     comm_stats = CommStats()
     injector = fault_plan.injector() if fault_plan is not None else None
@@ -539,6 +541,17 @@ def imm_dist(
         )
         sim.charge("Other", recovery_seconds)
 
+    # Checkpoint-to-disk surcharge (ROADMAP: price the durable write,
+    # not just the in-process sink append).  Each checkpoint this run
+    # produced is modeled as one fsync'd write of its serialized size.
+    checkpoint_write_seconds = 0.0
+    if checkpoint_sink is not None:
+        for ck_dict in checkpoint_sink[sink_start:]:
+            nbytes = len(json.dumps(ck_dict, default=str).encode())
+            checkpoint_write_seconds += checkpoint_seconds(machine, nbytes)
+        if checkpoint_write_seconds:
+            sim.charge("Other", checkpoint_write_seconds)
+
     first_alive = state.alive[0]
     rec0 = records[first_alive]
     theta_eff = live_count(state.deals, state.alive, rec0.theta)
@@ -604,6 +617,7 @@ def imm_dist(
             "rng_cursor": rec0.cursor,
             "recovery": rlog.as_dict() if rlog is not None else None,
             "recovery_seconds": recovery_seconds,
+            "checkpoint_write_seconds": checkpoint_write_seconds,
             "fault_plan": fault_plan.describe() if fault_plan is not None else None,
         },
     )

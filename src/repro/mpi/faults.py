@@ -41,6 +41,7 @@ __all__ = [
     "TransientFault",
     "CorruptReduce",
     "OOMKill",
+    "SwitchOutage",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -160,8 +161,38 @@ class OOMKill:
     limit: int = 1 << 30
 
 
-FaultEvent = Union[RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill]
-_EVENT_TYPES = (RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill)
+@dataclass(frozen=True)
+class SwitchOutage:
+    """Crash the contiguous rank group ``[lo, hi]`` at collective step
+    ``at_call`` — a correlated failure (top-of-rack switch dies, taking
+    every node behind it down at the same instant).
+
+    Unlike independent :class:`RankCrash` events, the whole group fails
+    at *one* step; recovery policies must survive losing several ranks
+    between two collectives, not one at a time.
+    """
+
+    lo: int
+    hi: int
+    at_call: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"need 0 <= lo <= hi, got [{self.lo}, {self.hi}]")
+        if self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(range(self.lo, self.hi + 1))
+
+
+FaultEvent = Union[
+    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage
+]
+_EVENT_TYPES = (
+    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage
+)
 
 
 @dataclass(frozen=True)
@@ -198,6 +229,7 @@ class FaultPlan:
             transient:@5           the step-5 collective fails once
             transient:@5x2         ... fails twice before healing
             corrupt:0@1            rank 0's reduce buffer corrupted at step 1
+            switch:1-3@2           ranks 1..3 all die at step 2 (switch outage)
         """
         events: list[FaultEvent] = []
         for token in re.split(r"[;,]", spec):
@@ -237,6 +269,14 @@ def _parse_event(kind: str, rest: str, token: str) -> FaultEvent:
             if not sep:
                 raise ValueError("missing '@step'")
             return CorruptReduce(int(target), int(at))
+        if kind == "switch":
+            group, sep, at = rest.partition("@")
+            if not sep:
+                raise ValueError("missing '@step'")
+            lo, sep, hi = group.partition("-")
+            if not sep:
+                raise ValueError("expected '<lo>-<hi>@<step>'")
+            return SwitchOutage(int(lo), int(hi), int(at))
     except ValueError as exc:
         raise ValueError(f"bad fault token {token!r}: {exc}") from None
     raise ValueError(f"unknown fault kind {kind!r} in token {token!r}")
@@ -256,6 +296,8 @@ def _describe(event: FaultEvent) -> str:
         return f"straggler rank {event.rank} x{event.factor:g}"
     if isinstance(event, TransientFault):
         return f"transient failure at step {event.at_call} x{event.failures}"
+    if isinstance(event, SwitchOutage):
+        return f"switch outage: ranks {event.lo}-{event.hi} die at step {event.at_call}"
     return f"corrupt rank {event.rank} reduce buffer at step {event.at_call}"
 
 
@@ -275,6 +317,10 @@ class FaultInjector:
         self.plan = plan
         self.step = 0
         self._fired: set[int] = set()
+        # Switch outages fire once per *rank* in the group, not once per
+        # event — every member dies, each surfacing its own failure to
+        # whichever recovery loop is driving.
+        self._fired_group: set[tuple[int, int]] = set()
         self._transient_left = {
             i: e.failures
             for i, e in enumerate(plan.events)
@@ -294,6 +340,10 @@ class FaultInjector:
                 if self.step >= event.at_call:
                     self._fired.add(i)
                     raise SimulatedOOMError(rank, event.needed, event.limit)
+            elif isinstance(event, SwitchOutage) and event.lo <= rank <= event.hi:
+                if self.step >= event.at_call and (i, rank) not in self._fired_group:
+                    self._fired_group.add((i, rank))
+                    raise RankFailedError(rank, self.step, phase)
 
     def _due(self, event: RankCrash, phase: str) -> bool:
         if event.at_call is not None:

@@ -66,6 +66,11 @@ class MachineSpec:
     smt_efficiency:
         Throughput factor of the second hardware thread (an SMT sibling
         adds ~30 % rather than doubling).
+    disk_alpha:
+        Seconds of fixed latency per durable (fsync'd) checkpoint write.
+    disk_beta:
+        Seconds per byte of checkpoint payload streamed to stable
+        storage (the inverse of the node's effective write bandwidth).
     """
 
     name: str
@@ -80,11 +85,14 @@ class MachineSpec:
     thread_overhead: float = 5.0e-6
     serial_fraction: float = 0.015
     smt_efficiency: float = 0.3
+    disk_alpha: float = 5.0e-4  # one fsync'd write on a parallel FS
+    disk_beta: float = 5.0e-10  # ~2 GB/s effective streaming write
 
     def __post_init__(self) -> None:
         if self.cores_per_node < 1 or self.smt < 1:
             raise ValueError("core and SMT counts must be positive")
-        if min(self.t_edge, self.t_update, self.t_search, self.alpha, self.beta) < 0:
+        if min(self.t_edge, self.t_update, self.t_search, self.alpha, self.beta,
+               self.disk_alpha, self.disk_beta) < 0:
             raise ValueError("cost constants must be non-negative")
         if not 0.0 <= self.serial_fraction < 1.0:
             raise ValueError("serial fraction must be in [0, 1)")

@@ -29,24 +29,39 @@ contribution of Section 3.1:
 """
 
 from .batched import BatchedRRRSampler
+from .checkpoint import BlockCheckpointSink, CheckpointError
 from .collection import HypergraphRRRCollection, RRRCollection, SortedRRRCollection
 from .parallel_engine import (
     EngineProtocolError,
+    EngineStats,
     ParallelEngineError,
     ParallelSamplingEngine,
     WorkerCrashError,
 )
 from .rrr import RRRSampler, generate_rr, in_edge_cumweights
 from .sampler import SampleBatch, sample_batch
+from .supervisor import (
+    CrashBudgetExhaustedError,
+    DeadlineExceededError,
+    SupervisedSamplingEngine,
+    SupervisorStats,
+)
 
 __all__ = [
     "generate_rr",
     "RRRSampler",
     "BatchedRRRSampler",
     "ParallelSamplingEngine",
+    "SupervisedSamplingEngine",
     "ParallelEngineError",
     "WorkerCrashError",
     "EngineProtocolError",
+    "EngineStats",
+    "SupervisorStats",
+    "CrashBudgetExhaustedError",
+    "DeadlineExceededError",
+    "BlockCheckpointSink",
+    "CheckpointError",
     "RRRCollection",
     "SortedRRRCollection",
     "HypergraphRRRCollection",

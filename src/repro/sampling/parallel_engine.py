@@ -66,11 +66,14 @@ the per-block ``task_timeout``), and a stream-addressing disagreement as
 
 from __future__ import annotations
 
+import logging
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
 
@@ -88,7 +91,10 @@ __all__ = [
     "ParallelEngineError",
     "WorkerCrashError",
     "EngineProtocolError",
+    "EngineStats",
 ]
+
+_log = logging.getLogger(__name__)
 
 #: Below this many incidences, ``count_partitioned`` stays serial — the
 #: pickle+IPC round trip costs more than the bincount it would save.
@@ -105,6 +111,29 @@ class WorkerCrashError(ParallelEngineError):
 
 class EngineProtocolError(ParallelEngineError):
     """Parent and worker disagree on a block's stream identities."""
+
+
+@dataclass
+class EngineStats:
+    """Operational counters of one engine instance.
+
+    The supervisor (:mod:`repro.sampling.supervisor`) extends these with
+    recovery counters; the plain engine only tracks the work it routed
+    and the counting-kernel fallbacks it took.
+    """
+
+    blocks_landed: int = 0
+    tasks_submitted: int = 0
+    #: ``count_partitioned`` calls that degraded to a serial bincount
+    #: because a worker crashed or timed out mid-count.
+    count_fallbacks: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "blocks_landed": self.blocks_landed,
+            "tasks_submitted": self.tasks_submitted,
+            "count_fallbacks": self.count_fallbacks,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -157,10 +186,13 @@ def _worker_block(
     edge_flip: str,
     mutate_offset: bool,
     crash: bool,
+    sleep_s: float = 0.0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Sample one block of global indices; return flat buffers + checksum."""
     if crash:  # test/mutation hook: simulate a worker dying mid-block
         os._exit(1)
+    if sleep_s > 0.0:  # injected straggler: the worker stalls, then answers
+        time.sleep(sleep_s)
     assert _WORKER is not None, "worker initializer did not run"
     sampler: BatchedRRRSampler = _WORKER["sampler"]
     checksum = stream_checksum(seed, indices)
@@ -187,6 +219,11 @@ def _worker_block(
 def _worker_count(block: np.ndarray, minlength: int) -> np.ndarray:
     """Private bincount of one contiguous block of the incidence array."""
     return np.bincount(block, minlength=minlength)
+
+
+def _worker_ping() -> int:
+    """Identify the answering worker (used to pre-spawn and enumerate)."""
+    return os.getpid()
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +289,9 @@ class ParallelSamplingEngine:
         self._closed = False
         self._segments: list[_shm.SharedMemory] = []
         self._pool: ProcessPoolExecutor | None = None
+        self._payload: dict | None = None
+        self._mp_ctx = None
+        self.stats = EngineStats()
         # LT: one cumulative-weight table, built once and shared with
         # every worker (bit-equal to what each would build locally).
         self._lt_cum = (
@@ -277,18 +317,14 @@ class ParallelSamplingEngine:
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
                 view[:] = arr
                 spec[key] = (seg.name, tuple(arr.shape), arr.dtype.str)
-            payload = {
+            self._payload = {
                 "arrays": spec,
                 "n": graph.n,
                 "model": self.model.value,
                 "max_cohort": self._local.max_cohort,
             }
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=get_context(start_method),
-                initializer=_worker_init,
-                initargs=(payload,),
-            )
+            self._mp_ctx = get_context(start_method)
+            self._pool = self.spawn_pool()
         except BaseException:
             self.close()
             raise
@@ -330,6 +366,92 @@ class ParallelSamplingEngine:
     def _require_open(self) -> None:
         if self._closed:
             raise ParallelEngineError("engine is closed")
+
+    # -- pool lifecycle (the supervisor's recovery primitives) ---------------
+
+    def spawn_pool(self, *, warm: bool = False) -> ProcessPoolExecutor:
+        """A fresh worker pool attached to this engine's shared segments.
+
+        The pool is *not* installed — it is returned for the caller to
+        hold (the supervisor keeps pre-spawned spares this way) or to
+        pass to :meth:`rebuild_pool`.  ``warm=True`` forces the worker
+        processes to actually start (and run the shm-attach initializer)
+        before returning, so a later promotion costs no fork.
+        """
+        if self._payload is None:
+            raise ParallelEngineError("single-worker engine has no pool to spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._mp_ctx,
+            initializer=_worker_init,
+            initargs=(self._payload,),
+        )
+        if warm:
+            # One submit makes the executor fork all max_workers at once;
+            # waiting on it guarantees at least one initializer finished.
+            pool.submit(_worker_ping).result()
+        return pool
+
+    def rebuild_pool(self, pool: ProcessPoolExecutor | None = None) -> None:
+        """Replace the current (possibly broken) pool.
+
+        The dead pool is shut down without touching the shared segments —
+        ownership of those never moves — and ``pool`` (or a freshly
+        spawned one) is installed in its place.  Outstanding futures of
+        the old pool are cancelled; the caller re-submits whatever it
+        still needs (deterministic replay makes that safe).
+        """
+        self._require_open()
+        if self._payload is None:
+            raise ParallelEngineError("single-worker engine has no pool to rebuild")
+        old, self._pool = self._pool, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        self._pool = pool if pool is not None else self.spawn_pool()
+
+    def submit_block(
+        self,
+        block: np.ndarray,
+        seed: int,
+        edge_flip: str = "stream",
+        *,
+        sleep_s: float = 0.0,
+        crash: bool = False,
+    ) -> Future:
+        """Fan one block of global sample indices out to the pool.
+
+        Low-level primitive used by the supervisor's landing loop (and
+        its speculative re-execution).  The returned future resolves to
+        ``(flat, sizes, edges, checksum)`` exactly as the blocks inside
+        :meth:`sample_into` do.
+        """
+        self._require_open()
+        if self._pool is None:
+            raise ParallelEngineError("single-worker engine has no pool")
+        self.stats.tasks_submitted += 1
+        return self._pool.submit(
+            _worker_block,
+            block,
+            seed,
+            edge_flip,
+            self._mutate_stream_offset,
+            crash,
+            sleep_s,
+        )
+
+    def worker_pids(self) -> list[int]:
+        """Live worker pids of the current pool (spawning it if lazy).
+
+        Real fault injection needs actual victims: the supervisor sends
+        SIGKILL to one of these.  ``ProcessPoolExecutor`` starts all
+        workers on the first submit, so after one ping the private
+        ``_processes`` map is fully populated.
+        """
+        self._require_open()
+        if self._pool is None:
+            return []
+        self._pool.submit(_worker_ping).result()
+        return sorted(self._pool._processes.keys())
 
     # -- sampling ------------------------------------------------------------
 
@@ -378,15 +500,27 @@ class ParallelSamplingEngine:
             )
             for i, block in enumerate(blocks)
         ]
+        self.stats.tasks_submitted += len(futures)
         per_sample = np.empty(len(sample_indices), dtype=np.int64)
         order = range(len(futures))
         if self._mutate_land_order == "reversed":
             order = reversed(range(len(futures)))
+        # Per-submission deadline: the watchdog clock starts when the work
+        # is submitted and is refreshed only by *progress* (a block landing),
+        # so each wait sees the remaining budget — a hung block ``i`` can no
+        # longer consume ``i x task_timeout`` wall-clock by restarting the
+        # clock at every ``result()`` call.
+        deadline = (
+            time.monotonic() + self.task_timeout
+            if self.task_timeout is not None
+            else None
+        )
         for bi in order:
             try:
-                flat, sizes, edges, checksum = futures[bi].result(
-                    timeout=self.task_timeout
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
+                flat, sizes, edges, checksum = futures[bi].result(timeout=remaining)
             except BrokenProcessPool as exc:
                 self.close()
                 raise WorkerCrashError(
@@ -397,7 +531,8 @@ class ParallelSamplingEngine:
             except _FuturesTimeout as exc:
                 self.close()
                 raise WorkerCrashError(
-                    f"block {bi} exceeded task_timeout={self.task_timeout}s; "
+                    f"block {bi} exhausted the remaining task_timeout budget "
+                    f"(task_timeout={self.task_timeout}s since last progress); "
                     "pool shut down, shared memory unlinked"
                 ) from exc
             if checksum != expected[bi]:
@@ -408,6 +543,9 @@ class ParallelSamplingEngine:
                 )
             collection.append_batch(flat, sizes)
             per_sample[starts[bi] : starts[bi] + len(edges)] = edges
+            self.stats.blocks_landed += 1
+            if deadline is not None:  # progress resets the watchdog
+                deadline = time.monotonic() + self.task_timeout
         return per_sample
 
     # -- selection counting kernel -------------------------------------------
@@ -420,31 +558,47 @@ class ParallelSamplingEngine:
         exact integer arithmetic, so the result is bit-identical to the
         serial bincount.  Falls back to serial when the pool is absent
         or the array is too small to amortize the IPC.
+
+        Unlike sampling, the exact answer is always computable in the
+        parent, so a worker crash or timeout mid-count **degrades to the
+        serial bincount** instead of raising
+        :class:`WorkerCrashError`: the fallback is logged, counted in
+        ``stats.count_fallbacks``, and the result is identical by
+        construction.  (The broken pool is left for the next sampling
+        call — or the supervisor — to deal with.)
         """
         self._require_open()
         flat = np.asarray(flat)
         if self._pool is None or len(flat) < PARALLEL_COUNT_THRESHOLD:
             return np.bincount(flat, minlength=minlength)
         bounds = np.linspace(0, len(flat), self.workers + 1, dtype=np.int64)
-        futures = [
-            self._pool.submit(_worker_count, flat[lo:hi], minlength)
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
-        ]
-        total = np.zeros(minlength, dtype=np.int64)
-        for fut in futures:
-            try:
-                part = fut.result(timeout=self.task_timeout)
-            except BrokenProcessPool as exc:
-                self.close()
-                raise WorkerCrashError(
-                    "worker died during partitioned counting; "
-                    "shared memory unlinked"
-                ) from exc
-            except _FuturesTimeout as exc:
-                self.close()
-                raise WorkerCrashError(
-                    f"counting block exceeded task_timeout={self.task_timeout}s"
-                ) from exc
-            total += part
+        try:
+            futures = [
+                self._pool.submit(_worker_count, flat[lo:hi], minlength)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            self.stats.tasks_submitted += len(futures)
+            total = np.zeros(minlength, dtype=np.int64)
+            deadline = (
+                time.monotonic() + self.task_timeout
+                if self.task_timeout is not None
+                else None
+            )
+            for fut in futures:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                total += fut.result(timeout=remaining)
+                if deadline is not None:
+                    deadline = time.monotonic() + self.task_timeout
+        except (BrokenProcessPool, _FuturesTimeout) as exc:
+            self.stats.count_fallbacks += 1
+            _log.warning(
+                "partitioned counting degraded to serial bincount after %s "
+                "(fallback #%d); result is exact either way",
+                type(exc).__name__,
+                self.stats.count_fallbacks,
+            )
+            return np.bincount(flat, minlength=minlength)
         return total

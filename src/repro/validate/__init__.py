@@ -44,6 +44,7 @@ from .recovery import (
 )
 from .report import ValidationReport, Violation
 from .rnglaws import check_counter_streams, check_leapfrog_tiling, check_rng_laws
+from .supervision import check_supervised_equivalence, check_supervised_sampling
 
 __all__ = [
     "Violation",
@@ -66,6 +67,8 @@ __all__ = [
     "check_rebuild_fidelity",
     "check_partitioned_equivalence",
     "check_community_driver",
+    "check_supervised_equivalence",
+    "check_supervised_sampling",
     "MutantResult",
     "run_mutation_suite",
     "SMOKE_MUTANTS",

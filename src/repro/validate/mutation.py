@@ -25,6 +25,9 @@ wrong-stream replay         ``recovery.rebuild-bitwise``
 double-count after shrink   ``recovery.degraded-accounting``
 worker reorders landing     ``engine.collection-bitwise``
 worker wrong stream offset  ``engine.collection-bitwise``
+replay lands block twice    ``supervised.collection-bitwise``
+resume skips the cursor     ``supervised.collection-bitwise``
+speculation lands reordered ``supervised.collection-bitwise``
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -50,9 +53,11 @@ from ..sampling import (
     sample_batch,
 )
 from ..sampling.parallel_engine import ParallelSamplingEngine
+from ..sampling.supervisor import SupervisedSamplingEngine
 from .engine import check_engine_sampling
 from .invariants import check_hypergraph_collection, check_sorted_collection
 from .recovery import check_degraded_accounting, check_rebuild_fidelity
+from .supervision import check_supervised_sampling
 
 __all__ = ["MutantResult", "run_mutation_suite", "SMOKE_MUTANTS"]
 
@@ -385,6 +390,95 @@ def _mutant_engine_offset(seed: int) -> MutantResult:
     )
 
 
+def _mutant_replay_overlap(seed: int) -> MutantResult:
+    """Crash recovery that re-lands the last already-landed block.
+
+    The classic replay-cursor bug: after a pool rebuild the supervisor
+    restarts from the block *before* the landing cursor.  Every byte it
+    appends is individually valid — only the bitwise comparison of the
+    assembled collection (now one block too long) can see it.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with SupervisedSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, backoff_base=0.0,
+        fault_plan="crash:0@2", _mutate_replay_overlap=True,
+    ) as eng:
+        report = check_supervised_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant", engine=eng
+        )
+    detected, evidence = _violated(report, "supervised.collection-bitwise")
+    return MutantResult(
+        "replay-lands-block-twice",
+        "crash recovery re-appends the block that landed before the kill",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_resume_skip(seed: int) -> MutantResult:
+    """Resume that skips one sample past the checkpoint cursor.
+
+    The off-by-one at the spill boundary: the first fresh sample after
+    the resumed prefix is dropped, so every later sample shifts down by
+    one slot.  Counts stay plausible per block; the bitwise comparison
+    against the from-scratch reference is the detector.
+    """
+    import os
+    import tempfile
+
+    graph = load(_MUTATION_DATASET, "IC")
+    with tempfile.TemporaryDirectory(prefix="repro-mutant-ck-") as td:
+        ckdir = os.path.join(td, "run")
+        with SupervisedSamplingEngine(
+            graph, "IC", workers=2, chunk_size=37, checkpoint_dir=ckdir
+        ) as eng:
+            partial = SortedRRRCollection(graph.n)
+            eng.sample_into(
+                partial, np.arange(_MUTATION_THETA // 2, dtype=np.int64), seed
+            )
+        with SupervisedSamplingEngine(
+            graph, "IC", workers=2, chunk_size=37, resume_from=ckdir,
+            _mutate_resume_skip=True,
+        ) as eng:
+            report = check_supervised_sampling(
+                graph, "IC", _MUTATION_THETA, seed, "mutant", engine=eng
+            )
+    detected, evidence = _violated(report, "supervised.collection-bitwise")
+    return MutantResult(
+        "resume-skips-cursor",
+        "resume drops the first sample past the checkpointed prefix",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_spec_order(seed: int) -> MutantResult:
+    """Speculative win that lands behind its successor block.
+
+    The race every speculation implementation risks: the copy of the
+    laggard block finishes after its successor and the supervisor lands
+    them in completion order instead of index order.  Both blocks'
+    bytes are correct, so only the bitwise comparison sees the swap.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with SupervisedSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, backoff_base=0.0,
+        fault_plan="straggler:2x4", straggler_sleep=0.15,
+        straggler_floor=0.02, straggler_factor=2.0, straggler_min_history=2,
+        _mutate_spec_order=True,
+    ) as eng:
+        report = check_supervised_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant", engine=eng
+        )
+    detected, evidence = _violated(report, "supervised.collection-bitwise")
+    return MutantResult(
+        "speculative-result-raced-in-wrong-order",
+        "speculative win lands after its successor block (completion order)",
+        detected,
+        evidence,
+    )
+
+
 _MUTANTS = {
     "unsorted-sample": _mutant_unsorted,
     "within-sample-duplicate": _mutant_duplicate,
@@ -399,6 +493,9 @@ _MUTANTS = {
     "double-count-after-shrink": _mutant_double_count,
     "worker-reorders-cohort-landing": _mutant_engine_landing,
     "worker-uses-wrong-stream-offset": _mutant_engine_offset,
+    "replay-lands-block-twice": _mutant_replay_overlap,
+    "resume-skips-cursor": _mutant_resume_skip,
+    "speculative-result-raced-in-wrong-order": _mutant_spec_order,
 }
 
 #: The cheap subset tier-1 CI runs on every commit (sub-second each):

@@ -15,6 +15,7 @@ cohort size               {1, 7, 64, θ} (or the configured subset)
 rank / thread count       {1, 2, 5} (or the configured subset)
 pool workers × chunk      {1, 2, 4} × configured chunk sizes
 RNG scheme                per-sample counter streams / leap-frog LCG
+supervised runtime        crash / straggler / deadline / resume axes
 ========================  =============================================
 
 Per-sample counter streams make the output schedule-independent, so for
@@ -57,6 +58,7 @@ from .recovery import (
 )
 from .report import ValidationReport
 from .rnglaws import check_rng_laws
+from .supervision import check_supervised_equivalence
 
 __all__ = [
     "OracleConfig",
@@ -110,6 +112,11 @@ class OracleConfig:
     engine_workers: tuple[int, ...] = (1, 2, 4)
     #: fan-out block sizes driven through each engine (``None`` = auto).
     engine_chunk_sizes: tuple[int | None, ...] = (None, 37)
+    #: cover the self-healing supervised engine (crash / straggler /
+    #: deadline / resume axes, real SIGKILLs against live workers).
+    check_supervised: bool = True
+    #: pool size for the supervised axes.
+    supervised_workers: int = 2
 
 
 def quick_config() -> OracleConfig:
@@ -401,6 +408,10 @@ def check_graph_equivalence(
     # -- fault plans × recovery policies ----------------------------------
     if cfg.check_faults:
         rep.merge(check_recovery_equivalence(graph, model, cfg, subject))
+
+    # -- self-healing supervised engine (real kills, real disk) -----------
+    if cfg.check_supervised:
+        rep.merge(check_supervised_equivalence(graph, model, cfg, subject))
 
     # -- graph-partitioned distributed sampler (hash coins are IC-only) ---
     if cfg.check_partitioned and model == "IC":

@@ -202,6 +202,37 @@ def check_recovery_equivalence(
             f"({res.breakdown.total:.3g} vs {base.breakdown.total:.3g})",
         )
 
+        # -- switch outage: a contiguous rank group dies at one step ------
+        lo, hi = (1, 2) if ranks >= 3 else (ranks - 1, ranks - 1)
+        group = hi - lo + 1
+        spec = f"switch:{lo}-{hi}@3"
+        res = dist(num_nodes=ranks, fault_plan=spec, policy="respawn")
+        sub = f"{subject} nodes={ranks} respawn[{spec}]"
+        same, why = _same_output(base, res)
+        rep.check(same, "recovery.switch-respawn-bitexact", sub, why)
+        rep.check(
+            res.extra["recovery"]["respawns"] >= group,
+            "recovery.fault-fired",
+            sub,
+            f"switch outage killed ranks {lo}-{hi} ({group} rank(s)) but "
+            f"only {res.extra['recovery']['respawns']} respawn(s) happened",
+        )
+        res = dist(num_nodes=ranks, fault_plan=spec, policy="shrink")
+        sub = f"{subject} nodes={ranks} shrink[{spec}]"
+        rep.check(
+            res.extra["recovery"]["shrinks"] >= 1
+            and len(res.extra["alive_ranks"]) == ranks - group
+            and not any(
+                lo <= r <= hi for r in res.extra["alive_ranks"]
+            ),
+            "recovery.switch-shrink-group",
+            sub,
+            f"expected the whole group {lo}-{hi} gone after "
+            f"{res.extra['recovery']['shrinks']} shrink(s); alive: "
+            f"{res.extra['alive_ranks']}",
+        )
+        rep.merge(check_degraded_accounting(res, sub))
+
         # -- shrink: late crash must be flagged degraded ------------------
         res = dist(
             num_nodes=ranks,

@@ -174,3 +174,58 @@ class TestRunSpmdWithFaults:
         clean, _ = run_spmd(3, self._program)
         planned, _ = run_spmd(3, self._program, faults=FaultPlan())
         assert clean == planned
+
+
+class TestSwitchOutage:
+    """``switch:<lo>-<hi>@<step>``: a contiguous rank group dies at once."""
+
+    def test_grammar(self):
+        from repro.mpi import SwitchOutage
+
+        plan = FaultPlan.parse("switch:1-3@2")
+        assert plan.events == (SwitchOutage(lo=1, hi=3, at_call=2),)
+        assert plan.events[0].ranks == (1, 2, 3)
+
+    def test_single_rank_group(self):
+        from repro.mpi import SwitchOutage
+
+        (event,) = FaultPlan.parse("switch:2-2@0").events
+        assert event.ranks == (2,)
+
+    @pytest.mark.parametrize(
+        "bad", ["switch:1-3", "switch:3-1@2", "switch:1@2", "switch:a-b@2"]
+    )
+    def test_bad_tokens_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_describe(self):
+        assert "switch outage: ranks 1-3 die at step 2" in FaultPlan.parse(
+            "switch:1-3@2"
+        ).describe()
+
+    def test_whole_group_fails_once(self):
+        inj = FaultPlan.parse("switch:1-2@0").injector()
+        for rank in (1, 2):
+            with pytest.raises(RankFailedError):
+                inj.check_rank(rank)
+        # one-shot per member: no re-fire, and rank 0 is never touched
+        inj.check_rank(0)
+        inj.check_rank(1)
+        inj.check_rank(2)
+
+    def test_fires_at_or_after_step(self):
+        inj = FaultPlan.parse("switch:0-1@2").injector()
+        inj.check_rank(0)  # step 0: too early
+        inj.step = 2
+        with pytest.raises(RankFailedError) as exc:
+            inj.check_rank(1)
+        assert exc.value.step == 2
+
+    def test_group_crash_aborts_plain_runtime(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(
+                4,
+                TestRunSpmdWithFaults._program,
+                faults=FaultPlan.parse("switch:1-2@1"),
+            )

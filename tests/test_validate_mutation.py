@@ -26,6 +26,9 @@ EXPECTED_MUTANTS = {
     "double-count-after-shrink",
     "worker-reorders-cohort-landing",
     "worker-uses-wrong-stream-offset",
+    "replay-lands-block-twice",
+    "resume-skips-cursor",
+    "speculative-result-raced-in-wrong-order",
 }
 
 
