@@ -153,6 +153,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.extra.get("workers", 0) > 1 or result.extra.get("engine_workers", 0) > 1:
         w = result.extra.get("engine_workers") or result.extra["workers"]
         print(f"  (sampling + counting executed on a {w}-worker process pool)")
+    eng = result.extra.get("engine")
+    if eng and eng.get("blocks_landed"):
+        print(
+            f"  engine: blocks={eng['blocks_landed']}"
+            f" arena_segments={eng['arena_segments']}"
+            f" overflows={eng['arena_overflows']}"
+            f" fused_merges={eng['fused_count_merges']}"
+            f" ipc_bytes={eng['ipc_descriptor_bytes']}"
+            f" chunk={eng['chunk_initial']}->{eng['chunk_final']}"
+        )
     sup = result.extra.get("supervisor")
     if sup:
         print(
@@ -384,7 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process-pool size for real multicore sampling (serial and mt "
         "variants; >1 turns the mt cost model's run into measured parallel "
-        "execution, output stays bit-identical)",
+        "execution, output stays bit-identical). Results land through a "
+        "zero-copy shared-memory output arena with adaptive chunk sizing "
+        "and fused in-worker counting by default",
     )
     p_run.add_argument("--nodes", type=int, default=8, help="dist nodes")
     p_run.add_argument("--machine", choices=tuple(_MACHINES), default="puma")

@@ -198,6 +198,10 @@ def imm(
             "theta_capped": theta_cap is not None and est.theta >= theta_cap,
             "workers": workers,
             "supervised": supervise,
+            # Per-phase engine counters (arena writes, landing, fused
+            # merges, IPC descriptor bytes) — what the regression
+            # harness's worker-scaling breakdown records.
+            **({"engine": engine.stats.as_dict()} if engine is not None else {}),
             **(
                 {"supervisor": engine.stats.as_dict()}
                 if supervise and engine is not None
@@ -278,6 +282,7 @@ def _degraded_result(
             "lost_samples": theta_target - theta_eff,
             "epsilon_effective": eps_eff,
             "estimation_rounds": est.rounds if est is not None else None,
+            "engine": stats,
             "supervisor": stats,
         },
     )

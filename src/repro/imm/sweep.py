@@ -192,6 +192,13 @@ def _sweep_loop(
                 "samples_reused": reused,
                 "theta_capped": theta_cap is not None and est.theta >= theta_cap,
                 "workers": workers,
+                # Cumulative across the sweep: the engine (and its output
+                # arena + fused counters) is shared by every ε point.
+                **(
+                    {"engine": engine.stats.as_dict()}
+                    if engine is not None
+                    else {}
+                ),
             },
         )
     return results

@@ -184,10 +184,14 @@ def estimate_theta(
         ``workers > 1`` runs the estimation's sampling (and the counting
         pass of its per-round selections) on a
         :class:`~repro.sampling.parallel_engine.ParallelSamplingEngine`
-        process pool — bit-identical output, real cores.  Ignored when a
-        ``sampler`` is passed explicitly (the caller owns the engine
-        choice then); an internally created engine is closed before
-        returning.
+        process pool — bit-identical output, real cores.  Results land
+        through the engine's zero-copy shared-memory output arena with
+        adaptive chunk sizing; the doubling rounds start at global
+        sample index 0 on an empty collection, which is exactly the
+        epoch the engine's fused in-worker counters re-arm on.  Ignored
+        when a ``sampler`` is passed explicitly (the caller owns the
+        engine choice then); an internally created engine is closed
+        before returning.
     supervise, supervisor_opts:
         ``supervise=True`` makes the internally created engine a
         self-healing

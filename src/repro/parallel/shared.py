@@ -198,6 +198,7 @@ def imm_mt(
                 if real_parallel
                 else 0
             ),
+            **({"engine": engine.stats.as_dict()} if engine is not None else {}),
             "time_report": side_by_side(
                 wall.breakdown(),
                 sim.breakdown(),

@@ -38,6 +38,7 @@ __all__ = [
     "sample_stream",
     "stream_seeds_array",
     "stream_checksum",
+    "fold_stream_seeds",
 ]
 
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)
@@ -82,6 +83,19 @@ def stream_seeds_array(seed: int, sample_indices: np.ndarray) -> np.ndarray:
     return mix64_array(np.uint64(seed & _M64) ^ mix64_array((j + np.uint64(1)) * _GAMMA))
 
 
+def fold_stream_seeds(seeds: np.ndarray) -> int:
+    """Fold precomputed per-sample stream seeds into one checksum.
+
+    The batched half of the engine's checksum handshake: the parent
+    derives *all* of a run's stream seeds with one
+    :func:`stream_seeds_array` pass and folds each block's slice here —
+    bit-equal to :func:`stream_checksum` over that block's indices, with
+    no per-block remixing.
+    """
+    folded = int(np.bitwise_xor.reduce(seeds)) if len(seeds) else 0
+    return folded ^ ((len(seeds) * 0x9E3779B97F4A7C15) & _M64)
+
+
 def stream_checksum(seed: int, sample_indices: np.ndarray) -> int:
     """Order-free fingerprint of a block's stream identities.
 
@@ -91,6 +105,4 @@ def stream_checksum(seed: int, sample_indices: np.ndarray) -> int:
     cross-process handshake the parallel sampling engine uses to verify
     a worker sampled the indices it was sent.
     """
-    seeds = stream_seeds_array(seed, sample_indices)
-    folded = int(np.bitwise_xor.reduce(seeds)) if len(seeds) else 0
-    return folded ^ ((len(seeds) * 0x9E3779B97F4A7C15) & _M64)
+    return fold_stream_seeds(stream_seeds_array(seed, sample_indices))

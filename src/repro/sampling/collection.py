@@ -58,13 +58,19 @@ class RRRCollection:
         for verts in sets:
             self.append(verts)
 
-    def append_batch(self, flat: np.ndarray, sizes: np.ndarray) -> None:
+    def append_batch(
+        self, flat: np.ndarray, sizes: np.ndarray, *, total: int | None = None
+    ) -> None:
         """Add many RRR sets given as concatenated vertices + lengths.
 
         ``flat`` holds the samples back to back; sample ``i`` occupies
-        the next ``sizes[i]`` entries.  The generic implementation
-        splits and appends one by one; layouts with contiguous storage
-        override it with a bulk copy (the cohort sampler's fast path).
+        the next ``sizes[i]`` entries.  ``total`` (when given) is the
+        caller-asserted incidence count — landing paths that already
+        carry it in a block descriptor pass it so contiguous layouts can
+        skip the ``sizes.sum()`` reduction; it is still cross-checked
+        against ``len(flat)``.  The generic implementation splits and
+        appends one by one; layouts with contiguous storage override it
+        with a bulk copy (the cohort sampler's fast path).
         """
         start = 0
         for size in np.asarray(sizes, dtype=np.int64):
@@ -160,15 +166,28 @@ class SortedRRRCollection(RRRCollection):
         self._num += 1
         self._entries += size
 
-    def append_batch(self, flat: np.ndarray, sizes: np.ndarray) -> None:
-        """Bulk append: one cohort of samples in a few array copies."""
+    def append_batch(
+        self, flat: np.ndarray, sizes: np.ndarray, *, total: int | None = None
+    ) -> None:
+        """Bulk append: one cohort of samples in a few array copies.
+
+        ``flat``/``sizes`` may be zero-copy views over a shared-memory
+        arena extent — the copy below is the only one the landing path
+        performs.  A caller-supplied ``total`` (from a block descriptor)
+        is cross-checked against the sizes reduction, so a descriptor
+        that disagrees with its own payload is rejected at landing time
+        instead of corrupting the buffers.
+        """
         flat = np.asarray(flat)
         sizes = np.asarray(sizes, dtype=np.int64)
         if len(sizes) == 0:
             return
         if np.any(sizes <= 0):
             raise ValueError("an RRR set always contains at least its root")
-        total = int(sizes.sum())
+        actual = int(sizes.sum())
+        if total is not None and total != actual:
+            raise ValueError("declared total disagrees with the sizes payload")
+        total = actual
         if len(flat) != total:
             raise ValueError("flat length must equal the sum of sizes")
         if int(flat.min()) < 0 or int(flat.max()) >= self.n:
@@ -276,7 +295,9 @@ class HypergraphRRRCollection(RRRCollection):
         for v in vertices.tolist():
             inv[v].append(sample_id)
 
-    def append_batch(self, flat: np.ndarray, sizes: np.ndarray) -> None:
+    def append_batch(
+        self, flat: np.ndarray, sizes: np.ndarray, *, total: int | None = None
+    ) -> None:
         """Vectorized cohort landing: one grouped inverted-index build.
 
         The per-set :meth:`append` grows the inverted index with a
@@ -309,7 +330,10 @@ class HypergraphRRRCollection(RRRCollection):
             return
         if sizes.min() < 1:
             raise ValueError("an RRR set always contains at least its root")
-        if int(sizes.sum()) != len(flat):
+        actual = int(sizes.sum())
+        if total is not None and total != actual:
+            raise ValueError("declared total disagrees with the sizes payload")
+        if actual != len(flat):
             raise ValueError("flat/sizes length mismatch")
         if len(flat) and (flat.min() < 0 or int(flat.max()) >= self.n):
             raise ValueError("RRR vertex id out of range")

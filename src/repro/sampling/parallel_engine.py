@@ -12,17 +12,39 @@ NumPy-dispatch-bound kernels):
   weight table — are placed in :mod:`multiprocessing.shared_memory`
   **once** at engine construction.  Workers attach zero-copy NumPy views;
   no graph bytes are pickled per task.
-* ``sample_into`` splits the global sample indices into contiguous
-  blocks ``[lo, hi)`` and fans them out to ``w`` workers.  Each worker
-  runs the existing :class:`~repro.sampling.batched.BatchedRRRSampler`
-  cohort kernel against the shared CSR and returns ``(flat, sizes,
-  edges)`` buffers; the parent lands the blocks **in index order** via
-  ``append_batch``.
-* ``count_partitioned`` parallelizes the first counting pass of
-  Algorithm 4: each worker bincounts its contiguous block of the flat
-  incidence array into a private counter vector, and the parent reduces
-  by summation — integer addition is exact and associative, so the
-  result equals the serial ``np.bincount`` bit for bit.
+* **Output arena** — results travel the same way.  The parent reserves a
+  shared-memory *output arena* (sized from the requested θ, with a
+  growable-segment escape hatch) and assigns every submitted block a
+  disjoint *extent* ``(segment, offset, capacity)`` from a parent-side
+  cursor — no shared allocator lock exists that a SIGKILLed worker could
+  die holding.  The worker writes the block's payload
+  ``[flat int32 | pad to 8 | sizes int64 | edges int64]`` directly into
+  its extent and returns only a tiny descriptor
+  ``(wrote_arena, flat_len, num_samples, checksum, sample_s, write_s,
+  fused, inline)``; the parent lands the block by passing zero-copy
+  NumPy views over the extent straight into ``append_batch``.  A block
+  that outgrows its extent rides back inline (counted in
+  ``stats.arena_overflows``) and bumps the parent's bytes-per-sample
+  estimate so follow-on segments are sized honestly.
+* **Fused counting** — each worker keeps a running per-vertex bincount
+  over the blocks it produced, in its own row of a shared counters
+  matrix (rows are assigned once per worker process via a shared
+  slot counter; rows never alias).  When the books balance —
+  every incidence of the queried flat array was produced by a fused
+  block, and nothing is in flight — ``count_partitioned`` merges the
+  ``w`` partial counters with one column sum instead of re-shipping the
+  flat buffers.  Any event that could desynchronize rows from the
+  landed collection (a crash, a speculative duplicate, a deadline
+  abandonment, a worker without a row) *invalidates* the fused state
+  and the call falls back to the partitioned/serial path — exact either
+  way, by construction.
+* **Adaptive chunking** — with no explicit ``chunk_size`` the engine
+  starts with small probe blocks and grows them geometrically toward a
+  target block latency (:data:`ADAPTIVE_TARGET_BLOCK_SECONDS`), driven
+  by the worker-reported per-block sampling time.  Blocks are planned
+  lazily behind a bounded submission window, so the policy can react
+  while the run is still in flight.  Chunking affects scheduling only —
+  never the bytes.
 
 Determinism contract
 --------------------
@@ -30,8 +52,8 @@ Sample ``j`` is a pure function of ``(graph, model, seed, j)`` (the
 counter-addressed stream discipline of :mod:`repro.rng.streams`), and the
 parent lands blocks in index order — so the produced collection is
 **bit-identical** to the serial and batched engines for every worker
-count, chunk size, and start method.  ``repro-imm validate`` enforces
-this, and two mutation hooks below exist so the mutation suite can prove
+count, chunk policy, and start method.  ``repro-imm validate`` enforces
+this, and four mutation hooks below exist so the mutation suite can prove
 the oracle would catch the characteristic failure modes:
 
 ``_mutate_land_order="reversed"``
@@ -44,19 +66,31 @@ the oracle would catch the characteristic failure modes:
     modeling a bug inside the sampling call itself — the engine's own
     checksum handshake (:func:`repro.rng.streams.stream_checksum`)
     already rejects disagreements at the protocol layer.
+``_mutate_arena_overlap=True``
+    workers write their payload 8 bytes past the assigned extent start
+    (the classic extent-stitching off-by-one): the parent's zero-copy
+    views then read bytes that belong to the shifted layout, so the
+    landed collection is corrupt — only the oracle's bitwise comparison
+    (or the landing-time invariants it hardens) can see it.
+``_mutate_fused_drop=True``
+    the worker producing the block that contains global sample index 0
+    skips accumulating it into its counter row but still reports the
+    block as fused — the fused merge silently under-counts and only the
+    oracle's ``engine.count-partitioned`` comparison can see it.
 
 Cleanup discipline
 ------------------
-The parent owns every shared-memory segment: ``close()`` (idempotent,
-also invoked by ``__exit__``, ``__del__``, and every error path) shuts
-the pool down and unlinks all segments.  Pool workers share the parent's
-``resource_tracker`` process (its fd rides along under both ``fork`` and
-``spawn``), and the tracker's cache is a set — so a worker's attach-time
-re-registration is a no-op and the parent's single unlink-time
-unregistration leaves the cache clean.  Workers must therefore *not*
-unregister segments themselves (that would race the parent's cleanup);
-the test suite asserts the net effect — no ``resource_tracker`` warnings
-or "leaked shared_memory" messages — by scanning a subprocess's stderr.
+The parent owns every shared-memory segment — CSR, counters, and all
+arena segments: ``close()`` (idempotent, also invoked by ``__exit__``,
+``__del__``, and every error path) shuts the pool down and unlinks all
+segments.  Pool workers share the parent's ``resource_tracker`` process
+(its fd rides along under both ``fork`` and ``spawn``), and the
+tracker's cache is a set — so a worker's attach-time re-registration is
+a no-op and the parent's single unlink-time unregistration leaves the
+cache clean.  Workers must therefore *not* unregister segments
+themselves (that would race the parent's cleanup); the test suite
+asserts the net effect — no ``resource_tracker`` warnings or "leaked
+shared_memory" messages — by scanning a subprocess's stderr.
 
 Failure modes raise typed errors, never hang: a dead worker surfaces as
 :class:`WorkerCrashError` (via the executor's broken-pool detection or
@@ -69,11 +103,12 @@ from __future__ import annotations
 import logging
 import math
 import os
+import pickle
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
 
@@ -81,7 +116,7 @@ import numpy as np
 
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
-from ..rng.streams import stream_checksum
+from ..rng.streams import fold_stream_seeds, stream_checksum, stream_seeds_array
 from .batched import BatchedRRRSampler
 from .collection import RRRCollection
 from .rrr import in_edge_cumweights
@@ -92,13 +127,56 @@ __all__ = [
     "WorkerCrashError",
     "EngineProtocolError",
     "EngineStats",
+    "AdaptiveChunkPolicy",
 ]
 
 _log = logging.getLogger(__name__)
 
-#: Below this many incidences, ``count_partitioned`` stays serial — the
-#: pickle+IPC round trip costs more than the bincount it would save.
+#: Below this many incidences, the *partitioned* counting path stays
+#: serial — the pickle+IPC round trip costs more than the bincount it
+#: would save.  The fused merge has no per-element IPC at all, so it
+#: applies regardless of this threshold.
 PARALLEL_COUNT_THRESHOLD = 1 << 15
+
+#: Floor for the first arena segment when no override is given.
+ARENA_MIN_BYTES = 1 << 20
+#: Ceiling for the first arena segment (growth covers anything larger).
+ARENA_MAX_INITIAL_BYTES = 256 << 20
+#: Hard cap on arena segments per engine; past it blocks ride inline.
+ARENA_MAX_SEGMENTS = 64
+#: Starting guess for arena sizing, refined from landed blocks.  RRR
+#: payloads are heavy-tailed (soc-LiveJournal1 IC blocks run ~1.5 KiB
+#: per sample), and the first submission window (2*workers+2 blocks) is
+#: reserved before any landed-block feedback exists, so guess generously
+#: to keep that window out of the inline-overflow path.  shm pages are
+#: only committed when actually written, so an oversized extent tail
+#: costs address space, not memory.
+ARENA_BYTES_PER_SAMPLE_GUESS = 4096
+
+#: Counters matrix budget: above this the fused-counting rows are not
+#: allocated and ``count_partitioned`` always uses the legacy paths.
+FUSED_COUNTER_MAX_BYTES = 64 << 20
+
+#: Adaptive chunking: target per-block sampling latency (seconds) ...
+ADAPTIVE_TARGET_BLOCK_SECONDS = 0.25
+#: ... smallest probe block ...
+ADAPTIVE_PROBE_FLOOR = 32
+#: ... per-step geometric growth cap.
+ADAPTIVE_GROWTH = 2.0
+
+#: Per-landed-block IPC budget (bytes) the regression harness gates on:
+#: a descriptor is a handful of scalars; payload bytes sneaking back
+#: into the result pickle blow straight through this.
+DESCRIPTOR_BYTE_BUDGET = 512
+
+
+def _align8(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+def _extent_need(flat_len: int, num_samples: int) -> int:
+    """Bytes one block payload occupies in its extent."""
+    return _align8(flat_len * 4) + 16 * num_samples
 
 
 class ParallelEngineError(RuntimeError):
@@ -118,8 +196,10 @@ class EngineStats:
     """Operational counters of one engine instance.
 
     The supervisor (:mod:`repro.sampling.supervisor`) extends these with
-    recovery counters; the plain engine only tracks the work it routed
-    and the counting-kernel fallbacks it took.
+    recovery counters; the plain engine tracks the work it routed, the
+    counting-kernel fallbacks it took, and the per-phase cost breakdown
+    the regression harness records (arena writes, landing, counting
+    merges, IPC descriptor bytes).
     """
 
     blocks_landed: int = 0
@@ -127,13 +207,91 @@ class EngineStats:
     #: ``count_partitioned`` calls that degraded to a serial bincount
     #: because a worker crashed or timed out mid-count.
     count_fallbacks: int = 0
+    #: Arena bookkeeping: segments allocated, bytes reserved across
+    #: them, and blocks that outgrew their extent and rode back inline.
+    arena_segments: int = 0
+    arena_bytes: int = 0
+    arena_overflows: int = 0
+    #: Per-phase seconds (workers' sampling + arena writes are summed
+    #: across workers; landing/merge are parent wall-clock).
+    sample_seconds: float = 0.0
+    arena_write_seconds: float = 0.0
+    landing_seconds: float = 0.0
+    count_merge_seconds: float = 0.0
+    #: Fused-counting life cycle: merges served from the worker rows,
+    #: and events that forced the fallback path.
+    fused_count_merges: int = 0
+    fused_invalidations: int = 0
+    #: Total pickled bytes of every result the parent consumed — the
+    #: IPC payload the arena exists to keep descriptor-sized.
+    ipc_descriptor_bytes: int = 0
+    #: Adaptive chunking: first probe size and last size of the most
+    #: recent ``sample_into`` call (equal when a static chunk is used).
+    chunk_initial: int = 0
+    chunk_final: int = 0
 
     def as_dict(self) -> dict:
         return {
             "blocks_landed": self.blocks_landed,
             "tasks_submitted": self.tasks_submitted,
             "count_fallbacks": self.count_fallbacks,
+            "arena_segments": self.arena_segments,
+            "arena_bytes": self.arena_bytes,
+            "arena_overflows": self.arena_overflows,
+            "sample_seconds": round(self.sample_seconds, 6),
+            "arena_write_seconds": round(self.arena_write_seconds, 6),
+            "landing_seconds": round(self.landing_seconds, 6),
+            "count_merge_seconds": round(self.count_merge_seconds, 6),
+            "fused_count_merges": self.fused_count_merges,
+            "fused_invalidations": self.fused_invalidations,
+            "ipc_descriptor_bytes": self.ipc_descriptor_bytes,
+            "chunk_initial": self.chunk_initial,
+            "chunk_final": self.chunk_final,
         }
+
+
+class AdaptiveChunkPolicy:
+    """Probe-then-grow block sizing toward a target block latency.
+
+    Starts with small probe blocks (fast feedback, fine-grained load
+    balance while the per-sample cost is unknown), then grows the block
+    size geometrically toward :data:`ADAPTIVE_TARGET_BLOCK_SECONDS`
+    using the worker-reported sampling seconds of landed blocks.  Sizes
+    are monotone non-decreasing (no oscillation) and capped at an even
+    ``total / workers`` split so late planning still spans the pool.
+
+    Scheduling only: the landed bytes are independent of every size this
+    policy ever picks.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        *,
+        floor: int = ADAPTIVE_PROBE_FLOOR,
+        target_seconds: float = ADAPTIVE_TARGET_BLOCK_SECONDS,
+        growth: float = ADAPTIVE_GROWTH,
+    ) -> None:
+        if total < 0 or workers < 1:
+            raise ValueError("need total >= 0 and workers >= 1")
+        self.cap = max(1, math.ceil(total / workers))
+        probe = max(floor, total // (16 * workers))
+        self.size = max(1, min(self.cap, probe))
+        self.initial = self.size
+        self.target_seconds = target_seconds
+        self.growth = growth
+
+    def next_size(self) -> int:
+        return self.size
+
+    def observe(self, num_samples: int, seconds: float) -> None:
+        """Feed one landed block's (size, worker sampling seconds)."""
+        if num_samples <= 0 or seconds <= 0.0:
+            return
+        want = int(num_samples / seconds * self.target_seconds)
+        grown = int(self.size * self.growth)
+        self.size = min(self.cap, max(self.size, min(want, grown)))
 
 
 # ---------------------------------------------------------------------------
@@ -150,6 +308,11 @@ def _worker_init(payload: dict) -> None:
     Attaching re-registers each segment with the resource tracker the
     worker shares with the parent — a set-insert no-op.  Ownership stays
     with the parent (create + unlink); workers only hold views.
+
+    When the payload carries a counters matrix, the worker claims one
+    row via the shared slot counter (bounded acquire: a worker that
+    cannot get a slot simply produces unfused blocks — never deadlocks
+    the pool).
     """
     global _WORKER
     views: dict[str, np.ndarray] = {}
@@ -177,18 +340,60 @@ def _worker_init(payload: dict) -> None:
     )
     if "lt_cum" in views:
         sampler._lt_cum = views["lt_cum"]  # shared, bit-equal to a local build
-    _WORKER = {"sampler": sampler, "segments": segments}
+    counter_row = None
+    counters = payload.get("counters")
+    slot_counter = payload.get("slot_counter")
+    if counters is not None and slot_counter is not None:
+        name, rows, n = counters
+        slot = -1
+        lock = slot_counter.get_lock()
+        if lock.acquire(timeout=5.0):
+            try:
+                slot = slot_counter.value
+                slot_counter.value = slot + 1
+            finally:
+                lock.release()
+        if 0 <= slot < rows:
+            seg = _shm.SharedMemory(name=name)
+            segments.append(seg)
+            matrix = np.ndarray((rows, n), dtype=np.int64, buffer=seg.buf)
+            counter_row = matrix[slot]
+    _WORKER = {
+        "sampler": sampler,
+        "segments": segments,
+        "arena": {},  # arena segment name -> attached SharedMemory
+        "counter_row": counter_row,
+    }
+
+
+def _attach_arena(name: str) -> _shm.SharedMemory:
+    assert _WORKER is not None
+    seg = _WORKER["arena"].get(name)
+    if seg is None:
+        seg = _shm.SharedMemory(name=name)
+        _WORKER["arena"][name] = seg
+    return seg
 
 
 def _worker_block(
     indices: np.ndarray,
     seed: int,
     edge_flip: str,
+    extent: tuple[str, int, int] | None,
     mutate_offset: bool,
+    mutate_overlap: bool,
+    mutate_fused_drop: bool,
     crash: bool,
     sleep_s: float = 0.0,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-    """Sample one block of global indices; return flat buffers + checksum."""
+) -> tuple:
+    """Sample one block of global indices into its arena extent.
+
+    Returns the block *descriptor* ``(wrote_arena, flat_len,
+    num_samples, checksum, sample_s, write_s, fused, inline)`` — a
+    handful of scalars when the payload fit the extent, or the payload
+    itself in ``inline`` when it did not (the parent then grows its
+    sizing estimate).
+    """
     if crash:  # test/mutation hook: simulate a worker dying mid-block
         os._exit(1)
     if sleep_s > 0.0:  # injected straggler: the worker stalls, then answers
@@ -196,8 +401,10 @@ def _worker_block(
     assert _WORKER is not None, "worker initializer did not run"
     sampler: BatchedRRRSampler = _WORKER["sampler"]
     checksum = stream_checksum(seed, indices)
+    first_index = int(indices[0]) if len(indices) else -1
     if mutate_offset:
         indices = indices - indices[0]  # the injected lost-offset bug
+    t0 = time.perf_counter()
     flats: list[np.ndarray] = []
     sizes: list[np.ndarray] = []
     edges: list[np.ndarray] = []
@@ -208,12 +415,31 @@ def _worker_block(
         flats.append(v)
         sizes.append(s)
         edges.append(e)
-    return (
-        np.concatenate(flats) if flats else np.empty(0, dtype=np.int32),
-        np.concatenate(sizes) if sizes else np.empty(0, dtype=np.int64),
-        np.concatenate(edges) if edges else np.empty(0, dtype=np.int64),
-        checksum,
-    )
+    flat = np.concatenate(flats) if flats else np.empty(0, dtype=np.int32)
+    size_arr = np.concatenate(sizes) if sizes else np.empty(0, dtype=np.int64)
+    edge_arr = np.concatenate(edges) if edges else np.empty(0, dtype=np.int64)
+    sample_s = time.perf_counter() - t0
+    counter_row = _WORKER.get("counter_row")
+    fused = counter_row is not None
+    if fused and not (mutate_fused_drop and first_index == 0):
+        counter_row += np.bincount(flat, minlength=len(counter_row))
+    t1 = time.perf_counter()
+    flat_len, ns = len(flat), len(size_arr)
+    need = _extent_need(flat_len, ns)
+    wrote = False
+    if extent is not None and need <= extent[2]:
+        seg = _attach_arena(extent[0])
+        off = extent[1] + (8 if mutate_overlap else 0)
+        np.ndarray(flat_len, dtype=np.int32, buffer=seg.buf, offset=off)[:] = flat
+        off_sz = off + _align8(flat_len * 4)
+        np.ndarray(ns, dtype=np.int64, buffer=seg.buf, offset=off_sz)[:] = size_arr
+        np.ndarray(
+            ns, dtype=np.int64, buffer=seg.buf, offset=off_sz + ns * 8
+        )[:] = edge_arr
+        wrote = True
+    write_s = time.perf_counter() - t1
+    inline = None if wrote else (flat, size_arr, edge_arr)
+    return (wrote, flat_len, ns, checksum, sample_s, write_s, fused, inline)
 
 
 def _worker_count(block: np.ndarray, minlength: int) -> np.ndarray:
@@ -247,9 +473,11 @@ class ParallelSamplingEngine:
         Pool size.  ``workers=1`` degenerates to the in-process batched
         sampler — no pool, no shared memory, no IPC.
     chunk_size:
-        Samples per fan-out block.  ``None`` picks ``count / (4·w)``
-        per call (at least one cohort) so each worker sees several
-        blocks for load balance.  Results never depend on it.
+        Samples per fan-out block.  ``None`` (the default) enables
+        :class:`AdaptiveChunkPolicy` — probe blocks growing toward a
+        target block latency.  An explicit size pins static blocks
+        (tests and the oracle use this to address block ordinals).
+        Results never depend on it.
     max_cohort:
         Forwarded to every worker's :class:`BatchedRRRSampler`.
     start_method:
@@ -258,6 +486,10 @@ class ParallelSamplingEngine:
     task_timeout:
         Seconds to wait for any single block before declaring the pool
         wedged (:class:`WorkerCrashError`).  ``None`` waits forever.
+    arena_bytes:
+        Size of the *first* output-arena segment.  ``None`` sizes it
+        from the first call's sample count; tests pass tiny values to
+        force the growable-segment path.
     """
 
     def __init__(
@@ -270,14 +502,20 @@ class ParallelSamplingEngine:
         max_cohort: int | None = None,
         start_method: str | None = None,
         task_timeout: float | None = 300.0,
+        arena_bytes: int | None = None,
+        _counter_rows: int | None = None,
         _mutate_land_order: str | None = None,
         _mutate_stream_offset: bool = False,
+        _mutate_arena_overlap: bool = False,
+        _mutate_fused_drop: bool = False,
         _crash_block: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if arena_bytes is not None and arena_bytes < 1:
+            raise ValueError("arena_bytes must be positive")
         self.graph = graph
         self.model = DiffusionModel.parse(model)
         self.workers = workers
@@ -285,6 +523,8 @@ class ParallelSamplingEngine:
         self.task_timeout = task_timeout
         self._mutate_land_order = _mutate_land_order
         self._mutate_stream_offset = _mutate_stream_offset
+        self._mutate_arena_overlap = _mutate_arena_overlap
+        self._mutate_fused_drop = _mutate_fused_drop
         self._crash_block = _crash_block
         self._closed = False
         self._segments: list[_shm.SharedMemory] = []
@@ -292,6 +532,25 @@ class ParallelSamplingEngine:
         self._payload: dict | None = None
         self._mp_ctx = None
         self.stats = EngineStats()
+        # -- output arena state (all parent-side; no shared locks) ----------
+        self._arena_override = arena_bytes
+        self._arena: list[dict] = []  # {"seg", "size", "cursor"} per segment
+        self._arena_active = 0
+        self._arena_hint = 0  # samples the current call wants room for
+        self._bytes_per_sample = ARENA_BYTES_PER_SAMPLE_GUESS
+        self._inflight: set[Future] = set()
+        #: Pools replaced by :meth:`rebuild_pool` whose worker processes
+        #: may not have exited yet.  A surviving worker of a broken pool
+        #: can still be executing an abandoned block — writing to its
+        #: arena extent and attach-registering segments with the
+        #: resource tracker — so arena cursors must not rewind and
+        #: segments must not unlink until these are reaped.
+        self._retired_pools: list[ProcessPoolExecutor] = []
+        # -- fused-counting state -------------------------------------------
+        self._counter_matrix: np.ndarray | None = None
+        self._fused_valid = False
+        self._fused_incidences = 0
+        self._fused_parent: np.ndarray | None = None
         # LT: one cumulative-weight table, built once and shared with
         # every worker (bit-equal to what each would build locally).
         self._lt_cum = (
@@ -311,6 +570,7 @@ class ParallelSamplingEngine:
             arrays["lt_cum"] = self._lt_cum
         spec: dict[str, tuple[str, tuple, str]] = {}
         try:
+            self._mp_ctx = get_context(start_method)
             for key, arr in arrays.items():
                 seg = _shm.SharedMemory(create=True, size=max(1, arr.nbytes))
                 self._segments.append(seg)
@@ -323,7 +583,19 @@ class ParallelSamplingEngine:
                 "model": self.model.value,
                 "max_cohort": self._local.max_cohort,
             }
-            self._mp_ctx = get_context(start_method)
+            rows = _counter_rows if _counter_rows is not None else workers
+            if rows > 0 and rows * graph.n * 8 <= FUSED_COUNTER_MAX_BYTES:
+                seg = _shm.SharedMemory(create=True, size=max(1, rows * graph.n * 8))
+                self._segments.append(seg)
+                self._counter_matrix = np.ndarray(
+                    (rows, graph.n), dtype=np.int64, buffer=seg.buf
+                )
+                self._counter_matrix[:] = 0
+                self._payload["counters"] = (seg.name, rows, graph.n)
+                # Workers claim rows through this shared cursor; it is
+                # pickled only through the spawning context's initargs.
+                self._payload["slot_counter"] = self._mp_ctx.Value("i", 0)
+                self._fused_valid = True
             self._pool = self.spawn_pool()
         except BaseException:
             self.close()
@@ -336,13 +608,25 @@ class ParallelSamplingEngine:
         return self._closed
 
     def close(self) -> None:
-        """Shut the pool down and unlink every shared segment (idempotent)."""
+        """Shut the pool down and unlink every shared segment (idempotent).
+
+        This covers the CSR segments, the fused-counters matrix, and
+        every output-arena segment — on success paths and on every
+        typed-error path alike.
+        """
         if self._closed:
             return
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        # Retired (replaced) pools' survivors may still touch the arena;
+        # join them before any segment goes away.
+        self._reap_retired_pools(wait=True)
+        self._counter_matrix = None  # view dies before its segment
+        for rec in getattr(self, "_arena", ()):
+            self._segments.append(rec["seg"])
+        self._arena = []
         for seg in self._segments:
             try:
                 seg.close()
@@ -399,15 +683,155 @@ class ParallelSamplingEngine:
         ownership of those never moves — and ``pool`` (or a freshly
         spawned one) is installed in its place.  Outstanding futures of
         the old pool are cancelled; the caller re-submits whatever it
-        still needs (deterministic replay makes that safe).
+        still needs (deterministic replay makes that safe).  A rebuild
+        always invalidates the fused counters: the dead worker may have
+        accumulated blocks that never landed.
         """
         self._require_open()
         if self._payload is None:
             raise ParallelEngineError("single-worker engine has no pool to rebuild")
+        self._invalidate_fused("pool rebuild")
         old, self._pool = self._pool, None
         if old is not None:
+            # wait=False keeps recovery responsive (a wedged straggler in
+            # the dead pool must not stall the rebuild), so the old pool
+            # is retired instead of forgotten: its survivors may still be
+            # running abandoned blocks against the arena.
             old.shutdown(wait=False, cancel_futures=True)
+            self._retired_pools.append(old)
         self._pool = pool if pool is not None else self.spawn_pool()
+
+    # -- output arena (parent-assigned extents, no shared locks) -------------
+
+    def _maybe_reset_arena(self, hint_samples: int) -> None:
+        """Rewind the arena cursors for a fresh call, if quiescent.
+
+        Extents are handed out monotonically within a call; between
+        calls the whole arena is reusable **unless** futures are still
+        in flight (a speculative loser, an abandoned post-deadline
+        block) — those may still write to their extents, so the cursors
+        stay put and the arena simply keeps growing forward.
+        """
+        self._arena_hint = max(self._arena_hint, hint_samples)
+        if self._inflight or not self._reap_retired_pools(wait=False):
+            return
+        for rec in self._arena:
+            rec["cursor"] = 0
+        self._arena_active = 0
+
+    def _reap_retired_pools(self, *, wait: bool) -> bool:
+        """Drop retired pools whose workers have all exited.
+
+        ``wait=True`` joins them (used by :meth:`close` before segments
+        unlink); ``wait=False`` only polls, so callers can fall back to
+        growing the arena forward instead of blocking recovery.  Returns
+        ``True`` when no retired worker process remains alive.
+        """
+        still_live: list[ProcessPoolExecutor] = []
+        for pool in self._retired_pools:
+            if wait:
+                pool.shutdown(wait=True, cancel_futures=True)
+                continue
+            procs = getattr(pool, "_processes", None) or {}
+            if any(p.is_alive() for p in procs.values()):
+                still_live.append(pool)
+        self._retired_pools = still_live
+        return not still_live
+
+    def _new_arena_segment(self, min_bytes: int) -> dict | None:
+        if len(self._arena) >= ARENA_MAX_SEGMENTS:
+            return None
+        if not self._arena:
+            if self._arena_override is not None:
+                size = max(self._arena_override, min_bytes)
+            else:
+                size = min(
+                    ARENA_MAX_INITIAL_BYTES,
+                    max(
+                        ARENA_MIN_BYTES,
+                        min_bytes,
+                        2 * self._arena_hint * self._bytes_per_sample,
+                    ),
+                )
+        else:
+            size = max(2 * self._arena[-1]["size"], 4 * min_bytes)
+        seg = _shm.SharedMemory(create=True, size=max(1, size))
+        rec = {"seg": seg, "size": size, "cursor": 0}
+        self._arena.append(rec)
+        self.stats.arena_segments = len(self._arena)
+        self.stats.arena_bytes += size
+        return rec
+
+    def _reserve_extent(self, num_samples: int):
+        """Assign a disjoint arena extent for a block of ``num_samples``.
+
+        Parent-side bump allocation only: no lock exists for a killed
+        worker to die holding.  Returns ``None`` when the arena is at
+        its segment cap — the block then rides back inline.
+        """
+        cap = _align8(self._bytes_per_sample * max(1, num_samples) + 64)
+        i = self._arena_active
+        while True:
+            if i >= len(self._arena):
+                rec = self._new_arena_segment(cap)
+                if rec is None:
+                    return None
+                i = len(self._arena) - 1
+            rec = self._arena[i]
+            if rec["cursor"] + cap <= rec["size"]:
+                off = rec["cursor"]
+                rec["cursor"] = off + cap
+                self._arena_active = i
+                return (i, off, cap)
+            i += 1
+
+    def _note_block_size(self, num_samples: int, need: int) -> None:
+        """Refine the bytes-per-sample estimate from a landed block."""
+        if num_samples > 0:
+            observed = math.ceil(1.5 * need / num_samples)
+            if observed > self._bytes_per_sample:
+                self._bytes_per_sample = observed
+
+    # -- fused-counting bookkeeping ------------------------------------------
+
+    def _invalidate_fused(self, reason: str) -> None:
+        if self._fused_valid:
+            self._fused_valid = False
+            self.stats.fused_invalidations += 1
+            _log.debug("fused counters invalidated: %s", reason)
+
+    def _maybe_reset_fused(self, collection, sample_indices: np.ndarray) -> None:
+        """Re-arm fused counting at a fresh collection epoch.
+
+        Valid only when the books can be balanced from scratch: nothing
+        in flight (so no worker can still accumulate a stale block), an
+        empty target collection, and a run starting at global index 0.
+        The rows are zeroed — including any stale rows of dead workers —
+        and accumulation restarts in lockstep with the landings.
+        """
+        if (
+            self._counter_matrix is None
+            or self._inflight
+            or len(collection) != 0
+            or (len(sample_indices) > 0 and int(sample_indices[0]) != 0)
+        ):
+            return
+        self._counter_matrix[:] = 0
+        self._fused_incidences = 0
+        self._fused_parent = None
+        self._fused_valid = True
+
+    def _note_parent_landing(self, flat: np.ndarray) -> None:
+        """Account a block the *parent* landed (e.g. a resumed prefix):
+        its incidences live in a parent-side row, not a worker row."""
+        if self._counter_matrix is None:
+            return
+        if self._fused_parent is None:
+            self._fused_parent = np.zeros(self.graph.n, dtype=np.int64)
+        self._fused_parent += np.bincount(flat, minlength=self.graph.n)
+        self._fused_incidences += len(flat)
+
+    # -- block submission / materialization ----------------------------------
 
     def submit_block(
         self,
@@ -420,24 +844,68 @@ class ParallelSamplingEngine:
     ) -> Future:
         """Fan one block of global sample indices out to the pool.
 
-        Low-level primitive used by the supervisor's landing loop (and
-        its speculative re-execution).  The returned future resolves to
-        ``(flat, sizes, edges, checksum)`` exactly as the blocks inside
-        :meth:`sample_into` do.
+        Low-level primitive used by the landing loops (and the
+        supervisor's speculative re-execution).  The block is assigned
+        an output-arena extent here; the returned future resolves to the
+        block *descriptor* — pass it to :meth:`_materialize` to obtain
+        the zero-copy ``(flat, sizes, edges)`` views plus checksum.
         """
         self._require_open()
         if self._pool is None:
             raise ParallelEngineError("single-worker engine has no pool")
         self.stats.tasks_submitted += 1
-        return self._pool.submit(
+        extent = self._reserve_extent(len(block))
+        wire = (
+            None
+            if extent is None
+            else (self._arena[extent[0]]["seg"].name, extent[1], extent[2])
+        )
+        fut = self._pool.submit(
             _worker_block,
             block,
             seed,
             edge_flip,
+            wire,
             self._mutate_stream_offset,
+            self._mutate_arena_overlap,
+            self._mutate_fused_drop,
             crash,
             sleep_s,
         )
+        fut._arena_extent = extent
+        self._inflight.add(fut)
+        fut.add_done_callback(self._inflight.discard)
+        return fut
+
+    def _materialize(self, fut: Future, timeout: float | None = None):
+        """Resolve a block future into ``(flat, sizes, edges, checksum,
+        sample_s)`` — zero-copy views over the block's arena extent, or
+        the inline payload on overflow (which also grows the sizing
+        estimate for future extents)."""
+        desc = fut.result(timeout=timeout)
+        wrote, flat_len, ns, checksum, sample_s, write_s, fused, inline = desc
+        st = self.stats
+        st.ipc_descriptor_bytes += len(pickle.dumps(desc, protocol=-1))
+        st.sample_seconds += sample_s
+        st.arena_write_seconds += write_s
+        if not fused:
+            self._invalidate_fused("worker produced an unfused block")
+        elif flat_len:
+            self._fused_incidences += flat_len
+        self._note_block_size(ns, _extent_need(flat_len, ns))
+        if wrote:
+            seg_idx, off, _cap = fut._arena_extent
+            buf = self._arena[seg_idx]["seg"].buf
+            flat = np.ndarray(flat_len, dtype=np.int32, buffer=buf, offset=off)
+            off_sz = off + _align8(flat_len * 4)
+            sizes = np.ndarray(ns, dtype=np.int64, buffer=buf, offset=off_sz)
+            edges = np.ndarray(
+                ns, dtype=np.int64, buffer=buf, offset=off_sz + ns * 8
+            )
+        else:
+            st.arena_overflows += 1
+            flat, sizes, edges = inline
+        return flat, sizes, edges, checksum, sample_s
 
     def worker_pids(self) -> list[int]:
         """Live worker pids of the current pool (spawning it if lazy).
@@ -477,34 +945,45 @@ class ParallelSamplingEngine:
             return self._local.sample_into(
                 collection, sample_indices, seed, edge_flip=edge_flip
             )
+        total = len(sample_indices)
+        self._maybe_reset_fused(collection, sample_indices)
+        self._maybe_reset_arena(total)
+        # Batched checksum handshake: one vectorized pass derives every
+        # block's expected checksum; the worker's answer rides back in
+        # the block descriptor — no separate round trip.
+        seeds_arr = stream_seeds_array(seed, sample_indices)
         chunk = chunk_size or self.chunk_size
-        if chunk is None:
-            chunk = max(
-                self._local.max_cohort,
-                math.ceil(len(sample_indices) / (4 * self.workers)),
-            )
-        blocks = [
-            sample_indices[lo : lo + chunk]
-            for lo in range(0, len(sample_indices), chunk)
-        ]
-        starts = [lo for lo in range(0, len(sample_indices), chunk)]
-        expected = [stream_checksum(seed, b) for b in blocks]
-        futures = [
-            self._pool.submit(
-                _worker_block,
-                block,
-                seed,
-                edge_flip,
-                self._mutate_stream_offset,
-                i == self._crash_block,
-            )
-            for i, block in enumerate(blocks)
-        ]
-        self.stats.tasks_submitted += len(futures)
-        per_sample = np.empty(len(sample_indices), dtype=np.int64)
-        order = range(len(futures))
-        if self._mutate_land_order == "reversed":
-            order = reversed(range(len(futures)))
+        policy = (
+            None if chunk is not None else AdaptiveChunkPolicy(total, self.workers)
+        )
+        self.stats.chunk_initial = chunk if chunk else policy.initial
+        eager = self._mutate_land_order == "reversed"
+        window = total if eager else 2 * self.workers + 2
+        blocks: list[tuple[int, int]] = []  # planned (start, stop) spans
+        expected: list[int] = []
+        futures: list[Future] = []
+        pos = 0
+        next_land = 0
+        per_sample = np.empty(total, dtype=np.int64)
+
+        def plan_and_submit() -> None:
+            nonlocal pos
+            while pos < total and len(futures) - next_land < window:
+                size = chunk if chunk is not None else policy.next_size()
+                stop = min(total, pos + size)
+                block = sample_indices[pos:stop]
+                expected.append(fold_stream_seeds(seeds_arr[pos:stop]))
+                futures.append(
+                    self.submit_block(
+                        block, seed, edge_flip,
+                        crash=len(futures) == self._crash_block,
+                    )
+                )
+                blocks.append((pos, stop))
+                pos = stop
+                # the policy's settled size, not the clipped tail block
+                self.stats.chunk_final = size
+
         # Per-submission deadline: the watchdog clock starts when the work
         # is submitted and is refreshed only by *progress* (a block landing),
         # so each wait sees the remaining budget — a hung block ``i`` can no
@@ -515,17 +994,21 @@ class ParallelSamplingEngine:
             if self.task_timeout is not None
             else None
         )
-        for bi in order:
+
+        def land(bi: int) -> None:
+            nonlocal deadline
+            lo, hi = blocks[bi]
             try:
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
-                flat, sizes, edges, checksum = futures[bi].result(timeout=remaining)
+                flat, sizes, edges, checksum, sample_s = self._materialize(
+                    futures[bi], timeout=remaining
+                )
             except BrokenProcessPool as exc:
                 self.close()
                 raise WorkerCrashError(
-                    f"worker died while sampling block {bi} "
-                    f"[{starts[bi]}, {starts[bi] + len(blocks[bi])}); "
+                    f"worker died while sampling block {bi} [{lo}, {hi}); "
                     "shared memory unlinked"
                 ) from exc
             except _FuturesTimeout as exc:
@@ -541,11 +1024,32 @@ class ParallelSamplingEngine:
                     f"block {bi} stream-checksum mismatch: the worker did not "
                     "sample the global indices it was sent"
                 )
-            collection.append_batch(flat, sizes)
-            per_sample[starts[bi] : starts[bi] + len(edges)] = edges
+            t0 = time.perf_counter()
+            collection.append_batch(flat, sizes, total=len(flat))
+            self.stats.landing_seconds += time.perf_counter() - t0
+            per_sample[lo : lo + len(edges)] = edges
             self.stats.blocks_landed += 1
+            if policy is not None:
+                policy.observe(hi - lo, sample_s)
             if deadline is not None:  # progress resets the watchdog
                 deadline = time.monotonic() + self.task_timeout
+
+        try:
+            if eager:
+                plan_and_submit()  # window == total: everything at once
+                for bi in reversed(range(len(futures))):
+                    land(bi)
+                return per_sample
+            while pos < total or next_land < len(futures):
+                plan_and_submit()
+                land(next_land)
+                next_land += 1
+        except BrokenProcessPool as exc:  # raised at submission time
+            self.close()
+            raise WorkerCrashError(
+                "worker pool broke during block submission; "
+                "shared memory unlinked"
+            ) from exc
         return per_sample
 
     # -- selection counting kernel -------------------------------------------
@@ -553,22 +1057,39 @@ class ParallelSamplingEngine:
     def count_partitioned(self, flat: np.ndarray, minlength: int) -> np.ndarray:
         """Partitioned replacement for ``np.bincount(flat, minlength)``.
 
-        Splits ``flat`` into ``workers`` contiguous blocks, bincounts
-        each in a worker's private vector, and sums in the parent —
-        exact integer arithmetic, so the result is bit-identical to the
-        serial bincount.  Falls back to serial when the pool is absent
-        or the array is too small to amortize the IPC.
+        Three paths, exact and bit-identical by construction:
 
-        Unlike sampling, the exact answer is always computable in the
-        parent, so a worker crash or timeout mid-count **degrades to the
-        serial bincount** instead of raising
-        :class:`WorkerCrashError`: the fallback is logged, counted in
-        ``stats.count_fallbacks``, and the result is identical by
-        construction.  (The broken pool is left for the next sampling
-        call — or the supervisor — to deal with.)
+        1. **Fused merge** — when every incidence of ``flat`` was
+           accumulated block-by-block in the workers' counter rows (the
+           books balance: same incidence total, no crash/speculation/
+           abandonment since the epoch began, nothing in flight), the
+           answer is one column sum of the ``w`` partial counters —
+           no flat bytes cross a process boundary at all.
+        2. **Partitioned ship** — otherwise, ``flat`` is split into
+           ``workers`` contiguous blocks, each bincounted in a worker,
+           summed in the parent (integer addition is exact).
+        3. **Serial** — no pool, small arrays, or a crash mid-count
+           (logged and counted in ``stats.count_fallbacks``; the broken
+           pool is left for the next sampling call — or the supervisor
+           — to deal with).
         """
         self._require_open()
         flat = np.asarray(flat)
+        if (
+            self._pool is not None
+            and self._fused_valid
+            and self._counter_matrix is not None
+            and minlength == self.graph.n
+            and len(flat) == self._fused_incidences
+            and not self._inflight
+        ):
+            t0 = time.perf_counter()
+            total = self._counter_matrix.sum(axis=0)
+            if self._fused_parent is not None:
+                total = total + self._fused_parent
+            self.stats.count_merge_seconds += time.perf_counter() - t0
+            self.stats.fused_count_merges += 1
+            return total
         if self._pool is None or len(flat) < PARALLEL_COUNT_THRESHOLD:
             return np.bincount(flat, minlength=minlength)
         bounds = np.linspace(0, len(flat), self.workers + 1, dtype=np.int64)

@@ -79,10 +79,11 @@ import numpy as np
 
 from ..diffusion import DiffusionModel
 from ..graph import CSRGraph
-from ..rng.streams import stream_checksum
+from ..rng.streams import fold_stream_seeds, stream_seeds_array
 from .checkpoint import BlockCheckpointSink, CheckpointError
 from .collection import RRRCollection
 from .parallel_engine import (
+    AdaptiveChunkPolicy,
     EngineProtocolError,
     EngineStats,
     ParallelEngineError,
@@ -227,6 +228,7 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
         max_cohort: int | None = None,
         start_method: str | None = None,
         task_timeout: float | None = 300.0,
+        arena_bytes: int | None = None,
         crash_budget: int = 3,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
@@ -247,6 +249,10 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
         self._spares: deque = deque()
         self._sink: BlockCheckpointSink | None = None
         self._resume: BlockCheckpointSink | None = None
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
+        if crash_budget < 0:
+            raise ValueError("crash_budget must be >= 0")
         super().__init__(
             graph,
             model,
@@ -255,11 +261,14 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
             max_cohort=max_cohort,
             start_method=start_method,
             task_timeout=task_timeout,
+            arena_bytes=arena_bytes,
+            # Every pool this engine may ever run — the initial one, the
+            # pre-spawned spares, cold rebuilds and replenished spares up
+            # to the crash budget — claims fresh counter rows through the
+            # shared slot cursor; size the matrix so no healthy lifetime
+            # runs out of rows (running out just means unfused blocks).
+            _counter_rows=workers * (2 + spares + 2 * crash_budget),
         )
-        if spares < 0:
-            raise ValueError("spares must be >= 0")
-        if crash_budget < 0:
-            raise ValueError("crash_budget must be >= 0")
         self.stats = SupervisorStats()
         self.spares = spares
         self.crash_budget = crash_budget
@@ -430,8 +439,12 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        # wait=True: a freshly spawned spare may still be running its
+        # shm-attach initializer, and unlinking segments under it races
+        # the resource-tracker registration (stale entries at shutdown).
+        # Idle spares join immediately, so this costs nothing.
         for pool in getattr(self, "_spares", ()):
-            pool.shutdown(wait=False, cancel_futures=True)
+            pool.shutdown(wait=True, cancel_futures=True)
         if getattr(self, "_spares", None) is not None:
             self._spares.clear()
         for sink in {id(s): s for s in (getattr(self, "_sink", None),
@@ -445,7 +458,13 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
     def _degrade(self, landed_total: int) -> None:
         """Deadline expired: surface the typed error (engine stays open —
         the driver owns the close, and the collection's landed prefix is
-        exactly what ``DegradedResult`` will account for)."""
+        exactly what ``DegradedResult`` will account for).
+
+        Abandoned in-flight blocks may still have been accumulated by
+        their workers without ever landing, so the fused counters are
+        invalidated — the degraded run counts via the fallback paths.
+        """
+        self._invalidate_fused("deadline degradation abandoned in-flight blocks")
         self.stats.deadline_expired = True
         _log.warning(
             "run deadline (%ss) expired with %d samples landed; degrading",
@@ -488,6 +507,8 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
             return per_sample
         self._check_deadline(len(collection))
         self._ensure_sinks(seed)
+        self._maybe_reset_fused(collection, sample_indices)
+        self._maybe_reset_arena(len(sample_indices))
         # -- resume: satisfy the certified prefix from the spill ------------
         pos = 0
         first = int(sample_indices[0])
@@ -496,6 +517,9 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
             hi = min(src.landed, first + len(sample_indices))
             flat, sizes, edges = src.load_range(first, hi)
             collection.append_batch(flat, sizes)
+            # The prefix never passed through a worker: account it in the
+            # parent-side fused row so the books can still balance.
+            self._note_parent_landing(np.asarray(flat))
             pos = hi - first
             per_sample[:pos] = edges
             self.stats.resumed_samples += pos
@@ -585,13 +609,23 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
         pos: int,
         chunk_size: int | None,
     ) -> np.ndarray:
-        chunk = self._chunk(len(indices), chunk_size)
-        blocks = [indices[lo : lo + chunk] for lo in range(0, len(indices), chunk)]
-        nblocks = len(blocks)
-        expected = [stream_checksum(seed, b) for b in blocks]
+        total = len(indices)
+        chunk = chunk_size or self.chunk_size
+        policy = (
+            None if chunk is not None else AdaptiveChunkPolicy(total, self.workers)
+        )
+        self.stats.chunk_initial = chunk if chunk is not None else policy.initial
+        # Batched checksum handshake: every block's expected checksum is a
+        # fold over one vectorized stream-seed pass; the worker's answer
+        # rides back in its descriptor.
+        seeds_arr = stream_seeds_array(seed, indices)
         base = self._fault_clock  # global ordinal of blocks[0]
-        primary: list[Future | None] = [None] * nblocks
-        spec: list[Future | None] = [None] * nblocks
+        window = 2 * self.workers + 2  # planned-but-unlanded block bound
+        blocks: list[np.ndarray] = []
+        expected: list[int] = []
+        primary: list[Future | None] = []
+        spec: list[Future | None] = []
+        planned = 0  # samples planned into blocks so far
         next_land = 0
         landed_before = False  # any block landed this call (for replay stats)
         last_landed: tuple | None = None  # _mutate_replay_overlap stash
@@ -600,6 +634,26 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
             if self.task_timeout is not None
             else None
         )
+
+        def plan_more() -> None:
+            """Lazily extend the block plan behind the submission window.
+
+            With an adaptive policy the next block's size reflects every
+            block landed so far; a static chunk plans the same spans the
+            eager version did.  Planning is append-only, so replay and
+            fault addressing by block ordinal stay stable.
+            """
+            nonlocal planned
+            while planned < total and len(blocks) - next_land < window:
+                size = chunk if chunk is not None else policy.next_size()
+                stop = min(total, planned + size)
+                blocks.append(indices[planned:stop])
+                expected.append(fold_stream_seeds(seeds_arr[planned:stop]))
+                primary.append(None)
+                spec.append(None)
+                # the policy's settled size, not the clipped tail block
+                self.stats.chunk_final = size
+                planned = stop
 
         def usable(fut: Future | None) -> bool:
             return fut is not None and fut.done() and fut.exception() is None
@@ -610,17 +664,25 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                 blocks[bi], seed, edge_flip, sleep_s=sleep_s
             )
 
+        def submit_new() -> None:
+            """Submit planned blocks that have no primary execution yet."""
+            for bi in range(next_land, len(blocks)):
+                if primary[bi] is None:
+                    primary[bi] = submit(bi)
+
         def resubmit_lost() -> None:
             """(Re)submit every un-landed block whose result is gone.
 
             Completed futures survive a pool break with their results —
             those blocks are not re-run; everything else is replayed
-            deterministically (same indices, same streams, same bytes).
+            deterministically into *fresh* arena extents (same indices,
+            same streams, same bytes).
             """
-            for bi in range(next_land, nblocks):
+            for bi in range(next_land, len(blocks)):
                 if not usable(primary[bi]):
+                    was_lost = primary[bi] is not None
                     primary[bi] = submit(bi)
-                    if landed_before or self.stats.rebuilds > 0:
+                    if was_lost or landed_before or self.stats.rebuilds > 0:
                         self.stats.blocks_replayed += 1
                 if spec[bi] is not None and not usable(spec[bi]):
                     spec[bi] = None
@@ -663,15 +725,19 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                     break
 
         need_submit = True
-        while next_land < nblocks:
-            if need_submit:
-                try:
+        while next_land < len(blocks) or planned < total:
+            plan_more()
+            try:
+                if need_submit:
                     resubmit_lost()
-                except BrokenProcessPool:
-                    recover("submission hit a broken pool")
-                    continue
-                replenish_spares()
-                need_submit = False
+                    replenish_spares()
+                    need_submit = False
+                else:
+                    submit_new()
+            except BrokenProcessPool:
+                recover("submission hit a broken pool")
+                need_submit = True
+                continue
             bi = next_land
             if self._fire_due_kills(base + bi):
                 self._await_pool_break()
@@ -709,6 +775,10 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                     if self._deadline_at is not None and now >= self._deadline_at:
                         self._degrade(len(collection))
                     if spec_at is not None and now >= spec_at and spec[bi] is None:
+                        # Whichever copy loses still accumulated its
+                        # samples into a worker counter row — the fused
+                        # books cannot balance after a duplicate.
+                        self._invalidate_fused("speculative duplicate launched")
                         try:
                             spec[bi] = submit(bi, clean=True)
                         except BrokenProcessPool:
@@ -740,11 +810,12 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                     raise ParallelEngineError(
                         f"worker raised while sampling block {bi}"
                     ) from exc
-                flat, sizes, edges, checksum = winner.result()
+                flat, sizes, edges, checksum, sample_s = self._materialize(winner)
                 spec_won = winner is spec[bi]
                 if checksum != expected[bi]:
                     # first *checksum-valid* result wins: drop this
                     # candidate and keep waiting on the other, if any
+                    self._invalidate_fused("checksum-invalid candidate dropped")
                     if spec_won:
                         spec[bi] = None
                     else:
@@ -761,13 +832,15 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                 if (
                     self._mutate_spec_order
                     and spec[bi] is not None  # a speculative copy raced
-                    and bi + 1 < nblocks
+                    and bi + 1 < len(blocks)
                     and self._sink is None
                     and usable(primary[bi + 1])
                 ):
                     # the injected race bug: the speculative win lands
                     # *behind* its successor block
-                    flat2, sizes2, edges2, _ = primary[bi + 1].result()
+                    flat2, sizes2, edges2, _, _ = self._materialize(
+                        primary[bi + 1]
+                    )
                     collection.append_batch(flat2, sizes2)
                     collection.append_batch(flat, sizes)
                     per_sample[pos : pos + len(edges)] = edges
@@ -780,14 +853,20 @@ class SupervisedSamplingEngine(ParallelSamplingEngine):
                     self._fault_clock += 2
                     next_land = bi + 2
                     break
-                collection.append_batch(flat, sizes)
+                t0 = time.perf_counter()
+                collection.append_batch(flat, sizes, total=len(flat))
+                self.stats.landing_seconds += time.perf_counter() - t0
                 per_sample[pos : pos + len(edges)] = edges
                 pos += len(edges)
                 if self._sink is not None:
                     self._sink.append_block(blocks[bi], flat, sizes, edges)
                     self._refresh_checkpoint_stats()
                 if self._mutate_replay_overlap:
+                    # arena extents are recycled between calls: stash a
+                    # private copy, not the zero-copy landing views
                     last_landed = (flat.copy(), sizes.copy())
+                if policy is not None:
+                    policy.observe(len(blocks[bi]), sample_s)
                 self._service_times.append(time.monotonic() - wait_start)
                 self.stats.blocks_landed += 1
                 self._fault_clock += 1

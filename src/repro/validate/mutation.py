@@ -25,6 +25,8 @@ wrong-stream replay         ``recovery.rebuild-bitwise``
 double-count after shrink   ``recovery.degraded-accounting``
 worker reorders landing     ``engine.collection-bitwise``
 worker wrong stream offset  ``engine.collection-bitwise``
+arena extent overlap        ``engine.collection-bitwise``
+fused counter drops block   ``engine.count-partitioned``
 replay lands block twice    ``supervised.collection-bitwise``
 resume skips the cursor     ``supervised.collection-bitwise``
 speculation lands reordered ``supervised.collection-bitwise``
@@ -390,6 +392,61 @@ def _mutant_engine_offset(seed: int) -> MutantResult:
     )
 
 
+def _mutant_arena_overlap(seed: int) -> MutantResult:
+    """Worker writes its payload past the assigned arena extent start.
+
+    The classic extent-stitching off-by-one: every worker writes 8 bytes
+    deep into its extent, so the parent's zero-copy views read a shifted
+    layout — garbage at the head of ``flat`` and misaligned ``sizes``.
+    Depending on where the shift lands, the corruption surfaces as a
+    bitwise mismatch of the assembled collection *or* as a landing-time
+    exception (the collection's invariants reject the stitched views);
+    the hardened oracle reports both as ``engine.collection-bitwise``
+    violations.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with ParallelSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, _mutate_arena_overlap=True
+    ) as eng:
+        report = check_engine_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant",
+            chunk_sizes=(37,), engine=eng,
+        )
+    detected, evidence = _violated(report, "engine.collection-bitwise")
+    return MutantResult(
+        "worker-writes-overlapping-arena-extent",
+        "pool worker writes its block payload 8 bytes past its extent start",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_fused_drop(seed: int) -> MutantResult:
+    """Fused counter silently drops one block's incidences.
+
+    The worker that produces the block containing global sample index 0
+    skips accumulating it into its counter row but still reports the
+    block as fused.  The landed collection is perfect — only the fused
+    merge of ``count_partitioned`` under-counts, so the oracle's
+    ``engine.count-partitioned`` comparison is the detector under test.
+    """
+    graph = load(_MUTATION_DATASET, "IC")
+    with ParallelSamplingEngine(
+        graph, "IC", workers=2, chunk_size=37, _mutate_fused_drop=True
+    ) as eng:
+        report = check_engine_sampling(
+            graph, "IC", _MUTATION_THETA, seed, "mutant",
+            chunk_sizes=(37,), engine=eng,
+        )
+    detected, evidence = _violated(report, "engine.count-partitioned")
+    return MutantResult(
+        "fused-counter-drops-block",
+        "worker reports a block as fused-counted without accumulating it",
+        detected,
+        evidence,
+    )
+
+
 def _mutant_replay_overlap(seed: int) -> MutantResult:
     """Crash recovery that re-lands the last already-landed block.
 
@@ -493,6 +550,8 @@ _MUTANTS = {
     "double-count-after-shrink": _mutant_double_count,
     "worker-reorders-cohort-landing": _mutant_engine_landing,
     "worker-uses-wrong-stream-offset": _mutant_engine_offset,
+    "worker-writes-overlapping-arena-extent": _mutant_arena_overlap,
+    "fused-counter-drops-block": _mutant_fused_drop,
     "replay-lands-block-twice": _mutant_replay_overlap,
     "resume-skips-cursor": _mutant_resume_skip,
     "speculative-result-raced-in-wrong-order": _mutant_spec_order,

@@ -133,6 +133,26 @@ def check_supervised_equivalence(
                 "never actually fired",
             )
 
+    # -- arena growth under supervision: crash replay into fresh extents -
+    # A 4 KiB first output-arena segment forces the growable-segment
+    # path while a worker is killed mid-run: replayed blocks must land
+    # from freshly reserved extents with the bytes unchanged.
+    with SupervisedSamplingEngine(
+        graph, model, workers=workers, chunk_size=chunk,
+        backoff_base=0.0, arena_bytes=4096, fault_plan="crash:0@2",
+    ) as eng:
+        sub = f"{subject} supervised[arena=4KiB, crash:0@2]"
+        rep.merge(check_supervised_sampling(
+            graph, model, theta, seed, sub, engine=eng,
+        ))
+        rep.check(
+            eng.stats.arena_segments >= 2,
+            "supervised.arena-growth",
+            sub,
+            f"tiny first arena segment did not grow under supervision "
+            f"(segments={eng.stats.arena_segments})",
+        )
+
     # -- straggler: injected sleep must trigger (winning) speculation ----
     with engine(
         fault_plan="straggler:3x4", straggler_sleep=0.15,

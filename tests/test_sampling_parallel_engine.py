@@ -35,7 +35,11 @@ from repro.sampling import (
     SortedRRRCollection,
     WorkerCrashError,
 )
-from repro.sampling.parallel_engine import PARALLEL_COUNT_THRESHOLD
+from repro.sampling.parallel_engine import (
+    DESCRIPTOR_BYTE_BUDGET,
+    PARALLEL_COUNT_THRESHOLD,
+    AdaptiveChunkPolicy,
+)
 
 THETA = 400
 
@@ -158,6 +162,127 @@ class TestStartMethods:
             assert np.array_equal(a, b)
 
 
+class TestAdaptiveChunkPolicy:
+    """Probe-then-grow sizing is scheduling-only, so these are pure
+    unit tests: probe size, fair-share cap, and monotone bounded growth.
+    """
+
+    def test_probe_size_and_cap(self):
+        pol = AdaptiveChunkPolicy(6400, 2)
+        assert pol.initial == pol.size == max(32, 6400 // (16 * 2))
+        assert pol.cap == 3200
+
+    def test_tiny_total_clamps_to_cap(self):
+        pol = AdaptiveChunkPolicy(10, 4)
+        assert pol.cap == 3  # ceil(10 / 4): late planning still spans the pool
+        assert pol.size == 3  # the probe floor is clamped down to the cap
+
+    def test_growth_is_monotone_and_bounded(self):
+        pol = AdaptiveChunkPolicy(100_000, 2, target_seconds=0.25, growth=2.0)
+        start = pol.size
+        pol.observe(start, 1e-3)  # blazing fast block wants a huge size...
+        assert pol.size == start * 2  # ...but one step grows at most ×2
+        grown = pol.size
+        pol.observe(grown, 10.0)  # a slow block must never shrink the size
+        assert pol.size == grown
+        pol.observe(0, 1.0)  # degenerate observations are ignored
+        pol.observe(5, 0.0)
+        assert pol.size == grown
+
+    def test_never_exceeds_cap(self):
+        pol = AdaptiveChunkPolicy(1000, 4)
+        for _ in range(20):
+            pol.observe(pol.size, 1e-9)
+        assert pol.size == pol.cap == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveChunkPolicy(-1, 2)
+        with pytest.raises(ValueError):
+            AdaptiveChunkPolicy(100, 0)
+
+
+@pytest.mark.parallel
+class TestOutputArena:
+    """Shared-memory output arena: growth, lifecycle, descriptor size,
+    and the fused-counter merge that rides in the same worker pass.
+    """
+
+    def test_tiny_arena_grows_and_stays_bitwise(self, ba_graph):
+        """A 4 KiB first segment cannot hold θ samples: the growable-
+        segment escape hatch must fire without changing a byte."""
+        ref = _reference(ba_graph, "IC", THETA, seed=3)
+        with ParallelSamplingEngine(
+            ba_graph, "IC", workers=2, arena_bytes=4096
+        ) as eng:
+            got = _drive(eng, ba_graph, THETA, seed=3, chunk_size=50)
+            assert eng.stats.arena_segments >= 2
+        for a, b in zip(got, ref):
+            assert np.array_equal(a, b)
+
+    def test_arena_unlinked_on_success(self, ba_graph):
+        eng = ParallelSamplingEngine(ba_graph, "IC", workers=2)
+        coll = SortedRRRCollection(ba_graph.n)
+        eng.sample_into(coll, np.arange(200, dtype=np.int64), 3)
+        names = [rec["seg"].name for rec in eng._arena]
+        assert names  # the run really wrote through an arena segment
+        eng.close()
+        for name in names:  # unlinked: attaching must fail
+            with pytest.raises(FileNotFoundError):
+                _shm.SharedMemory(name=name)
+
+    def test_arena_unlinked_on_worker_crash(self, ba_graph):
+        """The crash path must unlink every arena segment, including
+        growth segments allocated mid-run (4 KiB start forces them)."""
+        eng = ParallelSamplingEngine(
+            ba_graph, "IC", workers=2, chunk_size=50,
+            arena_bytes=4096, _crash_block=1,
+        )
+        names: list[str] = []
+        orig = eng._new_arena_segment
+
+        def spy(min_bytes):
+            out = orig(min_bytes)
+            names.append(eng._arena[-1]["seg"].name)
+            return out
+
+        eng._new_arena_segment = spy
+        coll = SortedRRRCollection(ba_graph.n)
+        with pytest.raises(WorkerCrashError):
+            eng.sample_into(coll, np.arange(200, dtype=np.int64), 3)
+        assert eng.closed and names
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                _shm.SharedMemory(name=name)
+
+    def test_descriptor_stays_within_byte_budget(self, ba_graph):
+        """Workers return tiny descriptors, not pickled payloads: the
+        per-block IPC bytes must stay under the fixed budget."""
+        with ParallelSamplingEngine(ba_graph, "IC", workers=2) as eng:
+            _drive(eng, ba_graph, THETA, seed=3, chunk_size=50)
+            s = eng.stats
+            assert s.blocks_landed > 0
+            assert s.arena_overflows == 0  # nothing rode back inline
+            assert s.ipc_descriptor_bytes / s.blocks_landed <= DESCRIPTOR_BYTE_BUDGET
+
+    def test_fused_merge_equals_bincount(self, ba_graph):
+        with ParallelSamplingEngine(ba_graph, "IC", workers=2) as eng:
+            coll = SortedRRRCollection(ba_graph.n)
+            eng.sample_into(coll, np.arange(THETA, dtype=np.int64), 3)
+            flat, _, _ = coll.flattened()
+            expect = np.bincount(flat, minlength=ba_graph.n)
+            counts = eng.count_partitioned(flat, ba_graph.n)
+            assert np.array_equal(counts, expect)
+            assert eng.stats.fused_count_merges == 1
+            # A pool rebuild wipes the worker counter rows, so the fused
+            # path must refuse and fall back — still the exact answer.
+            eng.rebuild_pool()
+            assert eng.stats.fused_invalidations >= 1
+            counts = eng.count_partitioned(flat, ba_graph.n)
+            assert np.array_equal(counts, expect)
+            assert eng.stats.fused_count_merges == 1  # no second merge
+
+
 @pytest.mark.parallel
 class TestFailureModes:
     def test_worker_crash_raises_typed_error_and_unlinks(self, ba_graph):
@@ -202,7 +327,8 @@ class TestFailureModes:
             "from repro.sampling import ParallelSamplingEngine, SortedRRRCollection\n"
             "if __name__ == '__main__':\n"
             "    g = uniform_random_weights(barabasi_albert(200, 3, seed=7), seed=3)\n"
-            "    with ParallelSamplingEngine(g, 'IC', workers=2) as eng:\n"
+            "    # 4 KiB arena: growth segments must be tracked and unlinked too\n"
+            "    with ParallelSamplingEngine(g, 'IC', workers=2, arena_bytes=4096) as eng:\n"
             "        coll = SortedRRRCollection(g.n)\n"
             "        eng.sample_into(coll, np.arange(150, dtype=np.int64), 1)\n"
             "    print('OK', len(coll))\n"

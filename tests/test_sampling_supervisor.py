@@ -32,6 +32,7 @@ import time
 
 import numpy as np
 import pytest
+from multiprocessing import shared_memory as _shm
 
 from repro.imm import DegradedResult, imm
 from repro.sampling import (
@@ -174,16 +175,42 @@ class TestInjectedFaults:
             assert eng.stats.speculative_launched >= 1
         _assert_bitwise(got, ref)
 
+    def test_arena_growth_under_crash_replay_bitexact(self, ba_graph):
+        """A 4 KiB first arena segment plus a mid-run kill: replayed
+        blocks land from freshly reserved extents, bytes unchanged."""
+        ref = _reference(ba_graph, "IC", THETA, seed=3)
+        with SupervisedSamplingEngine(
+            ba_graph, "IC", workers=2, chunk_size=29, backoff_base=0.0,
+            arena_bytes=4096, fault_plan="crash:0@2",
+        ) as eng:
+            got = _drive(eng, ba_graph, THETA, seed=3)
+            assert eng.stats.arena_segments >= 2
+            assert eng.stats.injected_crashes == 1
+        _assert_bitwise(got, ref)
+
     def test_crash_budget_exhaustion_cleans_up(self, ba_graph, tmp_path):
         ck = tmp_path / "run"
         eng = SupervisedSamplingEngine(
             ba_graph, "IC", workers=2, chunk_size=29, backoff_base=0.0,
             crash_budget=0, fault_plan="crash:0@1", checkpoint_dir=ck,
         )
+        arena_names: list[str] = []
+        new_segment = eng._new_arena_segment
+
+        def spy(min_bytes):
+            out = new_segment(min_bytes)
+            arena_names.append(eng._arena[-1]["seg"].name)
+            return out
+
+        eng._new_arena_segment = spy
         coll = SortedRRRCollection(ba_graph.n)
         with pytest.raises(CrashBudgetExhaustedError, match="budget"):
             eng.sample_into(coll, np.arange(THETA, dtype=np.int64), 3)
         assert eng.closed  # exhaustion closes pools, spares, and shm
+        assert arena_names  # the run really allocated output arena
+        for name in arena_names:  # unlinked on the typed-error path too
+            with pytest.raises(FileNotFoundError):
+                _shm.SharedMemory(name=name)
         # the checkpoint directory survives, consistent, no temp litter
         assert not list(ck.glob("*.tmp"))
         sink = BlockCheckpointSink(ck, n=ba_graph.n, model="IC", seed=3,

@@ -26,6 +26,8 @@ EXPECTED_MUTANTS = {
     "double-count-after-shrink",
     "worker-reorders-cohort-landing",
     "worker-uses-wrong-stream-offset",
+    "worker-writes-overlapping-arena-extent",
+    "fused-counter-drops-block",
     "replay-lands-block-twice",
     "resume-skips-cursor",
     "speculative-result-raced-in-wrong-order",
