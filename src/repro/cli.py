@@ -18,7 +18,13 @@ Subcommands mirror the tool surface the paper's framework exposes:
 * ``repro-imm experiment`` — same as ``python -m repro.experiments``;
 * ``repro-imm validate`` — the cross-implementation equivalence oracle
   (``--quick``/``--full``, shardable via ``--shard i/m``) and its
-  mutation-test mode (``--mutate``).
+  mutation-test mode (``--mutate``);
+* ``repro-imm freeze`` — sample once and freeze a persistent RRR index
+  (``--out DIR``) that later queries serve from without resampling;
+* ``repro-imm query`` — influence queries against a frozen index:
+  ``top_k`` (any ``--k``/``--eps``, bit-identical to a fresh run),
+  ``--tighten``, ``--forced``/``--excluded`` what-ifs and ``--marginal``
+  spread estimates.
 
 Graphs come from the dataset registry (``--dataset``), SNAP edge lists
 (``--edgelist``), METIS files (``--metis``) or MatrixMarket coordinate
@@ -300,6 +306,89 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if (status or not report.ok) else 0
 
 
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    from .serving import freeze_index
+
+    graph = _load_graph(args)
+    index, res = freeze_index(
+        graph, args.k, args.eps, args.model, args.seed,
+        theta_cap=args.theta_cap, out_dir=args.out,
+    )
+    try:
+        mf = index.manifest
+        nbytes = mf["entries"] * 4 + mf["num_samples"] * 16
+        print(
+            f"frozen: {mf['num_samples']} samples, {mf['entries']} entries "
+            f"({nbytes / 1e6:.2f} MB) -> {index.path}"
+        )
+        print(
+            f"  theta={res.theta} rounds={res.estimation_rounds}"
+            f" edges_examined={res.edges_examined}"
+            f" sample_seconds={res.seconds:.4f}"
+        )
+        print(f"seeds: {' '.join(map(str, res.seeds.tolist()))}")
+    finally:
+        index.close()
+    return 0
+
+
+def _parse_ids(text: str | None) -> tuple[int, ...]:
+    return tuple(int(x) for x in text.split(",")) if text else ()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serving import FrozenRRRIndex, InfluenceQueryEngine
+
+    graph = _load_graph(args) if (args.dataset or args.edgelist
+                                  or args.metis or args.mtx) else None
+    index = FrozenRRRIndex.open(args.index, graph=graph)
+    try:
+        engine = InfluenceQueryEngine(index, graph=graph, verify=False)
+        mf = index.manifest
+        print(
+            f"index: {mf['num_samples']} samples, model={mf['model']}"
+            f" seed={mf['seed']} frozen at k={mf['k']} eps={mf['eps']}"
+        )
+        if args.marginal:
+            seed_set = np.asarray(_parse_ids(args.marginal), dtype=np.int64)
+            mg = engine.marginal_gain(seed_set)
+            print(
+                f"spread({seed_set.tolist()}) = {mg.spread:.1f}"
+                f" ({mg.covered_samples}/{mg.num_samples} samples covered)"
+            )
+            best = np.argsort(mg.gains)[::-1][: args.k or 10]
+            print("top marginal gains:")
+            for v in best:
+                print(f"  +{int(v):8d}  {mg.gains[v]:10.1f}")
+            return 0
+        if args.forced or args.excluded:
+            res = engine.what_if(
+                args.k, forced=_parse_ids(args.forced),
+                excluded=_parse_ids(args.excluded),
+            )
+        elif args.tighten is not None:
+            res = engine.tighten(args.tighten, k=args.k)
+        else:
+            res = engine.top_k(args.k, args.eps)
+        print(
+            f"k={res.k} eps={res.epsilon:g} theta={res.theta}"
+            f" samples_used={res.num_samples_used}"
+            f" coverage={res.coverage:.4f} in {res.seconds:.4f}s"
+        )
+        if res.served_from_index:
+            print("  served entirely from the frozen index (0 edges examined)")
+        else:
+            print(
+                f"  extended the index: +{res.samples_added} samples"
+                f" ({res.samples_reused} reused),"
+                f" {res.edges_examined} edges examined"
+            )
+        print(f"seeds: {' '.join(map(str, res.seeds.tolist()))}")
+    finally:
+        index.close()
+    return 0
+
+
 def _cmd_dist(args: argparse.Namespace) -> int:
     import json
 
@@ -509,6 +598,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_va.add_argument("--seed", type=int, default=None, help="oracle master seed")
     p_va.set_defaults(func=_cmd_validate)
+
+    p_fr = sub.add_parser(
+        "freeze", help="sample once and freeze a persistent RRR query index"
+    )
+    _add_graph_args(p_fr)
+    p_fr.add_argument("--k", type=int, default=20)
+    p_fr.add_argument("--eps", type=float, default=0.5)
+    p_fr.add_argument("--theta-cap", type=int, default=None)
+    p_fr.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory to write the frozen index into",
+    )
+    p_fr.set_defaults(func=_cmd_freeze)
+
+    p_qu = sub.add_parser(
+        "query", help="influence queries against a frozen index (no resampling)"
+    )
+    p_qu.add_argument(
+        "--index", required=True, metavar="DIR",
+        help="frozen index directory written by `repro-imm freeze`",
+    )
+    qsrc = p_qu.add_mutually_exclusive_group()
+    qsrc.add_argument(
+        "--dataset", choices=names(),
+        help="attach the graph (fingerprint-verified; enables queries "
+        "that must extend the index)",
+    )
+    qsrc.add_argument("--edgelist", help="path to a SNAP-style edge list")
+    qsrc.add_argument("--metis", help="path to a METIS graph file")
+    qsrc.add_argument("--mtx", help="path to a MatrixMarket coordinate file")
+    p_qu.add_argument(
+        "--model", choices=("IC", "LT"), default="IC",
+        help="diffusion model for --edgelist/--metis/--mtx loading",
+    )
+    p_qu.add_argument("--k", type=int, default=None, help="default: frozen k")
+    p_qu.add_argument(
+        "--eps", type=float, default=None, help="default: frozen eps"
+    )
+    p_qu.add_argument(
+        "--tighten", type=float, default=None, metavar="EPS",
+        help="re-derive at a tighter eps, extending the index in place",
+    )
+    p_qu.add_argument(
+        "--forced", default=None, metavar="IDS",
+        help="comma-separated vertices seated first (what-if query)",
+    )
+    p_qu.add_argument(
+        "--excluded", default=None, metavar="IDS",
+        help="comma-separated vertices never picked (what-if query)",
+    )
+    p_qu.add_argument(
+        "--marginal", default=None, metavar="IDS",
+        help="estimate the spread of this seed set and per-vertex gains",
+    )
+    p_qu.set_defaults(func=_cmd_query)
 
     p_di = sub.add_parser(
         "dist",

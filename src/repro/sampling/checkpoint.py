@@ -285,17 +285,37 @@ class BlockCheckpointSink:
         sizes_all = np.fromfile(
             self.run_dir / _SIZES, dtype=np.int64, count=self.landed
         )
+        if len(sizes_all) != self.landed:
+            raise CheckpointError(
+                f"{_SIZES} short read: got {len(sizes_all)} of "
+                f"{self.landed} certified sample sizes"
+            )
         offsets = np.zeros(self.landed + 1, dtype=np.int64)
         np.cumsum(sizes_all, out=offsets[1:])
+        # A bare fh.read(n) may legally return fewer than n bytes, and
+        # np.frombuffer would then silently hand back a truncated array
+        # that corrupts the resumed prefix; np.fromfile with count= plus
+        # an explicit element-count check turns the same condition into a
+        # hard CheckpointError.
+        want_flat = int(offsets[hi] - offsets[lo])
         with open(self.run_dir / _FLAT, "rb") as fh:
             fh.seek(int(offsets[lo]) * 4)
-            flat = np.frombuffer(
-                fh.read(int(offsets[hi] - offsets[lo]) * 4), dtype=np.int32
+            flat = np.fromfile(fh, dtype=np.int32, count=want_flat)
+        if len(flat) != want_flat:
+            raise CheckpointError(
+                f"{_FLAT} short read: got {len(flat)} of {want_flat} "
+                f"entries for samples [{lo}, {hi}) — the spill is torn "
+                "below its own cursor"
             )
         with open(self.run_dir / _EDGES, "rb") as fh:
             fh.seek(lo * 8)
-            edges = np.frombuffer(fh.read((hi - lo) * 8), dtype=np.int64)
-        return flat.copy(), sizes_all[lo:hi].copy(), edges.copy()
+            edges = np.fromfile(fh, dtype=np.int64, count=hi - lo)
+        if len(edges) != hi - lo:
+            raise CheckpointError(
+                f"{_EDGES} short read: got {len(edges)} of {hi - lo} "
+                f"edge meters for samples [{lo}, {hi})"
+            )
+        return flat, sizes_all[lo:hi].copy(), edges
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -316,10 +336,20 @@ class BlockCheckpointSink:
             except OSError:  # pragma: no cover - best-effort teardown
                 pass
         self._files = {}
+        removed = False
         for name in (_MANIFEST, _CURSOR):
             tmp = self.run_dir / (name + ".tmp")
             if tmp.exists():
                 tmp.unlink()
+                removed = True
+        if removed:
+            # The unlink itself is a directory mutation: without a
+            # directory fsync a crash right after close() can resurrect
+            # the stale .tmp next to the real file on some filesystems.
+            try:
+                _fsync_dir(self.run_dir)
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
 
     def __enter__(self) -> "BlockCheckpointSink":
         return self

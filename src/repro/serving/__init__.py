@@ -1,0 +1,43 @@
+"""The influence-query serving layer: freeze once, serve forever.
+
+RRR sampling dominates IMM cost (the paper's premise); a production
+service answering many queries — different ``k``, eps-tightening,
+what-if seed sets — should pay it once.  This subpackage provides:
+
+* :class:`FrozenRRRIndex` — the write-ahead checkpoint spill promoted to
+  a versioned, memory-mappable index format with a stream-fingerprint
+  integrity seal and a graph fingerprint binding it to its instance
+  (:mod:`repro.serving.frozen`).
+* :class:`InfluenceQueryEngine` — ``top_k`` / ``marginal_gain`` /
+  ``what_if`` / ``tighten`` served from the mapped bytes via CELF lazy
+  re-selection, bit-identical to a fresh ``imm()`` run by replaying the
+  θ-estimation control flow over index prefixes
+  (:mod:`repro.serving.query`).
+* :class:`IndexCache` — an LRU of open per-``(graph, model, eps)``
+  indices (:mod:`repro.serving.cache`).
+
+CLI: ``repro-imm freeze`` / ``repro-imm query``.
+"""
+
+from .cache import IndexCache
+from .frozen import (
+    FrozenCollectionView,
+    FrozenIndexError,
+    FrozenRRRIndex,
+    StaleIndexError,
+    graph_fingerprint,
+)
+from .query import InfluenceQueryEngine, MarginalGains, ServingResult, freeze_index
+
+__all__ = [
+    "FrozenRRRIndex",
+    "FrozenCollectionView",
+    "FrozenIndexError",
+    "StaleIndexError",
+    "graph_fingerprint",
+    "InfluenceQueryEngine",
+    "ServingResult",
+    "MarginalGains",
+    "freeze_index",
+    "IndexCache",
+]

@@ -1,0 +1,99 @@
+"""LRU of open frozen indices, keyed by ``(graph, model, eps)``.
+
+A serving process answers queries for many instances; each open index
+costs mapped address space plus the derived ``indptr`` / ``sample_of`` /
+vertex-position arrays.  The cache bounds that footprint: at most
+``capacity`` indices stay open, evicting the least recently used (its
+memmaps are closed; the on-disk index is untouched and reopens on the
+next request).
+
+Keys are the *identity* of the frozen instance — the graph fingerprint
+(falling back to the resolved path for indices frozen without a graph),
+the diffusion model, and the manifest ``eps`` — read fresh from the tiny
+manifest JSON on every request, so a ``tighten`` that amends the
+manifest in place re-keys the entry instead of leaving a stale alias.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from .frozen import FrozenIndexError, FrozenRRRIndex
+from .query import InfluenceQueryEngine
+
+__all__ = ["IndexCache"]
+
+
+class IndexCache:
+    """Bounded pool of :class:`InfluenceQueryEngine` instances."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("cache needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, InfluenceQueryEngine]" = OrderedDict()
+        self._key_of_path: dict[Path, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(path: Path) -> tuple:
+        try:
+            manifest = json.loads((path / "INDEX.json").read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FrozenIndexError(
+                f"unreadable index manifest under {path}: {exc}"
+            ) from exc
+        identity = manifest.get("graph_fingerprint") or str(path)
+        return (identity, manifest.get("model"), manifest.get("eps"))
+
+    def engine(self, path: str | Path, *, graph=None) -> InfluenceQueryEngine:
+        """Return the (cached) engine for the index at ``path``.
+
+        ``graph`` is forwarded on open (fingerprint-verified, enables
+        extension) and attached to a cached engine that was opened
+        without one.
+        """
+        path = Path(path).resolve()
+        key = self._key(path)
+        stale = self._key_of_path.get(path)
+        if stale is not None and stale != key:
+            # tighten() amended the manifest: drop the old-key alias.
+            old = self._entries.pop(stale, None)
+            if old is not None:
+                old.index.close()
+            del self._key_of_path[path]
+        engine = self._entries.get(key)
+        if engine is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            if graph is not None and engine.graph is None:
+                engine.index.verify_graph(graph)
+                engine.graph = graph
+            return engine
+        self.misses += 1
+        index = FrozenRRRIndex.open(path, graph=graph)
+        engine = InfluenceQueryEngine(index, graph=graph, verify=False)
+        self._entries[key] = engine
+        self._key_of_path[path] = key
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            evicted.index.close()
+            self.evictions += 1
+            self._key_of_path = {
+                p: k for p, k in self._key_of_path.items() if k in self._entries
+            }
+        return engine
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        """Close every open index (idempotent)."""
+        for engine in self._entries.values():
+            engine.index.close()
+        self._entries.clear()
+        self._key_of_path.clear()

@@ -1,0 +1,544 @@
+"""Influence queries against a frozen RRR index — no resampling.
+
+The paper's premise is that RRR sampling dominates IMM cost; the serving
+layer amortizes it.  :func:`freeze_index` runs the sampling once —
+exactly Algorithm 1's control flow — and freezes the collection with its
+algorithm facts; :class:`InfluenceQueryEngine` then answers ``top_k``,
+``marginal_gain``, ``what_if`` and ``tighten`` queries from the mapped
+bytes.
+
+**Bit-identity by prefix replay.**  A fresh ``imm(graph, k, eps)`` is a
+deterministic function of its arguments: the θ-estimation doubling
+search selects over the *first* ``θ_x`` samples each round, accepts at
+some coverage, and the final selection runs over ``max(θ_x_last, θ)``
+samples — where sample ``j`` is itself a pure function of ``(graph,
+model, seed, j)``.  The engine therefore replays that exact control flow
+against *prefix views* of the frozen collection: every per-round
+selection happens over the same samples the fresh run would have drawn,
+so the answer is bit-identical for **any** ``(k, eps)`` — not just the
+pair the index was frozen with.  When a query's ``θ_x`` or ``θ`` exceeds
+the frozen sample count, the deterministic streams let the engine extend
+the index tail in place (old samples stay valid; θ grows monotonically);
+queries that fit inside the index touch **zero** graph edges, which the
+oracle's edge-meter assertion enforces.
+
+**CELF lazy selection.**  Per-query greedy re-selection uses
+Leskovec-style lazy evaluation over ``select_seeds_sorted``'s coverage
+structures (the vertex→positions index, the alive-sample mask): a
+max-heap of stale upper bounds, re-evaluating only the popped vertex.
+Coverage gains are monotone non-increasing as seeds are added
+(submodularity), so a re-evaluated top-of-heap is the true argmax; the
+heap orders ties by vertex id, reproducing the argmax selector's
+smallest-id tie-break exactly — a property the test suite asserts
+against :func:`~repro.imm.select.select_seeds_sorted` directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..diffusion import DiffusionModel
+from ..imm.select import select_seeds
+from ..imm.theta import (
+    _inflated_l,
+    estimate_theta,
+    lambda_prime,
+    lambda_star,
+    validate_eps,
+)
+from ..sampling import BatchedRRRSampler, SortedRRRCollection, sample_batch
+from .frozen import FrozenIndexError, FrozenRRRIndex
+
+__all__ = ["InfluenceQueryEngine", "ServingResult", "MarginalGains", "freeze_index"]
+
+
+@dataclass
+class ServingResult:
+    """Answer to one serving query, with its no-resampling accounting.
+
+    ``edges_examined`` and ``samples_added`` are both zero when the query
+    was answered entirely from the frozen index — the serving layer's
+    core claim, asserted by the oracle's edge meter.  ``samples_reused``
+    counts how many of the samples the answer used were already frozen
+    before the query ran (for a ``tighten``, all previously landed
+    samples by construction).
+    """
+
+    seeds: np.ndarray
+    k: int
+    epsilon: float
+    model: str
+    theta: int
+    num_samples_used: int
+    coverage: float
+    lb: float
+    estimation_rounds: int
+    coverage_history: list[tuple[int, float]] = field(default_factory=list)
+    samples_added: int = 0
+    samples_reused: int = 0
+    edges_examined: int = 0
+    seconds: float = 0.0
+
+    @property
+    def served_from_index(self) -> bool:
+        return self.samples_added == 0
+
+
+@dataclass
+class MarginalGains:
+    """Coverage-estimated spread of a seed set plus per-vertex marginals.
+
+    ``spread`` is the standard RRR estimator ``n · F_R(S)``; ``gains[v]``
+    is the estimated spread *increase* from adding ``v`` to the set.
+    """
+
+    spread: float
+    covered_samples: int
+    num_samples: int
+    gains: np.ndarray  # n-length float64, 0 for vertices already in the set
+
+
+def freeze_index(
+    graph,
+    k: int,
+    eps: float,
+    model: DiffusionModel | str = DiffusionModel.IC,
+    seed: int = 0,
+    l: float = 1.0,
+    *,
+    theta_cap: int | None = None,
+    out_dir: str | Path,
+) -> tuple[FrozenRRRIndex, ServingResult]:
+    """Sample once (Algorithm 1's exact control flow) and freeze.
+
+    The frozen manifest records everything the replay needs — ``(n,
+    model, seed, k, eps, l, theta_cap)`` plus the derived ``(theta, lb,
+    coverage_history)`` — and the per-sample examined-edge meters ride
+    along so serving-time extensions account work the same way fresh
+    sampling does.
+    """
+    model = DiffusionModel.parse(model)
+    t0 = time.perf_counter()
+    collection = SortedRRRCollection(graph.n)
+    trace: list = []
+    est = estimate_theta(
+        graph, k, eps, model, seed, l,
+        collection=collection, theta_cap=theta_cap, trace=trace,
+    )
+    batch = sample_batch(graph, model, collection, est.theta, seed)
+    per_edges = np.concatenate(
+        [np.asarray(b.per_sample_edges, dtype=np.int64)
+         for kind, b in trace if kind == "sample"]
+        + [np.asarray(batch.per_sample_edges, dtype=np.int64)]
+    ) if trace or batch.count else np.empty(0, dtype=np.int64)
+    if len(per_edges) != len(collection):
+        raise RuntimeError(
+            f"edge-meter capture covers {len(per_edges)} samples, "
+            f"collection holds {len(collection)}"
+        )
+    sel = select_seeds(collection, graph.n, k)
+    index = FrozenRRRIndex.freeze(
+        collection, out_dir,
+        graph=graph, model=model.value, seed=seed,
+        k=k, eps=eps, l=l,
+        theta=est.theta, lb=est.lb, theta_cap=theta_cap,
+        coverage_history=est.coverage_history,
+        estimation_rounds=est.rounds,
+        edges=per_edges,
+    )
+    res = ServingResult(
+        seeds=sel.seeds,
+        k=k,
+        epsilon=eps,
+        model=model.value,
+        theta=est.theta,
+        num_samples_used=len(collection),
+        coverage=sel.coverage_fraction(len(collection)),
+        lb=est.lb,
+        estimation_rounds=est.rounds,
+        coverage_history=list(est.coverage_history),
+        samples_added=len(collection),
+        samples_reused=0,
+        edges_examined=int(per_edges.sum()),
+        seconds=time.perf_counter() - t0,
+    )
+    return index, res
+
+
+class InfluenceQueryEngine:
+    """Serve influence queries from one frozen index.
+
+    Parameters
+    ----------
+    index:
+        An open :class:`FrozenRRRIndex`.
+    graph:
+        The graph the index was frozen against.  Verified against the
+        frozen fingerprint (raising
+        :class:`~repro.serving.frozen.StaleIndexError` on mismatch) and
+        required only when a query must extend the index; pure in-index
+        queries work without it.
+    """
+
+    def __init__(self, index: FrozenRRRIndex, graph=None, *, verify: bool = True,
+                 _mutate_stream_restart: bool = False) -> None:
+        if graph is not None and verify:
+            index.verify_graph(graph)
+        self.index = index
+        self.graph = graph
+        self._sampler = None
+        self._vert_order: np.ndarray | None = None
+        self._vert_indptr: np.ndarray | None = None
+        #: cumulative edges examined by serving-time extensions.
+        self.edges_examined = 0
+        # Test hook for the tighten-reuses-wrong-stream-offset mutant:
+        # extension draws streams [0, count) instead of [start, target).
+        self._mutate_stream_restart = _mutate_stream_restart
+
+    # -- coverage structures ----------------------------------------------
+
+    def _vertex_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex → flat-entry positions, grouped (stable, so positions
+        ascend within each vertex — prefix cuts are one searchsorted)."""
+        if self._vert_order is None:
+            flat, _, _ = self.index.arrays()
+            self._vert_order = np.argsort(flat, kind="stable")
+            counts = np.bincount(flat, minlength=self.index.n)
+            vert_indptr = np.zeros(self.index.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=vert_indptr[1:])
+            self._vert_indptr = vert_indptr
+        return self._vert_order, self._vert_indptr
+
+    def _invalidate(self) -> None:
+        self._vert_order = None
+        self._vert_indptr = None
+
+    # -- sampling-on-demand ------------------------------------------------
+
+    def _ensure_samples(self, target: int, allow_extend: bool) -> tuple[int, int]:
+        """Grow the index to ``target`` samples; return (added, edges)."""
+        idx = self.index
+        if target <= idx.num_samples:
+            return 0, 0
+        if not allow_extend or self.graph is None:
+            raise FrozenIndexError(
+                f"query needs {target} samples but the index holds "
+                f"{idx.num_samples} and no graph is attached to extend it"
+            )
+        start = idx.num_samples
+        if self._sampler is None:
+            self._sampler = BatchedRRRSampler(self.graph, idx.model)
+        coll = SortedRRRCollection(idx.n)
+        if self._mutate_stream_restart:
+            indices = np.arange(0, target - start, dtype=np.int64)
+        else:
+            indices = np.arange(start, target, dtype=np.int64)
+        per_sample = self._sampler.sample_into(coll, indices, idx.seed)
+        flat, indptr, _ = coll.flattened()
+        idx.extend(
+            flat.astype(np.int32), np.diff(indptr), per_sample, start=start
+        )
+        self._invalidate()
+        edges = int(per_sample.sum())
+        self.edges_examined += edges
+        return target - start, edges
+
+    # -- CELF lazy greedy --------------------------------------------------
+
+    def _celf_select(
+        self,
+        num_samples: int,
+        k: int,
+        *,
+        forced: tuple[int, ...] = (),
+        excluded: tuple[int, ...] = (),
+    ) -> tuple[np.ndarray, int]:
+        """Greedy max-cover over the first ``num_samples`` samples.
+
+        Bit-identical to :func:`~repro.imm.select.select_seeds_sorted`
+        on the same prefix (same seeds, same covered count, same
+        smallest-id tie-break), but lazy: only popped vertices are
+        re-evaluated, so a warm query touches a tiny fraction of the
+        counter array.  ``forced`` vertices are seated first (in the
+        given order); ``excluded`` vertices never enter the heap.
+        """
+        n = self.index.n
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        flat, indptr, sample_of = self.index.arrays()
+        m = int(num_samples)
+        entries_m = int(indptr[m])
+        vert_order, vert_indptr = self._vertex_index()
+        alive = np.ones(m, dtype=bool)
+        taken = np.zeros(n, dtype=bool)
+        seeds: list[int] = []
+        covered = 0
+
+        def hits_of(v: int) -> np.ndarray:
+            pos = vert_order[vert_indptr[v] : vert_indptr[v + 1]]
+            cut = int(np.searchsorted(pos, entries_m))
+            return sample_of[pos[:cut]]
+
+        for v in forced:
+            v = int(v)
+            if not 0 <= v < n:
+                raise ValueError(f"forced vertex {v} out of range")
+            if taken[v]:
+                continue
+            taken[v] = True
+            seeds.append(v)
+            hits = hits_of(v)
+            killed = hits[alive[hits]]
+            covered += len(killed)
+            alive[killed] = False
+        if len(seeds) > k:
+            raise ValueError(f"{len(seeds)} forced vertices exceed k={k}")
+
+        for v in excluded:
+            v = int(v)
+            if taken[v]:
+                raise ValueError(f"vertex {v} is both forced and excluded")
+            taken[v] = True  # never enters the heap
+
+        if len(seeds) < k:
+            # Initial gains: membership counts over the prefix, minus
+            # anything the forced set already covered.
+            if covered:
+                mask = alive[sample_of[:entries_m]]
+                counters = np.bincount(flat[:entries_m][mask], minlength=n)
+            else:
+                counters = np.bincount(flat[:entries_m], minlength=n)
+            stamp0 = len(seeds)
+            heap = [
+                (-int(counters[v]), v, stamp0)
+                for v in range(n)
+                if not taken[v]
+            ]
+            heapq.heapify(heap)
+            while len(seeds) < k:
+                if not heap:
+                    raise ValueError(
+                        f"cannot seat {k} seeds: only {len(seeds)} candidates"
+                    )
+                neg_gain, v, stamp = heapq.heappop(heap)
+                if taken[v]:
+                    continue
+                hits = hits_of(v)
+                if stamp != len(seeds):
+                    # Stale bound: re-evaluate and re-queue.  Gains only
+                    # shrink, so a fresh top-of-heap is the true argmax.
+                    gain = int(np.count_nonzero(alive[hits]))
+                    heapq.heappush(heap, (-gain, v, len(seeds)))
+                    continue
+                taken[v] = True
+                seeds.append(v)
+                killed = hits[alive[hits]]
+                covered += len(killed)
+                alive[killed] = False
+        return np.asarray(seeds, dtype=np.int64), covered
+
+    # -- the estimation replay ---------------------------------------------
+
+    def _replay(self, k: int, eps: float, *, allow_extend: bool) -> dict:
+        """Replay ``imm``'s θ-estimation + final selection over prefixes.
+
+        Mirrors :func:`repro.imm.theta._estimate_theta_loop` exactly —
+        same constants, same acceptance test, same cap semantics — with
+        the sampling calls replaced by index-prefix materialization.
+        Keeping the two in lockstep is what the serving oracle's
+        bit-identity axis checks on every registry graph.
+        """
+        idx = self.index
+        n = idx.n
+        if n < 2:
+            raise ValueError(f"IMM needs at least 2 vertices, got n={n}")
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        validate_eps(eps)
+        l = float(idx.manifest["l"])
+        cap = idx.manifest.get("theta_cap")
+        l_eff = _inflated_l(n, l)
+        eps_p = math.sqrt(2.0) * eps
+        lam_p = lambda_prime(n, k, eps, l_eff)
+        lam_s = lambda_star(n, k, eps, l_eff)
+
+        lb = 1.0
+        history: list[tuple[int, float]] = []
+        rounds = 0
+        added = edges = 0
+        theta_x = 0
+        max_x = max(1, int(math.ceil(math.log2(n))) - 1)
+        for x in range(1, max_x + 1):
+            rounds += 1
+            y = n / (2.0**x)
+            theta_x = int(math.ceil(lam_p / y))
+            if cap is not None:
+                theta_x = min(theta_x, cap)
+            a, e = self._ensure_samples(theta_x, allow_extend)
+            added += a
+            edges += e
+            _, covered = self._celf_select(theta_x, k)
+            frac = covered / max(theta_x, 1)
+            history.append((theta_x, frac))
+            if n * frac >= (1.0 + eps_p) * y:
+                lb = n * frac / (1.0 + eps_p)
+                break
+            if cap is not None and theta_x >= cap:
+                break
+
+        theta = int(math.ceil(lam_s / lb))
+        if cap is not None:
+            theta = min(theta, cap)
+        num_used = max(theta_x, theta)
+        a, e = self._ensure_samples(num_used, allow_extend)
+        added += a
+        edges += e
+        seeds, covered = self._celf_select(num_used, k)
+        return {
+            "seeds": seeds,
+            "theta": theta,
+            "lb": lb,
+            "rounds": rounds,
+            "history": history,
+            "num_used": num_used,
+            "covered": covered,
+            "added": added,
+            "edges": edges,
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def top_k(self, k: int | None = None, eps: float | None = None) -> ServingResult:
+        """The ``k`` best seeds, bit-identical to ``imm(graph, k, eps)``.
+
+        Defaults to the frozen ``(k, eps)``; any other pair replays the
+        estimation over index prefixes, extending the tail only when the
+        new pair genuinely demands more samples (requires ``graph``).
+        """
+        t0 = time.perf_counter()
+        mf = self.index.manifest
+        k = int(mf["k"]) if k is None else int(k)
+        eps = float(mf["eps"]) if eps is None else float(eps)
+        before = self.index.num_samples
+        r = self._replay(k, eps, allow_extend=self.graph is not None)
+        return ServingResult(
+            seeds=r["seeds"],
+            k=k,
+            epsilon=eps,
+            model=self.index.model,
+            theta=r["theta"],
+            num_samples_used=r["num_used"],
+            coverage=r["covered"] / max(r["num_used"], 1),
+            lb=r["lb"],
+            estimation_rounds=r["rounds"],
+            coverage_history=r["history"],
+            samples_added=r["added"],
+            samples_reused=min(before, r["num_used"]),
+            edges_examined=r["edges"],
+            seconds=time.perf_counter() - t0,
+        )
+
+    def tighten(self, eps: float, k: int | None = None) -> ServingResult:
+        """Re-derive at a tighter ``eps``, extending the index in place.
+
+        All previously landed samples are reused verbatim — the
+        deterministic per-sample streams mean the tail the tighter θ
+        demands is appended after the sealed prefix, never resampled.
+        The manifest is amended to the new facts, so subsequent default
+        queries serve the tightened guarantee.
+        """
+        res = self.top_k(k=k, eps=eps)
+        self.index.amend(
+            k=res.k,
+            eps=res.epsilon,
+            theta=res.theta,
+            lb=res.lb,
+            coverage_history=res.coverage_history,
+            estimation_rounds=res.estimation_rounds,
+        )
+        return res
+
+    def what_if(
+        self,
+        k: int | None = None,
+        *,
+        forced: tuple[int, ...] = (),
+        excluded: tuple[int, ...] = (),
+    ) -> ServingResult:
+        """Constrained selection over the frozen samples.
+
+        ``forced`` vertices are seated first; ``excluded`` vertices are
+        never picked.  Serves from the index as-is (no resampling, no
+        approximation-guarantee claim — this is the scenario-exploration
+        query).
+        """
+        t0 = time.perf_counter()
+        mf = self.index.manifest
+        k = int(mf["k"]) if k is None else int(k)
+        m = self.index.num_samples
+        seeds, covered = self._celf_select(
+            m, k, forced=tuple(forced), excluded=tuple(excluded)
+        )
+        return ServingResult(
+            seeds=seeds,
+            k=k,
+            epsilon=float(mf["eps"]),
+            model=self.index.model,
+            theta=int(mf["theta"]),
+            num_samples_used=m,
+            coverage=covered / max(m, 1),
+            lb=float(mf["lb"]) if mf.get("lb") is not None else 1.0,
+            estimation_rounds=int(mf.get("estimation_rounds") or 0),
+            coverage_history=[],
+            samples_added=0,
+            samples_reused=m,
+            edges_examined=0,
+            seconds=time.perf_counter() - t0,
+        )
+
+    def marginal_gain(
+        self, seed_set, candidates: np.ndarray | None = None
+    ) -> MarginalGains:
+        """Spread estimate of ``seed_set`` and marginal gains on top of it.
+
+        Pure index read: covers the seed set's samples, then counts every
+        vertex's membership among the still-alive samples.  ``gains[v]``
+        is the estimated spread increase of adding ``v``; vertices in
+        ``seed_set`` report 0.  ``candidates`` restricts the returned
+        array to those vertices (same order) without changing values.
+        """
+        idx = self.index
+        n, m = idx.n, idx.num_samples
+        flat, indptr, sample_of = idx.arrays()
+        vert_order, vert_indptr = self._vertex_index()
+        alive = np.ones(m, dtype=bool)
+        covered = 0
+        for v in np.asarray(seed_set, dtype=np.int64):
+            v = int(v)
+            if not 0 <= v < n:
+                raise ValueError(f"seed vertex {v} out of range")
+            pos = vert_order[vert_indptr[v] : vert_indptr[v + 1]]
+            hits = sample_of[pos]
+            killed = hits[alive[hits]]
+            covered += len(killed)
+            alive[killed] = False
+        mask = alive[sample_of]
+        gains_count = np.bincount(flat[mask], minlength=n)
+        scale = n / m if m else 0.0
+        gains = gains_count.astype(np.float64) * scale
+        for v in np.asarray(seed_set, dtype=np.int64):
+            gains[int(v)] = 0.0
+        if candidates is not None:
+            gains = gains[np.asarray(candidates, dtype=np.int64)]
+        return MarginalGains(
+            spread=covered * scale,
+            covered_samples=covered,
+            num_samples=m,
+            gains=gains,
+        )

@@ -44,6 +44,11 @@ from .recovery import (
 )
 from .report import ValidationReport, Violation
 from .rnglaws import check_counter_streams, check_leapfrog_tiling, check_rng_laws
+from .serving import (
+    check_index_bitwise,
+    check_index_graph_binding,
+    check_serving_equivalence,
+)
 from .supervision import check_supervised_equivalence, check_supervised_sampling
 
 __all__ = [
@@ -69,6 +74,9 @@ __all__ = [
     "check_community_driver",
     "check_supervised_equivalence",
     "check_supervised_sampling",
+    "check_serving_equivalence",
+    "check_index_graph_binding",
+    "check_index_bitwise",
     "MutantResult",
     "run_mutation_suite",
     "SMOKE_MUTANTS",

@@ -30,6 +30,8 @@ fused counter drops block   ``engine.count-partitioned``
 replay lands block twice    ``supervised.collection-bitwise``
 resume skips the cursor     ``supervised.collection-bitwise``
 speculation lands reordered ``supervised.collection-bitwise``
+stale index after change    ``serving.graph-binding``
+tighten wrong stream offset ``serving.extension-bitwise``
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -59,6 +61,7 @@ from ..sampling.supervisor import SupervisedSamplingEngine
 from .engine import check_engine_sampling
 from .invariants import check_hypergraph_collection, check_sorted_collection
 from .recovery import check_degraded_accounting, check_rebuild_fidelity
+from .serving import check_index_bitwise, check_index_graph_binding
 from .supervision import check_supervised_sampling
 
 __all__ = ["MutantResult", "run_mutation_suite", "SMOKE_MUTANTS"]
@@ -536,6 +539,91 @@ def _mutant_spec_order(seed: int) -> MutantResult:
     )
 
 
+def _mutant_stale_index(seed: int) -> MutantResult:
+    """A frozen index kept serving after the graph changed underneath it.
+
+    The serving path that forgets to verify the graph fingerprint: the
+    activation probabilities are re-weighted after the freeze (a routine
+    dataset refresh), yet the old index keeps answering.  Every cached
+    byte is internally consistent — the seal still verifies — so only
+    the graph-binding check can see that the answers describe an
+    influence instance that no longer exists.
+    """
+    import tempfile
+
+    from ..graph import CSRGraph
+    from ..serving import freeze_index
+
+    graph = load(_MUTATION_DATASET, "IC")
+    with tempfile.TemporaryDirectory(prefix="repro-mutant-idx-") as td:
+        index, _ = freeze_index(
+            graph, 5, 0.5, "IC", seed, theta_cap=_MUTATION_THETA,
+            out_dir=td + "/index",
+        )
+        try:
+            changed = CSRGraph(
+                graph.n,
+                graph.out_indptr, graph.out_indices, graph.out_probs * 0.5,
+                graph.in_indptr, graph.in_indices, graph.in_probs * 0.5,
+            )
+            detected, evidence = _violated(
+                check_index_graph_binding(index, changed, "mutant"),
+                "serving.graph-binding",
+            )
+        finally:
+            index.close()
+    return MutantResult(
+        "stale-index-served-after-graph-change",
+        "edge probabilities re-weighted after the freeze, old index kept",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_tighten_offset(seed: int) -> MutantResult:
+    """Index extension that restarts the sample streams from zero.
+
+    The serving twin of the pool worker's lost-offset bug: a tighten (or
+    cross-``k`` query) that needs samples ``[frozen, θ)`` draws the
+    streams of ``[0, θ - frozen)`` instead.  Sample counts, sizes, and
+    the manifest all stay plausible — only the bitwise comparison
+    against the from-scratch serial reference can see that the appended
+    tail repeats the head of the stream space.
+    """
+    import tempfile
+
+    from ..serving import FrozenRRRIndex, InfluenceQueryEngine
+
+    graph = load(_MUTATION_DATASET, "IC")
+    half = _MUTATION_THETA // 2
+    coll = SortedRRRCollection(graph.n)
+    batch = sample_batch(graph, "IC", coll, half, seed)
+    with tempfile.TemporaryDirectory(prefix="repro-mutant-idx-") as td:
+        index = FrozenRRRIndex.freeze(
+            coll, td + "/index",
+            graph=graph, model="IC", seed=seed, k=5, eps=0.5,
+            theta_cap=_MUTATION_THETA, edges=batch.per_sample_edges,
+        )
+        try:
+            eng = InfluenceQueryEngine(
+                index, graph=graph, _mutate_stream_restart=True
+            )
+            res = eng.top_k()  # forces the (mutated) extension past `half`
+            assert res.samples_added > 0, "mutant needs a genuine extension"
+            detected, evidence = _violated(
+                check_index_bitwise(index, graph, "IC", "mutant"),
+                "serving.extension-bitwise",
+            )
+        finally:
+            index.close()
+    return MutantResult(
+        "tighten-reuses-wrong-stream-offset",
+        f"extension past sample {half} re-draws streams [0, …) from zero",
+        detected,
+        evidence,
+    )
+
+
 _MUTANTS = {
     "unsorted-sample": _mutant_unsorted,
     "within-sample-duplicate": _mutant_duplicate,
@@ -555,6 +643,8 @@ _MUTANTS = {
     "replay-lands-block-twice": _mutant_replay_overlap,
     "resume-skips-cursor": _mutant_resume_skip,
     "speculative-result-raced-in-wrong-order": _mutant_spec_order,
+    "stale-index-served-after-graph-change": _mutant_stale_index,
+    "tighten-reuses-wrong-stream-offset": _mutant_tighten_offset,
 }
 
 #: The cheap subset tier-1 CI runs on every commit (sub-second each):

@@ -16,6 +16,7 @@ rank / thread count       {1, 2, 5} (or the configured subset)
 pool workers × chunk      {1, 2, 4} × configured chunk sizes
 RNG scheme                per-sample counter streams / leap-frog LCG
 supervised runtime        crash / straggler / deadline / resume axes
+frozen serving index      freeze / serve / tighten / promote / binding
 ========================  =============================================
 
 Per-sample counter streams make the output schedule-independent, so for
@@ -58,6 +59,7 @@ from .recovery import (
 )
 from .report import ValidationReport
 from .rnglaws import check_rng_laws
+from .serving import check_serving_equivalence
 from .supervision import check_supervised_equivalence
 
 __all__ = [
@@ -117,6 +119,9 @@ class OracleConfig:
     check_supervised: bool = True
     #: pool size for the supervised axes.
     supervised_workers: int = 2
+    #: cover the frozen serving index: freeze / serve / tighten /
+    #: promote / graph-binding / cache axes, bit-identical to fresh runs.
+    check_serving: bool = True
 
 
 def quick_config() -> OracleConfig:
@@ -412,6 +417,10 @@ def check_graph_equivalence(
     # -- self-healing supervised engine (real kills, real disk) -----------
     if cfg.check_supervised:
         rep.merge(check_supervised_equivalence(graph, model, cfg, subject))
+
+    # -- frozen serving index (freeze / serve / tighten / promote) --------
+    if cfg.check_serving:
+        rep.merge(check_serving_equivalence(graph, model, cfg, subject))
 
     # -- graph-partitioned distributed sampler (hash coins are IC-only) ---
     if cfg.check_partitioned and model == "IC":

@@ -1,0 +1,334 @@
+"""Serving-layer oracle: frozen-index answers must equal fresh ``imm()``.
+
+The serving layer's promise is sharper than "the cached answer is
+close": because sample ``j`` is a pure function of ``(graph, model,
+seed, j)`` and the query engine replays the θ-estimation control flow
+over index prefixes, a frozen index must answer **bit-identically** to a
+fresh ``imm()`` run for *any* ``(k, eps)`` — and must do so without
+touching a single graph edge when the query fits inside the index.
+Axes, one per checked claim:
+
+* **freeze** — the facts recorded at freeze time (seeds, θ, coverage
+  history) equal the fresh run's.
+* **serve** — ``top_k`` at the frozen ``(k, eps)`` and at alternate
+  ``k`` values is bit-identical to fresh ``imm``, with the edge meter
+  asserting zero resampling (``serving.no-resample``).
+* **tighten** — ``tighten(eps')`` equals a fresh run at ``eps'``, reuses
+  every previously landed sample, and leaves the sealed prefix
+  byte-for-byte untouched.
+* **promote** — a checkpoint run directory (torn tail included) promoted
+  via ``FrozenRRRIndex.freeze(run_dir)`` serves the same answers, with
+  the missing θ tail extended through the deterministic streams —
+  verified bitwise against a from-scratch serial reference
+  (:func:`check_index_bitwise`, the detector the
+  tighten-wrong-stream-offset mutant must trip).
+* **binding** — the graph fingerprint pins the index to its instance:
+  :func:`check_index_graph_binding` (the detector the stale-index
+  mutant must trip) plus ``open(graph=modified)`` raising
+  :class:`~repro.serving.frozen.StaleIndexError`.
+* **cache** — the per-``(graph, model, eps)`` LRU actually bounds open
+  indices and serves hits.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..graph import CSRGraph
+from ..imm import imm
+from ..sampling import (
+    BlockCheckpointSink,
+    RRRSampler,
+    SortedRRRCollection,
+    sample_batch,
+)
+from ..serving import (
+    FrozenRRRIndex,
+    IndexCache,
+    InfluenceQueryEngine,
+    StaleIndexError,
+    freeze_index,
+    graph_fingerprint,
+)
+from .report import ValidationReport
+
+__all__ = [
+    "check_serving_equivalence",
+    "check_index_graph_binding",
+    "check_index_bitwise",
+]
+
+
+def check_index_graph_binding(index, graph, subject: str) -> ValidationReport:
+    """The index must be bound to exactly the graph being served.
+
+    This is the detector for the stale-index-served-after-graph-change
+    fault class: a serving path that skips fingerprint verification
+    passes a mutated graph straight through, and this check must flag
+    the mismatch.
+    """
+    rep = ValidationReport()
+    frozen_fp = index.manifest.get("graph_fingerprint")
+    live_fp = graph_fingerprint(graph)
+    rep.check(
+        frozen_fp is not None and frozen_fp == live_fp,
+        "serving.graph-binding",
+        subject,
+        f"index frozen against graph "
+        f"{frozen_fp[:12] + '…' if frozen_fp else '<unbound>'}, the live "
+        f"graph is {live_fp[:12]}… — a stale index is being served after "
+        "a graph change",
+    )
+    return rep
+
+
+def check_index_bitwise(index, graph, model: str, subject: str) -> ValidationReport:
+    """Every frozen byte must equal the from-scratch serial reference.
+
+    The determinism contract makes the whole index a pure function of
+    ``(graph, model, seed, num_samples)``; any serving-time extension
+    that drew from a wrong stream offset (the
+    tighten-reuses-wrong-stream-offset fault class) diverges here.
+    """
+    rep = ValidationReport()
+    ref = SortedRRRCollection(graph.n)
+    sample_batch(
+        graph, model, ref, index.num_samples, index.seed,
+        sampler=RRRSampler(graph, model), engine="serial",
+    )
+    ref_flat, ref_indptr, _ = ref.flattened()
+    flat, indptr, _ = index.arrays()
+    rep.check(
+        bool(
+            np.array_equal(np.asarray(flat), ref_flat)
+            and np.array_equal(indptr, ref_indptr)
+        ),
+        "serving.extension-bitwise",
+        subject,
+        f"frozen index bytes diverge from the serial reference for the "
+        f"same (graph, model, seed) over [0, {index.num_samples}) — an "
+        "extension drew from the wrong stream offset",
+    )
+    return rep
+
+
+def _perturbed(graph) -> CSRGraph:
+    """The same topology with every activation probability nudged —
+    a graph change the fingerprint must catch."""
+    return CSRGraph(
+        graph.n,
+        graph.out_indptr, graph.out_indices, graph.out_probs * 0.5,
+        graph.in_indptr, graph.in_indices, graph.in_probs * 0.5,
+    )
+
+
+def _seed_mismatch(a, b) -> str:
+    return f"seed sets diverge: {np.asarray(a).tolist()} vs {np.asarray(b).tolist()}"
+
+
+def check_serving_equivalence(
+    graph, model: str, cfg, subject: str
+) -> ValidationReport:
+    """Freeze / serve / tighten / promote / binding / cache on one
+    graph × model."""
+    rep = ValidationReport()
+    k, eps, seed, cap = cfg.k, cfg.eps, cfg.seed, cfg.theta_cap
+    fresh = imm(graph, k, eps, model, seed=seed, layout="sorted", theta_cap=cap)
+
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-serve-") as td:
+        td = Path(td)
+
+        # -- freeze: recorded facts equal the fresh run ------------------
+        index, fres = freeze_index(
+            graph, k, eps, model, seed, theta_cap=cap, out_dir=td / "index"
+        )
+        index.close()
+        rep.check(
+            bool(np.array_equal(fres.seeds, fresh.seeds))
+            and fres.theta == fresh.theta
+            and fres.coverage_history == fresh.extra["coverage_history"],
+            "serving.freeze-seed-set",
+            subject,
+            _seed_mismatch(fres.seeds, fresh.seeds)
+            + f"; theta {fres.theta} vs {fresh.theta}",
+        )
+
+        # -- serve: zero-copy reopen, bit-identical, zero resampling -----
+        index = FrozenRRRIndex.open(td / "index", graph=graph)
+        rep.merge(check_index_graph_binding(index, graph, subject))
+        eng = InfluenceQueryEngine(index, graph=graph)
+        res = eng.top_k()
+        sub = f"{subject} serve[k={k}]"
+        rep.check(
+            bool(np.array_equal(res.seeds, fresh.seeds))
+            and res.theta == fresh.theta,
+            "serving.seed-set",
+            sub,
+            _seed_mismatch(res.seeds, fresh.seeds)
+            + f"; theta {res.theta} vs {fresh.theta}",
+        )
+        rep.check(
+            res.coverage_history == fresh.extra["coverage_history"],
+            "serving.coverage-history",
+            sub,
+            f"per-round (theta_x, frac) diverges: {res.coverage_history} "
+            f"vs {fresh.extra['coverage_history']}",
+        )
+        rep.check(
+            res.samples_added == 0 and res.edges_examined == 0,
+            "serving.no-resample",
+            sub,
+            f"in-index query resampled: {res.samples_added} samples added, "
+            f"{res.edges_examined} edges examined",
+        )
+
+        # -- serve at other k values (θ saturates at the cap, so these
+        #    must also come entirely from the index) ---------------------
+        for k2 in (max(1, k // 2), k + 2):
+            fresh2 = imm(
+                graph, k2, eps, model, seed=seed, layout="sorted", theta_cap=cap
+            )
+            r2 = eng.top_k(k2)
+            sub2 = f"{subject} serve[k={k2}]"
+            rep.check(
+                bool(np.array_equal(r2.seeds, fresh2.seeds))
+                and r2.theta == fresh2.theta
+                and r2.coverage_history == fresh2.extra["coverage_history"],
+                "serving.seed-set",
+                sub2,
+                _seed_mismatch(r2.seeds, fresh2.seeds)
+                + f"; theta {r2.theta} vs {fresh2.theta}",
+            )
+            rep.check(
+                r2.samples_added == 0 and r2.edges_examined == 0,
+                "serving.no-resample",
+                sub2,
+                f"cross-k query resampled: {r2.samples_added} samples "
+                f"added, {r2.edges_examined} edges examined",
+            )
+
+        # -- tighten: equal to a fresh eps' run, prefix untouched --------
+        eps2 = eps * 0.8
+        before = index.num_samples
+        flat_before = np.asarray(index.arrays()[0]).copy()
+        fresh3 = imm(graph, k, eps2, model, seed=seed, layout="sorted", theta_cap=cap)
+        r3 = eng.tighten(eps2)
+        sub3 = f"{subject} tighten[eps={eps2:g}]"
+        rep.check(
+            bool(np.array_equal(r3.seeds, fresh3.seeds))
+            and r3.theta == fresh3.theta
+            and r3.coverage_history == fresh3.extra["coverage_history"],
+            "serving.tighten-seed-set",
+            sub3,
+            _seed_mismatch(r3.seeds, fresh3.seeds)
+            + f"; theta {r3.theta} vs {fresh3.theta}",
+        )
+        rep.check(
+            r3.samples_reused == min(before, r3.num_samples_used)
+            and index.num_samples >= before,
+            "serving.tighten-reuse",
+            sub3,
+            f"tighten reused {r3.samples_reused} of the {before} frozen "
+            f"samples (used {r3.num_samples_used}) — landed samples must "
+            "never be resampled",
+        )
+        flat_now, _, _ = index.arrays()
+        rep.check(
+            bool(
+                np.array_equal(
+                    np.asarray(flat_now[: len(flat_before)]), flat_before
+                )
+            ),
+            "serving.tighten-prefix",
+            sub3,
+            "tighten rewrote bytes inside the sealed prefix",
+        )
+
+        # -- promote: checkpoint run dir (torn tail) → index → extend ----
+        half = max(1, fresh.num_samples // 2)
+        part = SortedRRRCollection(graph.n)
+        pbatch = sample_batch(graph, model, part, half, seed)
+        pflat, pindptr, _ = part.flattened()
+        ck = td / "ck"
+        with BlockCheckpointSink(ck, n=graph.n, model=model, seed=seed) as sink:
+            sink.append_block(
+                np.arange(half, dtype=np.int64),
+                pflat, np.diff(pindptr), pbatch.per_sample_edges,
+            )
+        with open(ck / "flat.i32.bin", "ab") as fh:
+            fh.write(b"\x7f" * 7)  # torn tail beyond the cursor
+        pidx = FrozenRRRIndex.freeze(
+            ck, td / "promoted",
+            graph=graph, model=model, seed=seed, k=k, eps=eps, theta_cap=cap,
+        )
+        rep.check(
+            pidx.num_samples == half,
+            "serving.promote-cursor",
+            subject,
+            f"promotion landed {pidx.num_samples} samples, cursor "
+            f"certifies {half} — the torn tail must be ignored",
+        )
+        peng = InfluenceQueryEngine(pidx, graph=graph)
+        pres = peng.top_k()
+        subp = f"{subject} promote[{half}/{fresh.num_samples}]"
+        rep.check(
+            bool(np.array_equal(pres.seeds, fresh.seeds))
+            and pres.theta == fresh.theta,
+            "serving.promote-seed-set",
+            subp,
+            _seed_mismatch(pres.seeds, fresh.seeds)
+            + f"; theta {pres.theta} vs {fresh.theta}",
+        )
+        rep.check(
+            pres.samples_added == pres.num_samples_used - half
+            and pres.samples_reused == half
+            and pres.edges_examined > 0,
+            "serving.promote-extends",
+            subp,
+            f"promoted partial index should extend {half} → "
+            f"{pres.num_samples_used} via the deterministic streams; "
+            f"added {pres.samples_added}, reused {pres.samples_reused}",
+        )
+        rep.merge(check_index_bitwise(pidx, graph, model, subp))
+
+        # -- binding: a mutated graph must be refused at open ------------
+        modified = _perturbed(graph)
+        try:
+            FrozenRRRIndex.open(td / "index", graph=modified)
+            raised = False
+        except StaleIndexError:
+            raised = True
+        rep.check(
+            raised,
+            "serving.stale-open-raises",
+            subject,
+            "open(graph=modified) served a stale index instead of raising "
+            "StaleIndexError",
+        )
+
+        # -- cache: the LRU bounds open indices and serves hits ----------
+        cache = IndexCache(capacity=1)
+        try:
+            cache.engine(td / "index", graph=graph)
+            cache.engine(td / "promoted", graph=graph)
+            cache.engine(td / "index", graph=graph)
+            cache.engine(td / "index", graph=graph)
+            rep.check(
+                len(cache) == 1
+                and cache.evictions == 2
+                and cache.hits == 1
+                and cache.misses == 3,
+                "serving.cache-lru",
+                subject,
+                f"capacity-1 LRU books are wrong: size {len(cache)}, "
+                f"evictions {cache.evictions}, hits {cache.hits}, "
+                f"misses {cache.misses}",
+            )
+        finally:
+            cache.close()
+        index.close()
+        pidx.close()
+    return rep

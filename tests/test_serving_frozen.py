@@ -1,0 +1,253 @@
+"""Frozen index format tests (repro.serving.frozen).
+
+Freeze/open round trips, the integrity seal, the graph fingerprint
+binding, zero-copy prefix views, in-place extension, and manifest
+amendment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.imm.select import select_seeds_sorted
+from repro.sampling import SortedRRRCollection, sample_batch
+from repro.serving import (
+    FrozenCollectionView,
+    FrozenIndexError,
+    FrozenRRRIndex,
+    StaleIndexError,
+    graph_fingerprint,
+)
+
+SEED = 3
+THETA = 60
+
+
+def _sampled(graph, theta=THETA):
+    coll = SortedRRRCollection(graph.n)
+    batch = sample_batch(graph, "IC", coll, theta, SEED)
+    return coll, batch
+
+
+def _freeze(graph, coll, batch, out_dir, **kw):
+    kw.setdefault("graph", graph)
+    return FrozenRRRIndex.freeze(
+        coll, out_dir, model="IC", seed=SEED, k=5, eps=0.5,
+        edges=batch.per_sample_edges, **kw,
+    )
+
+
+class TestFreezeOpen:
+    def test_roundtrip_bitwise(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        index.close()
+        with FrozenRRRIndex.open(tmp_path / "idx", graph=ba_graph) as back:
+            flat, indptr, sample_of = back.arrays()
+            ref_flat, ref_indptr, ref_sample_of = coll.flattened()
+            assert np.array_equal(np.asarray(flat), ref_flat)
+            assert np.array_equal(indptr, ref_indptr)
+            assert np.array_equal(sample_of, ref_sample_of)
+            assert np.array_equal(
+                np.asarray(back.per_sample_edges()), batch.per_sample_edges
+            )
+            assert back.n == ba_graph.n
+            assert back.num_samples == THETA
+
+    def test_freeze_from_collection_needs_edge_meters(self, ba_graph, tmp_path):
+        coll, _ = _sampled(ba_graph)
+        with pytest.raises(ValueError, match="examined-edge meters"):
+            FrozenRRRIndex.freeze(
+                coll, tmp_path / "idx", graph=ba_graph,
+                model="IC", seed=SEED, k=5, eps=0.5,
+            )
+
+    def test_open_is_zero_copy(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        index.close()
+        with FrozenRRRIndex.open(tmp_path / "idx") as back:
+            flat, _, _ = back.arrays()
+            assert isinstance(flat, np.memmap)
+
+    def test_open_rejects_foreign_directory(self, tmp_path):
+        (tmp_path / "INDEX.json").write_text('{"format": "something-else"}')
+        with pytest.raises(FrozenIndexError, match="not a frozen RRR index"):
+            FrozenRRRIndex.open(tmp_path)
+
+    def test_closed_index_refuses_reads(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        index.close()
+        with pytest.raises(FrozenIndexError, match="closed"):
+            index.arrays()
+
+
+class TestSeal:
+    def test_wrong_file_size_fails(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        _freeze(ba_graph, coll, batch, tmp_path / "idx").close()
+        p = tmp_path / "idx" / "sizes.i64.bin"
+        p.write_bytes(p.read_bytes()[:-8])
+        with pytest.raises(FrozenIndexError, match="torn or was edited"):
+            FrozenRRRIndex.open(tmp_path / "idx")
+
+    def test_tampered_sample_count_fails_stream_fold(self, ba_graph, tmp_path):
+        import json
+
+        coll, batch = _sampled(ba_graph)
+        _freeze(ba_graph, coll, batch, tmp_path / "idx").close()
+        mpath = tmp_path / "idx" / "INDEX.json"
+        manifest = json.loads(mpath.read_text())
+        # Claim one sample fewer, shaving the binaries to match the fake
+        # count so only the stream fingerprint can notice.
+        last = manifest["num_samples"] - 1
+        sizes = np.fromfile(tmp_path / "idx" / "sizes.i64.bin", dtype=np.int64)
+        manifest["num_samples"] = last
+        manifest["entries"] = int(sizes[:last].sum())
+        mpath.write_text(json.dumps(manifest))
+        for name, width in (("flat.i32.bin", 4), ("sizes.i64.bin", 8),
+                            ("edges.i64.bin", 8)):
+            p = tmp_path / "idx" / name
+            want = (manifest["entries"] if name.startswith("flat") else last) * width
+            p.write_bytes(p.read_bytes()[:want])
+        with pytest.raises(FrozenIndexError, match="stream fingerprint"):
+            FrozenRRRIndex.open(tmp_path / "idx")
+
+
+class TestGraphBinding:
+    def test_fingerprint_is_content_addressed(self, ba_graph):
+        clone = CSRGraph(
+            ba_graph.n,
+            ba_graph.out_indptr.copy(), ba_graph.out_indices.copy(),
+            ba_graph.out_probs.copy(),
+            ba_graph.in_indptr.copy(), ba_graph.in_indices.copy(),
+            ba_graph.in_probs.copy(),
+        )
+        assert graph_fingerprint(clone) == graph_fingerprint(ba_graph)
+        nudged = CSRGraph(
+            ba_graph.n,
+            ba_graph.out_indptr, ba_graph.out_indices, ba_graph.out_probs * 0.999,
+            ba_graph.in_indptr, ba_graph.in_indices, ba_graph.in_probs * 0.999,
+        )
+        assert graph_fingerprint(nudged) != graph_fingerprint(ba_graph)
+
+    def test_open_with_changed_graph_raises(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        _freeze(ba_graph, coll, batch, tmp_path / "idx").close()
+        changed = CSRGraph(
+            ba_graph.n,
+            ba_graph.out_indptr, ba_graph.out_indices, ba_graph.out_probs * 0.5,
+            ba_graph.in_indptr, ba_graph.in_indices, ba_graph.in_probs * 0.5,
+        )
+        with pytest.raises(StaleIndexError, match="stale index"):
+            FrozenRRRIndex.open(tmp_path / "idx", graph=changed)
+        # Without a graph the open still succeeds (pure in-index serving).
+        FrozenRRRIndex.open(tmp_path / "idx").close()
+
+    def test_unbound_index_accepts_any_graph(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = FrozenRRRIndex.freeze(
+            coll, tmp_path / "idx", graph=None, n=ba_graph.n,
+            model="IC", seed=SEED, k=5, eps=0.5,
+            edges=batch.per_sample_edges,
+        )
+        index.close()
+        FrozenRRRIndex.open(tmp_path / "idx", graph=ba_graph).close()
+
+
+class TestPrefixViews:
+    def test_view_matches_prefix_selection(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        try:
+            for m in (1, 7, THETA // 2, THETA):
+                view = index.collection_view(m)
+                assert len(view) == m
+                prefix = SortedRRRCollection(ba_graph.n)
+                sample_batch(ba_graph, "IC", prefix, m, SEED)
+                got = select_seeds_sorted(view, ba_graph.n, 3)
+                want = select_seeds_sorted(prefix, ba_graph.n, 3)
+                assert np.array_equal(got.seeds, want.seeds)
+                assert got.covered_samples == want.covered_samples
+        finally:
+            index.close()
+
+    def test_views_are_read_only(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        try:
+            view = index.collection_view()
+            with pytest.raises(FrozenIndexError, match="read-only"):
+                view.append(np.asarray([1, 2], dtype=np.int64))
+            with pytest.raises(FrozenIndexError, match="read-only"):
+                view.append_batch(
+                    np.asarray([1], dtype=np.int64),
+                    np.asarray([1], dtype=np.int64),
+                )
+            assert isinstance(view, FrozenCollectionView)
+        finally:
+            index.close()
+
+
+class TestExtend:
+    def test_extend_appends_and_reseals(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        try:
+            full = SortedRRRCollection(ba_graph.n)
+            full_batch = sample_batch(ba_graph, "IC", full, THETA + 20, SEED)
+            f_flat, f_indptr, _ = full.flattened()
+            tail_lo = f_indptr[THETA]
+            index.extend(
+                f_flat[tail_lo:].astype(np.int32),
+                np.diff(f_indptr)[THETA:],
+                full_batch.per_sample_edges[THETA:],
+                start=THETA,
+            )
+            assert index.num_samples == THETA + 20
+            flat, indptr, _ = index.arrays()
+            assert np.array_equal(np.asarray(flat), f_flat)
+            assert np.array_equal(indptr, f_indptr)
+        finally:
+            index.close()
+        # The extended artifact survives a fresh open + seal check.
+        with FrozenRRRIndex.open(tmp_path / "idx", graph=ba_graph) as back:
+            assert back.num_samples == THETA + 20
+
+    def test_extend_must_start_at_sealed_count(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        try:
+            one = np.asarray([2], dtype=np.int64)
+            with pytest.raises(FrozenIndexError, match="must start at"):
+                index.extend(
+                    np.asarray([1, 3], dtype=np.int32), one * 2, one,
+                    start=THETA + 1,
+                )
+            with pytest.raises(FrozenIndexError, match="inconsistent"):
+                index.extend(
+                    np.asarray([1], dtype=np.int32),
+                    np.asarray([2], dtype=np.int64),
+                    one, start=THETA,
+                )
+        finally:
+            index.close()
+
+
+class TestAmend:
+    def test_amend_persists_and_restricts(self, ba_graph, tmp_path):
+        coll, batch = _sampled(ba_graph)
+        index = _freeze(ba_graph, coll, batch, tmp_path / "idx")
+        try:
+            index.amend(eps=0.3, theta=THETA, coverage_history=[(THETA, 0.5)])
+            with pytest.raises(ValueError, match="not amendable"):
+                index.amend(seed=99)
+            with pytest.raises(ValueError, match="not amendable"):
+                index.amend(num_samples=1)
+        finally:
+            index.close()
+        with FrozenRRRIndex.open(tmp_path / "idx") as back:
+            assert back.manifest["eps"] == 0.3
+            assert back.manifest["coverage_history"] == [[THETA, 0.5]]
+            assert back.seed == SEED  # identity untouched

@@ -1,0 +1,265 @@
+"""Query-engine tests (repro.serving.query / repro.serving.cache).
+
+The load-bearing property is CELF ↔ ``select_seeds_sorted`` parity: the
+lazy greedy must reproduce the eager argmax selector bit for bit (same
+seeds, same covered count, same smallest-id tie-break) on any prefix —
+that parity is what makes the θ-estimation replay, and therefore every
+served answer, bit-identical to a fresh ``imm()``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.imm import imm
+from repro.imm.select import select_seeds_sorted
+from repro.serving import (
+    FrozenIndexError,
+    FrozenRRRIndex,
+    IndexCache,
+    InfluenceQueryEngine,
+    StaleIndexError,
+    freeze_index,
+)
+
+K = 5
+EPS = 0.5
+SEED = 3
+CAP = 300
+
+
+@pytest.fixture(scope="module")
+def frozen(ba_graph, tmp_path_factory):
+    """One capped frozen index shared by the read-only tests."""
+    out = tmp_path_factory.mktemp("serving") / "index"
+    index, res = freeze_index(
+        ba_graph, K, EPS, "IC", SEED, theta_cap=CAP, out_dir=out
+    )
+    index.close()
+    return out, res
+
+
+class TestCelfParity:
+    def test_matches_eager_selector_on_prefixes(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            for m in (1, 3, 17, CAP // 2, index.num_samples):
+                for k in (1, 2, K):
+                    seeds, covered = eng._celf_select(m, k)
+                    want = select_seeds_sorted(
+                        index.collection_view(m), ba_graph.n, k
+                    )
+                    assert np.array_equal(seeds, want.seeds), (m, k)
+                    assert covered == want.covered_samples, (m, k)
+
+    def test_forced_vertices_seat_first(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            m = index.num_samples
+            seeds, _ = eng._celf_select(m, K, forced=(42, 7))
+            assert seeds[:2].tolist() == [42, 7]
+            assert len(np.unique(seeds)) == K
+
+    def test_excluded_vertices_never_picked(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            m = index.num_samples
+            free, _ = eng._celf_select(m, K)
+            banned = tuple(int(v) for v in free[:2])
+            seeds, _ = eng._celf_select(m, K, excluded=banned)
+            assert not set(banned) & set(seeds.tolist())
+
+    def test_constraint_errors(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            m = index.num_samples
+            with pytest.raises(ValueError, match="exceed k"):
+                eng._celf_select(m, 2, forced=(1, 2, 3))
+            with pytest.raises(ValueError, match="out of range"):
+                eng._celf_select(m, 2, forced=(ba_graph.n,))
+            with pytest.raises(ValueError, match="both forced and excluded"):
+                eng._celf_select(m, 2, forced=(1,), excluded=(1,))
+
+
+class TestTopK:
+    def test_bit_identical_to_fresh_imm(self, ba_graph, frozen):
+        out, fres = frozen
+        fresh = imm(ba_graph, K, EPS, "IC", seed=SEED, theta_cap=CAP)
+        assert np.array_equal(fres.seeds, fresh.seeds)
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            res = eng.top_k()
+            assert np.array_equal(res.seeds, fresh.seeds)
+            assert res.theta == fresh.theta
+            assert res.coverage_history == fresh.extra["coverage_history"]
+            assert res.served_from_index
+            assert res.edges_examined == 0
+
+    def test_alternate_k_without_resampling(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out, graph=ba_graph) as index:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            for k in (1, 2, K + 3):
+                fresh = imm(ba_graph, k, EPS, "IC", seed=SEED, theta_cap=CAP)
+                res = eng.top_k(k)
+                assert np.array_equal(res.seeds, fresh.seeds), k
+                assert res.theta == fresh.theta
+                assert res.samples_added == 0 and res.edges_examined == 0
+
+    def test_in_index_query_needs_no_graph(self, ba_graph, frozen):
+        out, _ = frozen
+        fresh = imm(ba_graph, K, EPS, "IC", seed=SEED, theta_cap=CAP)
+        with FrozenRRRIndex.open(out) as index:  # graph never attached
+            eng = InfluenceQueryEngine(index)
+            res = eng.top_k()
+            assert np.array_equal(res.seeds, fresh.seeds)
+
+    def test_extension_without_graph_is_loud(self, ba_graph, tmp_path):
+        # A small index frozen at a saturating cap, queried uncapped-level
+        # tight: the replay needs more samples than frozen and must
+        # refuse rather than silently answer from too few.
+        index, _ = freeze_index(
+            ba_graph, K, EPS, "IC", SEED, theta_cap=40, out_dir=tmp_path / "i"
+        )
+        index.close()
+        with FrozenRRRIndex.open(tmp_path / "i") as back:
+            back.manifest["theta_cap"] = None  # serve uncapped queries
+            eng = InfluenceQueryEngine(back)
+            with pytest.raises(FrozenIndexError, match="no graph is attached"):
+                eng.top_k()
+
+    def test_stale_graph_is_refused_at_engine(self, ba_graph, frozen):
+        out, _ = frozen
+        changed = CSRGraph(
+            ba_graph.n,
+            ba_graph.out_indptr, ba_graph.out_indices, ba_graph.out_probs * 0.5,
+            ba_graph.in_indptr, ba_graph.in_indices, ba_graph.in_probs * 0.5,
+        )
+        with FrozenRRRIndex.open(out) as index:
+            with pytest.raises(StaleIndexError):
+                InfluenceQueryEngine(index, graph=changed)
+
+
+class TestTightenAndExtend:
+    def test_tighten_reuses_all_landed_samples(self, ba_graph, tmp_path):
+        # Uncapped: tightening eps genuinely demands a longer prefix.
+        index, _ = freeze_index(
+            ba_graph, K, 0.6, "IC", SEED, out_dir=tmp_path / "i"
+        )
+        try:
+            before = index.num_samples
+            flat_before = np.asarray(index.arrays()[0]).copy()
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            fresh = imm(ba_graph, K, 0.5, "IC", seed=SEED)
+            res = eng.tighten(0.5)
+            assert np.array_equal(res.seeds, fresh.seeds)
+            assert res.theta == fresh.theta
+            assert res.coverage_history == fresh.extra["coverage_history"]
+            assert res.samples_reused == min(before, res.num_samples_used)
+            assert res.samples_added == index.num_samples - before
+            # The sealed prefix is untouched byte for byte.
+            flat_now, _, _ = index.arrays()
+            assert np.array_equal(
+                np.asarray(flat_now[: len(flat_before)]), flat_before
+            )
+            # The manifest now serves the tightened guarantee by default.
+            assert index.manifest["eps"] == 0.5
+        finally:
+            index.close()
+        with FrozenRRRIndex.open(tmp_path / "i", graph=ba_graph) as back:
+            assert back.manifest["eps"] == 0.5
+
+    def test_extension_accounts_edges(self, ba_graph, tmp_path):
+        index, _ = freeze_index(
+            ba_graph, K, 0.6, "IC", SEED, out_dir=tmp_path / "i"
+        )
+        try:
+            eng = InfluenceQueryEngine(index, graph=ba_graph)
+            res = eng.top_k(eps=0.5)
+            assert res.samples_added > 0
+            assert res.edges_examined > 0
+            assert eng.edges_examined == res.edges_examined
+        finally:
+            index.close()
+
+
+class TestWhatIfAndMarginal:
+    def test_what_if_is_pure_index_read(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out) as index:
+            eng = InfluenceQueryEngine(index)
+            res = eng.what_if(K, forced=(11,), excluded=(1,))
+            assert res.seeds[0] == 11
+            assert 1 not in res.seeds.tolist()
+            assert res.samples_added == 0 and res.edges_examined == 0
+
+    def test_marginal_gain_matches_manual_count(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out) as index:
+            eng = InfluenceQueryEngine(index)
+            seed_set = np.asarray([5, 9], dtype=np.int64)
+            mg = eng.marginal_gain(seed_set)
+            n, m = index.n, index.num_samples
+            view = index.collection_view()
+            covered = sum(
+                1 for s in view if np.intersect1d(s, seed_set).size
+            )
+            assert mg.covered_samples == covered
+            assert mg.spread == pytest.approx(covered * n / m)
+            assert mg.gains[5] == 0.0 and mg.gains[9] == 0.0
+            # Manual marginal for one vertex: alive samples containing it.
+            v = int(np.argmax(mg.gains))
+            manual = sum(
+                1 for s in view
+                if v in s and not np.intersect1d(s, seed_set).size
+            )
+            assert mg.gains[v] == pytest.approx(manual * n / m)
+
+    def test_marginal_gain_candidates_slice(self, ba_graph, frozen):
+        out, _ = frozen
+        with FrozenRRRIndex.open(out) as index:
+            eng = InfluenceQueryEngine(index)
+            full = eng.marginal_gain([5], candidates=None)
+            some = eng.marginal_gain([5], candidates=np.asarray([0, 5, 17]))
+            assert np.array_equal(some.gains, full.gains[[0, 5, 17]])
+
+
+class TestIndexCache:
+    def test_lru_bounds_and_books(self, ba_graph, tmp_path):
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        freeze_index(ba_graph, K, EPS, "IC", SEED, theta_cap=CAP,
+                     out_dir=a_dir)[0].close()
+        freeze_index(ba_graph, K, 0.6, "IC", SEED, theta_cap=CAP,
+                     out_dir=b_dir)[0].close()
+        cache = IndexCache(capacity=1)
+        try:
+            e1 = cache.engine(a_dir, graph=ba_graph)
+            assert cache.engine(a_dir) is e1  # hit
+            cache.engine(b_dir)  # evicts a
+            assert (cache.hits, cache.misses, cache.evictions) == (1, 2, 1)
+            assert len(cache) == 1
+            e3 = cache.engine(a_dir)  # reopened, a fresh engine
+            assert e3 is not e1
+        finally:
+            cache.close()
+
+    def test_rekeys_after_tighten(self, ba_graph, tmp_path):
+        out = tmp_path / "i"
+        freeze_index(ba_graph, K, 0.6, "IC", SEED, out_dir=out)[0].close()
+        cache = IndexCache(capacity=2)
+        try:
+            eng = cache.engine(out, graph=ba_graph)
+            eng.tighten(0.5)  # amends the manifest in place
+            again = cache.engine(out, graph=ba_graph)
+            assert len(cache) == 1  # the stale-eps alias was dropped
+            assert again.index.manifest["eps"] == 0.5
+        finally:
+            cache.close()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IndexCache(capacity=0)

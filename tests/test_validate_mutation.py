@@ -31,6 +31,8 @@ EXPECTED_MUTANTS = {
     "replay-lands-block-twice",
     "resume-skips-cursor",
     "speculative-result-raced-in-wrong-order",
+    "stale-index-served-after-graph-change",
+    "tighten-reuses-wrong-stream-offset",
 }
 
 
