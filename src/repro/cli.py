@@ -389,6 +389,96 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from .serving import (
+        AdmissionRejected,
+        FrozenRRRIndex,
+        QueryDeadlineExceeded,
+        ServingFrontend,
+    )
+
+    graph = _load_graph(args) if (args.dataset or args.edgelist
+                                  or args.metis or args.mtx) else None
+    index = FrozenRRRIndex.open(args.index)
+    mf = dict(index.manifest)
+    index.close()
+    print(
+        f"index: {mf['num_samples']} samples, model={mf['model']}"
+        f" seed={mf['seed']} frozen at k={mf['k']} eps={mf['eps']}"
+    )
+    k = args.k if args.k is not None else int(mf["k"])
+    # Synthetic mix: repeated top_k (exercises coalescing), an alternate
+    # k, a what-if seat, and a marginal-gain scan, round-robin.
+    kinds = ("top_k", "top_k", "alt_k", "what_if", "marginal")
+
+    async def _one(fe: ServingFrontend, i: int, kind: str):
+        t0 = time.perf_counter()
+        try:
+            if kind == "top_k":
+                r = await fe.top_k(args.index, k, graph=graph)
+            elif kind == "alt_k":
+                r = await fe.top_k(args.index, max(1, k // 2), graph=graph)
+            elif kind == "what_if":
+                r = await fe.what_if(args.index, k, forced=(0,))
+            else:
+                r = await fe.marginal_gain(args.index, [0])
+            out = (
+                f"degraded({r.degraded_reason})"
+                if getattr(r, "degraded", False) else "ok"
+            )
+        except AdmissionRejected as exc:
+            out = f"shed(retry_after={exc.retry_after:.3f}s)"
+        except QueryDeadlineExceeded:
+            out = "deadline"
+        return i, kind, out, time.perf_counter() - t0
+
+    async def _drive():
+        fe = ServingFrontend(
+            max_pending=args.max_pending,
+            concurrency=args.concurrency,
+            default_deadline=args.deadline,
+            fault_plan=args.fault_plan,
+        )
+        try:
+            rows = await asyncio.gather(
+                *[
+                    _one(fe, i, kinds[i % len(kinds)])
+                    for i in range(args.requests)
+                ]
+            )
+        finally:
+            await fe.close()
+        return rows, fe.stats.as_dict()
+
+    rows, stats = asyncio.run(_drive())
+    for i, kind, out, dt in rows:
+        print(f"  q{i:03d} {kind:9s} {out:32s} {dt * 1e3:8.2f} ms")
+    ok_lat = [dt for _, _, out, dt in rows if not out.startswith("shed")]
+    shed = sum(1 for _, _, out, _ in rows if out.startswith("shed"))
+    degraded = sum(1 for _, _, out, _ in rows if out.startswith("degraded"))
+    print(
+        f"served {stats['completed']}/{args.requests}"
+        f" (coalesced {stats['coalesced']}, degraded {degraded},"
+        f" shed {shed}, deadline_shed {stats['deadline_shed']})"
+    )
+    if ok_lat:
+        print(
+            f"latency p50={np.percentile(ok_lat, 50) * 1e3:.2f} ms"
+            f" p99={np.percentile(ok_lat, 99) * 1e3:.2f} ms"
+            f" peak_inflight={stats['peak_inflight']}"
+        )
+    if args.fault_plan:
+        print(
+            f"faults: republishes={stats['republishes']}"
+            f" extension_failures={stats['extension_failures']}"
+            f" breaker_trips={stats['breaker_trips']}"
+        )
+    return 0
+
+
 def _cmd_dist(args: argparse.Namespace) -> int:
     import json
 
@@ -653,6 +743,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimate the spread of this seed set and per-vertex gains",
     )
     p_qu.set_defaults(func=_cmd_query)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="drive a query batch through the async serving front end",
+    )
+    p_sv.add_argument(
+        "--index", required=True, metavar="DIR",
+        help="frozen index directory written by `repro-imm freeze`",
+    )
+    ssrc = p_sv.add_mutually_exclusive_group()
+    ssrc.add_argument(
+        "--dataset", choices=names(),
+        help="attach the graph (enables extension past the frozen prefix)",
+    )
+    ssrc.add_argument("--edgelist", help="path to a SNAP-style edge list")
+    ssrc.add_argument("--metis", help="path to a METIS graph file")
+    ssrc.add_argument("--mtx", help="path to a MatrixMarket coordinate file")
+    p_sv.add_argument(
+        "--model", choices=("IC", "LT"), default="IC",
+        help="diffusion model for --edgelist/--metis/--mtx loading",
+    )
+    p_sv.add_argument("--k", type=int, default=None, help="default: frozen k")
+    p_sv.add_argument(
+        "--requests", type=int, default=16,
+        help="number of queries in the synthetic batch",
+    )
+    p_sv.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; late queries degrade or shed",
+    )
+    p_sv.add_argument("--max-pending", type=int, default=64)
+    p_sv.add_argument("--concurrency", type=int, default=4)
+    p_sv.add_argument(
+        "--fault-plan", default=None,
+        help="serving fault spec, e.g. 'slowquery:0x0.05;stale:@1;"
+        "extendfail:@0x2' (slowquery:QxS, stale:@Q, extendfail:@NxK)",
+    )
+    p_sv.set_defaults(func=_cmd_serve)
 
     p_di = sub.add_parser(
         "dist",

@@ -42,6 +42,9 @@ __all__ = [
     "CorruptReduce",
     "OOMKill",
     "SwitchOutage",
+    "SlowQuery",
+    "StaleRepublish",
+    "ExtendFail",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -187,11 +190,63 @@ class SwitchOutage:
         return tuple(range(self.lo, self.hi + 1))
 
 
+@dataclass(frozen=True)
+class SlowQuery:
+    """Serving fault: query ``at_query`` straggles for ``seconds`` before
+    executing (a slow client, a cold page, a noisy neighbor).  Addressed
+    by the front end's admission sequence number, not the collective
+    step — serving queries never issue collectives."""
+
+    at_query: int
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.at_query < 0:
+            raise ValueError(f"at_query must be >= 0, got {self.at_query}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class StaleRepublish:
+    """Serving fault: query ``at_query`` observes a mid-flight graph
+    republish — its engine raises
+    :class:`~repro.serving.frozen.StaleIndexError` as if the index
+    directory had been re-frozen under it.  One-shot per event, so the
+    front end's at-most-once re-dispatch succeeds against the reopened
+    index."""
+
+    at_query: int
+
+    def __post_init__(self) -> None:
+        if self.at_query < 0:
+            raise ValueError(f"at_query must be >= 0, got {self.at_query}")
+
+
+@dataclass(frozen=True)
+class ExtendFail:
+    """Serving fault: index-extension attempts ``at_call .. at_call +
+    failures - 1`` crash (the SIGKILL analog for the serving layer's
+    sampling re-entry).  Addressed by the front end's extension-attempt
+    counter; consecutive failures are what trips the circuit breaker."""
+
+    at_call: int
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+        if self.failures < 1:
+            raise ValueError(f"failures must be >= 1, got {self.failures}")
+
+
 FaultEvent = Union[
-    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage
+    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage,
+    SlowQuery, StaleRepublish, ExtendFail,
 ]
 _EVENT_TYPES = (
-    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage
+    RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage,
+    SlowQuery, StaleRepublish, ExtendFail,
 )
 
 
@@ -230,6 +285,14 @@ class FaultPlan:
             transient:@5x2         ... fails twice before healing
             corrupt:0@1            rank 0's reduce buffer corrupted at step 1
             switch:1-3@2           ranks 1..3 all die at step 2 (switch outage)
+
+        Serving-layer faults (addressed by the front end's query sequence
+        number / extension-attempt counter, not the collective step)::
+
+            slowquery:2x0.1        query 2 straggles for 0.1s
+            stale:@1               query 1 sees a mid-flight graph republish
+            extendfail:@0          the first index extension crashes
+            extendfail:@0x3        ... the first three extensions crash
         """
         events: list[FaultEvent] = []
         for token in re.split(r"[;,]", spec):
@@ -277,6 +340,15 @@ def _parse_event(kind: str, rest: str, token: str) -> FaultEvent:
             if not sep:
                 raise ValueError("expected '<lo>-<hi>@<step>'")
             return SwitchOutage(int(lo), int(hi), int(at))
+        if kind == "slowquery":
+            target, sep, seconds = rest.partition("x")
+            return SlowQuery(int(target), float(seconds) if sep else 0.05)
+        if kind == "stale":
+            return StaleRepublish(int(rest.lstrip("@")))
+        if kind == "extendfail":
+            at = rest.lstrip("@")
+            call, sep, failures = at.partition("x")
+            return ExtendFail(int(call), int(failures) if sep else 1)
     except ValueError as exc:
         raise ValueError(f"bad fault token {token!r}: {exc}") from None
     raise ValueError(f"unknown fault kind {kind!r} in token {token!r}")
@@ -298,6 +370,15 @@ def _describe(event: FaultEvent) -> str:
         return f"transient failure at step {event.at_call} x{event.failures}"
     if isinstance(event, SwitchOutage):
         return f"switch outage: ranks {event.lo}-{event.hi} die at step {event.at_call}"
+    if isinstance(event, SlowQuery):
+        return f"query {event.at_query} straggles {event.seconds:g}s"
+    if isinstance(event, StaleRepublish):
+        return f"graph republish observed by query {event.at_query}"
+    if isinstance(event, ExtendFail):
+        return (
+            f"extension attempts {event.at_call}.."
+            f"{event.at_call + event.failures - 1} crash"
+        )
     return f"corrupt rank {event.rank} reduce buffer at step {event.at_call}"
 
 
@@ -326,6 +407,8 @@ class FaultInjector:
             for i, e in enumerate(plan.events)
             if isinstance(e, TransientFault)
         }
+        #: extension attempts issued so far (serving bulkhead counter).
+        self.extension_attempts = 0
 
     def check_rank(self, rank: int, phase: str = "") -> None:
         """Raise if ``rank`` dies while issuing the current collective."""
@@ -388,3 +471,43 @@ class FaultInjector:
 
     def advance_step(self) -> None:
         self.step += 1
+
+    # -- serving-layer faults (query-addressed, not step-addressed) --------
+
+    def query_delay(self, qid: int) -> float:
+        """Injected straggle (seconds) for query ``qid``; one-shot per
+        event, so a re-dispatched query does not straggle twice."""
+        total = 0.0
+        for i, event in enumerate(self.plan.events):
+            if i in self._fired:
+                continue
+            if isinstance(event, SlowQuery) and event.at_query == qid:
+                self._fired.add(i)
+                total += event.seconds
+        return total
+
+    def stale_due(self, qid: int) -> bool:
+        """``True`` once if query ``qid`` should observe a mid-flight
+        graph republish (consumed on firing, so the front end's
+        at-most-once re-dispatch completes against the reopened index)."""
+        for i, event in enumerate(self.plan.events):
+            if i in self._fired:
+                continue
+            if isinstance(event, StaleRepublish) and event.at_query == qid:
+                self._fired.add(i)
+                return True
+        return False
+
+    def extend_failure(self) -> bool:
+        """One index-extension attempt; ``True`` means it crashes.
+
+        Advances the extension-attempt counter either way, mirroring how
+        :meth:`transient_failure` burns an attempt per call.
+        """
+        attempt = self.extension_attempts
+        self.extension_attempts += 1
+        for event in self.plan.events:
+            if isinstance(event, ExtendFail):
+                if event.at_call <= attempt < event.at_call + event.failures:
+                    return True
+        return False

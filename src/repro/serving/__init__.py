@@ -13,13 +13,33 @@ what-if seed sets — should pay it once.  This subpackage provides:
   re-selection, bit-identical to a fresh ``imm()`` run by replaying the
   θ-estimation control flow over index prefixes
   (:mod:`repro.serving.query`).
-* :class:`IndexCache` — an LRU of open per-``(graph, model, eps)``
-  indices (:mod:`repro.serving.cache`).
+* :class:`IndexCache` — a concurrency-safe LRU of open
+  per-``(graph, model, eps)`` indices with refcounted leases
+  (:mod:`repro.serving.cache`).
+* :class:`ServingFrontend` — the traffic-hardened asyncio front end:
+  bounded admission with typed load-shedding, query coalescing, a
+  single-writer extension bulkhead behind a circuit breaker, and
+  deadline-bounded degradation into honest
+  :class:`DegradedServingResult` answers
+  (:mod:`repro.serving.frontend`).
 
-CLI: ``repro-imm freeze`` / ``repro-imm query``.
+CLI: ``repro-imm freeze`` / ``repro-imm query`` / ``repro-imm serve``.
 """
 
 from .cache import IndexCache
+from .errors import (
+    AdmissionRejected,
+    ExtensionFailedError,
+    QueryDeadlineExceeded,
+    ServingFrontendError,
+)
+from .frontend import (
+    CircuitBreaker,
+    DegradedServingResult,
+    FrontendStats,
+    ServingFrontend,
+    shrink_epsilon,
+)
 from .frozen import (
     FrozenCollectionView,
     FrozenIndexError,
@@ -40,4 +60,13 @@ __all__ = [
     "MarginalGains",
     "freeze_index",
     "IndexCache",
+    "ServingFrontend",
+    "DegradedServingResult",
+    "CircuitBreaker",
+    "FrontendStats",
+    "shrink_epsilon",
+    "ServingFrontendError",
+    "AdmissionRejected",
+    "QueryDeadlineExceeded",
+    "ExtensionFailedError",
 ]

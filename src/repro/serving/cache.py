@@ -1,4 +1,4 @@
-"""LRU of open frozen indices, keyed by ``(graph, model, eps)``.
+"""LRU of open frozen indices, keyed by ``(graph, model, eps, theta_cap)``.
 
 A serving process answers queries for many instances; each open index
 costs mapped address space plus the derived ``indptr`` / ``sample_of`` /
@@ -9,21 +9,51 @@ next request).
 
 Keys are the *identity* of the frozen instance — the graph fingerprint
 (falling back to the resolved path for indices frozen without a graph),
-the diffusion model, and the manifest ``eps`` — read fresh from the tiny
-manifest JSON on every request, so a ``tighten`` that amends the
-manifest in place re-keys the entry instead of leaving a stale alias.
+the diffusion model, the manifest ``eps``, and the ``theta_cap`` — read
+fresh from the tiny manifest JSON on every request, so a ``tighten``
+that amends the manifest in place re-keys the entry instead of leaving
+a stale alias.
+
+**Concurrency contract** (what the async front end leans on):
+
+* Every structural mutation — lookup, LRU reorder, eviction, re-key —
+  happens under one internal lock, so concurrent requests cannot corrupt
+  the table.
+* :meth:`lease` hands out *refcounted* engines: an entry pinned by a
+  live lease is never closed by eviction, invalidation, or re-keying —
+  its close is deferred until the last lease releases, so a query can
+  never have its memmaps unmapped mid-CELF.
+* A ``tighten`` through the cached engine re-keys the entry **in place**
+  (the open memmaps already serve the amended manifest); only a manifest
+  that changed *behind* the open engine — an out-of-process republish —
+  retires it and reopens from disk.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 
 from .frozen import FrozenIndexError, FrozenRRRIndex
 from .query import InfluenceQueryEngine
 
 __all__ = ["IndexCache"]
+
+
+class _Entry:
+    """One open engine plus the bookkeeping eviction needs."""
+
+    __slots__ = ("engine", "path", "key", "refs", "retired")
+
+    def __init__(self, engine: InfluenceQueryEngine, path: Path, key: tuple):
+        self.engine = engine
+        self.path = path
+        self.key = key
+        self.refs = 0
+        self.retired = False
 
 
 class IndexCache:
@@ -33,8 +63,11 @@ class IndexCache:
         if capacity < 1:
             raise ValueError("cache needs capacity >= 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[tuple, InfluenceQueryEngine]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         self._key_of_path: dict[Path, tuple] = {}
+        # Entries displaced while pinned by a lease; closed on release.
+        self._retired: set[_Entry] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -47,53 +80,146 @@ class IndexCache:
             raise FrozenIndexError(
                 f"unreadable index manifest under {path}: {exc}"
             ) from exc
+        return IndexCache._manifest_key(manifest, path)
+
+    @staticmethod
+    def _manifest_key(manifest: dict, path: Path) -> tuple:
+        # theta_cap is part of the identity: a capped and an uncapped
+        # freeze of the same (graph, model, eps) answer tighter-eps
+        # queries differently (the cap is replay-sticky), so they must
+        # never alias one cache entry.
         identity = manifest.get("graph_fingerprint") or str(path)
-        return (identity, manifest.get("model"), manifest.get("eps"))
+        return (
+            identity,
+            manifest.get("model"),
+            manifest.get("eps"),
+            manifest.get("theta_cap"),
+        )
 
     def engine(self, path: str | Path, *, graph=None) -> InfluenceQueryEngine:
         """Return the (cached) engine for the index at ``path``.
 
         ``graph`` is forwarded on open (fingerprint-verified, enables
         extension) and attached to a cached engine that was opened
-        without one.
+        without one.  The returned engine is *not* pinned — it may be
+        evicted by a later request; concurrent callers should use
+        :meth:`lease` instead.
         """
+        with self._lock:
+            return self._get(path, graph).engine
+
+    @contextmanager
+    def lease(self, path: str | Path, *, graph=None):
+        """Context-managed engine access, pinned against eviction.
+
+        While the lease is held the entry's memmaps cannot be closed —
+        eviction, :meth:`invalidate`, and republish-driven retirement all
+        defer the close until the last lease releases.
+        """
+        with self._lock:
+            entry = self._get(path, graph)
+            entry.refs += 1
+        try:
+            yield entry.engine
+        finally:
+            with self._lock:
+                entry.refs -= 1
+                if entry.retired and entry.refs == 0:
+                    entry.engine.index.close()
+                    self._retired.discard(entry)
+
+    def invalidate(self, path: str | Path) -> None:
+        """Drop the entry for ``path`` (hot re-open: the next request
+        reopens from disk).  Pinned entries are retired, not closed."""
+        path = Path(path).resolve()
+        with self._lock:
+            key = self._key_of_path.pop(path, None)
+            if key is None:
+                return
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._retire(entry)
+
+    # -- internals (caller holds the lock) ---------------------------------
+
+    def _get(self, path: str | Path, graph) -> _Entry:
         path = Path(path).resolve()
         key = self._key(path)
         stale = self._key_of_path.get(path)
         if stale is not None and stale != key:
-            # tighten() amended the manifest: drop the old-key alias.
-            old = self._entries.pop(stale, None)
-            if old is not None:
-                old.index.close()
+            # The manifest changed since this path was cached.  If it
+            # changed through the cached engine (tighten amends the
+            # manifest it holds), the open memmaps are current: re-key
+            # atomically.  If it changed behind the engine (republish),
+            # the maps are stale: retire and reopen.
+            entry = self._entries.pop(stale, None)
             del self._key_of_path[path]
-        engine = self._entries.get(key)
-        if engine is not None:
+            if entry is not None:
+                mem_key = self._manifest_key(entry.engine.index.manifest, path)
+                if mem_key == key and not entry.retired:
+                    entry.key = key
+                    self._entries[key] = entry
+                    self._key_of_path[path] = key
+                else:
+                    self._retire(entry)
+        entry = self._entries.get(key)
+        if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
-            if graph is not None and engine.graph is None:
-                engine.index.verify_graph(graph)
-                engine.graph = graph
-            return engine
+            if graph is not None and entry.engine.graph is None:
+                entry.engine.index.verify_graph(graph)
+                entry.engine.graph = graph
+            return entry
         self.misses += 1
         index = FrozenRRRIndex.open(path, graph=graph)
         engine = InfluenceQueryEngine(index, graph=graph, verify=False)
-        self._entries[key] = engine
+        entry = _Entry(engine, path, key)
+        self._entries[key] = entry
         self._key_of_path[path] = key
+        self._evict_over_capacity(keep=entry)
+        return entry
+
+    def _evict_over_capacity(self, keep: _Entry | None = None) -> None:
+        # Evict LRU-first among unpinned entries; pinned entries and the
+        # entry being handed out (``keep``) are skipped (the cache may
+        # transiently exceed capacity while every entry is leased —
+        # bounded by the front end's admission limit).
         while len(self._entries) > self.capacity:
-            _, evicted = self._entries.popitem(last=False)
-            evicted.index.close()
+            victim_key = next(
+                (
+                    k for k, e in self._entries.items()
+                    if e.refs == 0 and e is not keep
+                ),
+                None,
+            )
+            if victim_key is None:
+                break
+            victim = self._entries.pop(victim_key)
             self.evictions += 1
+            self._retire(victim)
             self._key_of_path = {
                 p: k for p, k in self._key_of_path.items() if k in self._entries
             }
-        return engine
+
+    def _retire(self, entry: _Entry) -> None:
+        if entry.refs == 0:
+            entry.engine.index.close()
+        else:
+            entry.retired = True
+            self._retired.add(entry)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def close(self) -> None:
-        """Close every open index (idempotent)."""
-        for engine in self._entries.values():
-            engine.index.close()
-        self._entries.clear()
-        self._key_of_path.clear()
+        """Close every open index (idempotent).  Force-closes pinned
+        entries too — quiesce the front end before calling this."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.engine.index.close()
+            for entry in self._retired:
+                entry.engine.index.close()
+            self._entries.clear()
+            self._retired.clear()
+            self._key_of_path.clear()

@@ -1,0 +1,69 @@
+"""Typed failure surface of the serving front end.
+
+Every way the front end refuses or abandons a query is a distinct
+exception type carrying the numbers a caller needs to react — retry
+delay, elapsed vs. budget, which extension attempt died — so traffic
+policy lives in the caller (back off, re-route, accept a degraded
+answer) instead of being guessed from string matching.  Index-integrity
+failures keep their own hierarchy
+(:class:`~repro.serving.frozen.FrozenIndexError`); these errors are
+about *traffic*, not bytes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingFrontendError",
+    "AdmissionRejected",
+    "QueryDeadlineExceeded",
+    "ExtensionFailedError",
+]
+
+
+class ServingFrontendError(RuntimeError):
+    """Base class for front-end traffic failures."""
+
+
+class AdmissionRejected(ServingFrontendError):
+    """The query was shed at the door — the bounded queue is full (or the
+    front end is shutting down).  ``retry_after`` is the front end's
+    estimate of when capacity frees up, derived from the observed
+    per-query latency and the current backlog depth.
+    """
+
+    def __init__(
+        self, reason: str, retry_after: float, inflight: int, limit: int
+    ) -> None:
+        super().__init__(
+            f"admission rejected ({reason}): {inflight}/{limit} queries "
+            f"in flight, retry after {retry_after:.3f}s"
+        )
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.inflight = inflight
+        self.limit = limit
+
+
+class QueryDeadlineExceeded(ServingFrontendError):
+    """The query's deadline expired while it was still queued — running
+    it would only return an answer nobody is waiting for."""
+
+    def __init__(self, waited: float, deadline: float) -> None:
+        super().__init__(
+            f"deadline of {deadline:.3f}s expired after {waited:.3f}s in queue"
+        )
+        self.waited = float(waited)
+        self.deadline = float(deadline)
+
+
+class ExtensionFailedError(ServingFrontendError):
+    """An index extension (tighten / out-of-prefix θ) crashed or timed
+    out.  Queries normally never see this — the front end converts it
+    into a degraded answer and feeds the circuit breaker — but it is
+    raised to the caller when degradation is impossible (no prefix to
+    answer from)."""
+
+    def __init__(self, attempt: int, cause: str) -> None:
+        super().__init__(f"index extension attempt {attempt} failed: {cause}")
+        self.attempt = attempt
+        self.cause = cause

@@ -89,6 +89,11 @@ class ServingResult:
     def served_from_index(self) -> bool:
         return self.samples_added == 0
 
+    @property
+    def degraded(self) -> bool:
+        """``True`` only on the front end's typed degraded subclass."""
+        return False
+
 
 @dataclass
 class MarginalGains:
@@ -171,6 +176,25 @@ def freeze_index(
     return index, res
 
 
+def _validate_vertex_ids(ids, n: int, what: str) -> tuple[int, ...]:
+    """Range-check query vertex ids before any coverage structure is
+    touched.
+
+    Without this, an out-of-range id surfaces as a numpy ``IndexError``
+    deep inside CELF — and a *negative* id silently wraps around and
+    answers about the wrong vertex, which is worse than crashing.
+    """
+    checked = []
+    for v in np.asarray(list(ids), dtype=np.int64).tolist():
+        if not 0 <= v < n:
+            raise ValueError(
+                f"{what} vertex {v} out of range for a graph with "
+                f"{n} vertices (valid ids: 0..{n - 1})"
+            )
+        checked.append(int(v))
+    return tuple(checked)
+
+
 class InfluenceQueryEngine:
     """Serve influence queries from one frozen index.
 
@@ -193,8 +217,11 @@ class InfluenceQueryEngine:
         self.index = index
         self.graph = graph
         self._sampler = None
-        self._vert_order: np.ndarray | None = None
-        self._vert_indptr: np.ndarray | None = None
+        # (vert_order, vert_indptr) as ONE attribute: the front end runs
+        # concurrent queries against a shared engine in worker threads,
+        # and a single tuple assignment is atomic where a pair of
+        # attribute writes can be observed half-built.
+        self._vert_cache: tuple[np.ndarray, np.ndarray] | None = None
         #: cumulative edges examined by serving-time extensions.
         self.edges_examined = 0
         # Test hook for the tighten-reuses-wrong-stream-offset mutant:
@@ -206,18 +233,18 @@ class InfluenceQueryEngine:
     def _vertex_index(self) -> tuple[np.ndarray, np.ndarray]:
         """Vertex → flat-entry positions, grouped (stable, so positions
         ascend within each vertex — prefix cuts are one searchsorted)."""
-        if self._vert_order is None:
+        cache = self._vert_cache
+        if cache is None:
             flat, _, _ = self.index.arrays()
-            self._vert_order = np.argsort(flat, kind="stable")
+            order = np.argsort(flat, kind="stable")
             counts = np.bincount(flat, minlength=self.index.n)
             vert_indptr = np.zeros(self.index.n + 1, dtype=np.int64)
             np.cumsum(counts, out=vert_indptr[1:])
-            self._vert_indptr = vert_indptr
-        return self._vert_order, self._vert_indptr
+            cache = self._vert_cache = (order, vert_indptr)
+        return cache
 
     def _invalidate(self) -> None:
-        self._vert_order = None
-        self._vert_indptr = None
+        self._vert_cache = None
 
     # -- sampling-on-demand ------------------------------------------------
 
@@ -227,10 +254,20 @@ class InfluenceQueryEngine:
         if target <= idx.num_samples:
             return 0, 0
         if not allow_extend or self.graph is None:
-            raise FrozenIndexError(
-                f"query needs {target} samples but the index holds "
-                f"{idx.num_samples} and no graph is attached to extend it"
+            why = (
+                "extension is disabled"
+                if self.graph is not None
+                else "no graph is attached to extend it"
             )
+            exc = FrozenIndexError(
+                f"query needs {target} samples but the index holds "
+                f"{idx.num_samples} and {why}"
+            )
+            # The front end's degradation path reads these to report an
+            # honest theta_effective/theta target pair.
+            exc.needed = int(target)
+            exc.have = int(idx.num_samples)
+            raise exc
         start = idx.num_samples
         if self._sampler is None:
             self._sampler = BatchedRRRSampler(self.graph, idx.model)
@@ -285,10 +322,9 @@ class InfluenceQueryEngine:
             cut = int(np.searchsorted(pos, entries_m))
             return sample_of[pos[:cut]]
 
+        forced = _validate_vertex_ids(forced, n, "forced")
+        excluded = _validate_vertex_ids(excluded, n, "excluded")
         for v in forced:
-            v = int(v)
-            if not 0 <= v < n:
-                raise ValueError(f"forced vertex {v} out of range")
             if taken[v]:
                 continue
             taken[v] = True
@@ -301,7 +337,6 @@ class InfluenceQueryEngine:
             raise ValueError(f"{len(seeds)} forced vertices exceed k={k}")
 
         for v in excluded:
-            v = int(v)
             if taken[v]:
                 raise ValueError(f"vertex {v} is both forced and excluded")
             taken[v] = True  # never enters the heap
@@ -414,19 +449,31 @@ class InfluenceQueryEngine:
 
     # -- queries -----------------------------------------------------------
 
-    def top_k(self, k: int | None = None, eps: float | None = None) -> ServingResult:
+    def top_k(
+        self,
+        k: int | None = None,
+        eps: float | None = None,
+        *,
+        allow_extend: bool | None = None,
+    ) -> ServingResult:
         """The ``k`` best seeds, bit-identical to ``imm(graph, k, eps)``.
 
         Defaults to the frozen ``(k, eps)``; any other pair replays the
         estimation over index prefixes, extending the tail only when the
         new pair genuinely demands more samples (requires ``graph``).
+        ``allow_extend=False`` forbids extension even with a graph
+        attached — the front end uses it to keep in-prefix queries out of
+        the single-writer bulkhead; an out-of-prefix query then raises
+        :class:`FrozenIndexError` with ``needed``/``have`` attributes.
         """
         t0 = time.perf_counter()
         mf = self.index.manifest
         k = int(mf["k"]) if k is None else int(k)
         eps = float(mf["eps"]) if eps is None else float(eps)
         before = self.index.num_samples
-        r = self._replay(k, eps, allow_extend=self.graph is not None)
+        if allow_extend is None:
+            allow_extend = self.graph is not None
+        r = self._replay(k, eps, allow_extend=allow_extend)
         return ServingResult(
             seeds=r["seeds"],
             k=k,
@@ -515,14 +562,16 @@ class InfluenceQueryEngine:
         """
         idx = self.index
         n, m = idx.n, idx.num_samples
+        seed_set = _validate_vertex_ids(seed_set, n, "seed")
+        if candidates is not None:
+            candidates = np.asarray(
+                _validate_vertex_ids(candidates, n, "candidate"), dtype=np.int64
+            )
         flat, indptr, sample_of = idx.arrays()
         vert_order, vert_indptr = self._vertex_index()
         alive = np.ones(m, dtype=bool)
         covered = 0
-        for v in np.asarray(seed_set, dtype=np.int64):
-            v = int(v)
-            if not 0 <= v < n:
-                raise ValueError(f"seed vertex {v} out of range")
+        for v in seed_set:
             pos = vert_order[vert_indptr[v] : vert_indptr[v + 1]]
             hits = sample_of[pos]
             killed = hits[alive[hits]]
@@ -532,10 +581,10 @@ class InfluenceQueryEngine:
         gains_count = np.bincount(flat[mask], minlength=n)
         scale = n / m if m else 0.0
         gains = gains_count.astype(np.float64) * scale
-        for v in np.asarray(seed_set, dtype=np.int64):
-            gains[int(v)] = 0.0
+        for v in seed_set:
+            gains[v] = 0.0
         if candidates is not None:
-            gains = gains[np.asarray(candidates, dtype=np.int64)]
+            gains = gains[candidates]
         return MarginalGains(
             spread=covered * scale,
             covered_samples=covered,

@@ -21,6 +21,7 @@ All checkers are importable individually for targeted tests (see
 from __future__ import annotations
 
 from .engine import check_engine_sampling
+from .frontend import check_frontend_equivalence
 from .invariants import (
     check_collection,
     check_hypergraph_collection,
@@ -77,6 +78,7 @@ __all__ = [
     "check_serving_equivalence",
     "check_index_graph_binding",
     "check_index_bitwise",
+    "check_frontend_equivalence",
     "MutantResult",
     "run_mutation_suite",
     "SMOKE_MUTANTS",

@@ -624,6 +624,60 @@ def _mutant_tighten_offset(seed: int) -> MutantResult:
     )
 
 
+def _frontend_mutant(seed: int, hook: str, check_name: str):
+    """Run the front-end oracle axis with one deliberate-bug flag set."""
+    from ..datasets import load as load_graph
+    from .frontend import check_frontend_equivalence
+    from .oracle import quick_config
+
+    cfg = quick_config()
+    graph = load_graph(_MUTATION_DATASET, "IC")
+    report = check_frontend_equivalence(
+        graph, "IC", cfg, "mutant", _frontend_kwargs={hook: True}
+    )
+    return _violated(report, check_name)
+
+
+def _mutant_dishonest_degrade(seed: int) -> MutantResult:
+    """A front end that degrades but reports the *requested* ε as
+    achieved.
+
+    The seeds are plausible (they really are the best selection over the
+    frozen prefix), the result is typed, the reason is set — only the
+    shrink-arithmetic recomputation in ``frontend.degraded-honesty``
+    can see that the certified guarantee is a lie.
+    """
+    detected, evidence = _frontend_mutant(
+        seed, "_mutate_dishonest_degrade", "frontend.degraded-honesty"
+    )
+    return MutantResult(
+        "degraded-result-reports-full-epsilon",
+        "degraded answer claims epsilon_effective == requested eps",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_breaker_bypass(seed: int) -> MutantResult:
+    """A front end whose extension path ignores the open circuit breaker.
+
+    Every individual answer is still correct-or-typed-degraded, so no
+    bit-identity check fires; the failure mode is *operational* —
+    queries keep queueing into a sick sampler instead of degrading —
+    and only the attempt accounting in ``frontend.breaker-discipline``
+    catches it.
+    """
+    detected, evidence = _frontend_mutant(
+        seed, "_mutate_breaker_bypass", "frontend.breaker-discipline"
+    )
+    return MutantResult(
+        "breaker-open-still-extends",
+        "extension bulkhead entered while the circuit breaker is open",
+        detected,
+        evidence,
+    )
+
+
 _MUTANTS = {
     "unsorted-sample": _mutant_unsorted,
     "within-sample-duplicate": _mutant_duplicate,
@@ -645,6 +699,8 @@ _MUTANTS = {
     "speculative-result-raced-in-wrong-order": _mutant_spec_order,
     "stale-index-served-after-graph-change": _mutant_stale_index,
     "tighten-reuses-wrong-stream-offset": _mutant_tighten_offset,
+    "degraded-result-reports-full-epsilon": _mutant_dishonest_degrade,
+    "breaker-open-still-extends": _mutant_breaker_bypass,
 }
 
 #: The cheap subset tier-1 CI runs on every commit (sub-second each):

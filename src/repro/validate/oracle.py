@@ -59,6 +59,7 @@ from .recovery import (
 )
 from .report import ValidationReport
 from .rnglaws import check_rng_laws
+from .frontend import check_frontend_equivalence
 from .serving import check_serving_equivalence
 from .supervision import check_supervised_equivalence
 
@@ -122,6 +123,10 @@ class OracleConfig:
     #: cover the frozen serving index: freeze / serve / tighten /
     #: promote / graph-binding / cache axes, bit-identical to fresh runs.
     check_serving: bool = True
+    #: cover the async serving front end: admission control, coalescing,
+    #: extension bulkhead + circuit breaker, deadline-bounded degradation,
+    #: and injected serving faults (stragglers, republish, crashes).
+    check_frontend: bool = True
 
 
 def quick_config() -> OracleConfig:
@@ -421,6 +426,10 @@ def check_graph_equivalence(
     # -- frozen serving index (freeze / serve / tighten / promote) --------
     if cfg.check_serving:
         rep.merge(check_serving_equivalence(graph, model, cfg, subject))
+
+    # -- traffic front end (admission / coalesce / bulkhead / degrade) ----
+    if cfg.check_frontend:
+        rep.merge(check_frontend_equivalence(graph, model, cfg, subject))
 
     # -- graph-partitioned distributed sampler (hash coins are IC-only) ---
     if cfg.check_partitioned and model == "IC":

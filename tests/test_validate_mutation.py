@@ -33,6 +33,8 @@ EXPECTED_MUTANTS = {
     "speculative-result-raced-in-wrong-order",
     "stale-index-served-after-graph-change",
     "tighten-reuses-wrong-stream-offset",
+    "degraded-result-reports-full-epsilon",
+    "breaker-open-still-extends",
 }
 
 
