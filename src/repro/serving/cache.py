@@ -128,6 +128,43 @@ class IndexCache:
                     entry.engine.index.close()
                     self._retired.discard(entry)
 
+    def identity(self, path: str | Path) -> tuple:
+        """The identity key the cache would use for ``path`` right now.
+
+        A fresh read of the tiny manifest JSON — no entry is created or
+        touched.  The front end folds this into its coalescing key so
+        identical queries only share an execution when they target the
+        same on-disk index identity, not merely the same path.
+        """
+        return self._key(Path(path).resolve())
+
+    def pin(self, engine: InfluenceQueryEngine):
+        """Refcount-pin the entry owning ``engine``; returns a release
+        callable (a no-op when the engine is not cached).
+
+        Unlike :meth:`lease` this resolves by engine identity, not path,
+        so it pins the exact entry even after a republish re-pointed the
+        path elsewhere.  The front end uses it to keep an index mapped
+        while a leaked extension thread finishes after its caller's
+        lease has already been released.
+        """
+        with self._lock:
+            for entry in (*self._entries.values(), *self._retired):
+                if entry.engine is engine:
+                    entry.refs += 1
+                    break
+            else:
+                return lambda: None
+
+        def release() -> None:
+            with self._lock:
+                entry.refs -= 1
+                if entry.retired and entry.refs == 0:
+                    entry.engine.index.close()
+                    self._retired.discard(entry)
+
+        return release
+
     def invalidate(self, path: str | Path) -> None:
         """Drop the entry for ``path`` (hot re-open: the next request
         reopens from disk).  Pinned entries are retired, not closed."""

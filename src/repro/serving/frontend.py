@@ -58,11 +58,7 @@ import numpy as np
 from ..imm.theta import _inflated_l, lambda_star
 from ..mpi.faults import FaultPlan
 from .cache import IndexCache
-from .errors import (
-    AdmissionRejected,
-    ExtensionFailedError,
-    QueryDeadlineExceeded,
-)
+from .errors import AdmissionRejected, QueryDeadlineExceeded
 from .frozen import FrozenIndexError, StaleIndexError
 from .query import MarginalGains, ServingResult
 
@@ -228,6 +224,10 @@ class ServingFrontend:
         self._qseq = 0
         self._closed = False
         self._coalesced: dict[tuple, asyncio.Future] = {}
+        # Reapers adopt extension threads that outlived their caller's
+        # deadline: each holds the writer lock (and a cache pin) until
+        # the thread actually exits.  close() joins them.
+        self._reapers: set[asyncio.Task] = set()
         self._writer_locks: dict[Path, asyncio.Lock] = {}
         self._breakers: dict[Path, CircuitBreaker] = {}
         self._lat_ewma: float | None = None
@@ -328,10 +328,15 @@ class ServingFrontend:
     # -- lifecycle ---------------------------------------------------------
 
     async def close(self) -> None:
-        """Quiesce: refuse new queries, drain in-flight ones, close every
-        cached index.  Afterwards no engines, memmaps, or tasks leak."""
+        """Quiesce: refuse new queries, drain in-flight ones, join any
+        leaked extension threads, close every cached index.  Afterwards
+        no engines, memmaps, or tasks leak."""
         self._closed = True
         await self._idle.wait()
+        while self._reapers:
+            # A leaked extension thread is still appending — closing its
+            # memmaps under it would tear the index.  Wait it out.
+            await asyncio.gather(*list(self._reapers), return_exceptions=True)
         self.cache.close()
 
     async def __aenter__(self) -> "ServingFrontend":
@@ -344,6 +349,7 @@ class ServingFrontend:
 
     def _admit(self) -> int:
         if self._closed:
+            self.stats.rejected += 1
             raise AdmissionRejected(
                 "shutdown", 0.0, self._inflight, self.max_pending
             )
@@ -389,11 +395,46 @@ class ServingFrontend:
             dl = self.default_deadline if deadline is None else deadline
             expires = None if dl is None else loop.time() + dl
             if ckey is not None:
+                # Same arguments is not enough to share an answer: the
+                # key carries the on-disk index *identity*, so a query
+                # admitted after a republish never rides an execution
+                # started against the old index (it would get a stale
+                # answer with no StaleIndexError re-dispatch).
+                ckey = (*ckey, self.cache.identity(path))
                 shared = self._coalesced.get(ckey)
                 if shared is not None:
-                    # An identical query is already running: ride it.
+                    # An identical query is already running: ride it —
+                    # under *this* caller's deadline, not the owner's.
                     self.stats.coalesced += 1
-                    result = await asyncio.shield(shared)
+                    try:
+                        if expires is None:
+                            result = await asyncio.shield(shared)
+                        else:
+                            result = await asyncio.wait_for(
+                                asyncio.shield(shared),
+                                timeout=expires - loop.time(),
+                            )
+                        self.stats.completed += 1
+                        return result
+                    except asyncio.TimeoutError:
+                        self.stats.deadline_shed += 1
+                        raise QueryDeadlineExceeded(
+                            waited=dl + max(loop.time() - expires, 0.0),
+                            deadline=dl,
+                        ) from None
+                    except (QueryDeadlineExceeded, StaleIndexError):
+                        # The owner's budget or republish retry, not a
+                        # property of the query itself: traffic outcomes
+                        # don't transfer between callers with different
+                        # budgets — run the query ourselves.
+                        pass
+                    except asyncio.CancelledError:
+                        if not shared.done():
+                            raise  # our own cancellation, owner lives on
+                        pass  # owner was cancelled: owner-specific too
+                    result = await self._execute(
+                        qid, path, graph, expires, dl, call, extend, k, eps
+                    )
                     self.stats.completed += 1
                     return result
                 fut: asyncio.Future = loop.create_future()
@@ -505,7 +546,10 @@ class ServingFrontend:
                 self._ext_ewma is not None and remaining < self._ext_ewma
             ):
                 return await self._degrade(eng, k, eps, "deadline", needed)
-        async with self._writer_lock(path):
+        lock = self._writer_lock(path)
+        await lock.acquire()
+        handed_off = False
+        try:
             # Waiting may have consumed the budget or tripped the
             # breaker — re-check both before touching the sampler.
             if not self._breaker_allows(brk):
@@ -514,26 +558,39 @@ class ServingFrontend:
             if remaining is not None and remaining <= 0.0:
                 return await self._degrade(eng, k, eps, "deadline", needed)
             self.stats.extension_attempts += 1
-            t0 = time.perf_counter()
-            try:
-                if self.injector.extend_failure():
-                    raise ExtensionFailedError(
-                        self.injector.extension_attempts - 1,
-                        "injected extension crash",
-                    )
-                result = await asyncio.wait_for(
-                    asyncio.to_thread(extend, eng), timeout=remaining
-                )
-            except (ExtensionFailedError, asyncio.TimeoutError) as exc:
+            if self.injector.extend_failure():
                 self.stats.extension_failures += 1
                 if brk.record_failure():
                     self.stats.breaker_trips += 1
-                reason = (
-                    "extension-timeout"
-                    if isinstance(exc, asyncio.TimeoutError)
-                    else "extension-failed"
+                return await self._degrade(
+                    eng, k, eps, "extension-failed", needed
                 )
-                return await self._degrade(eng, k, eps, reason, needed)
+            t0 = time.perf_counter()
+            task = asyncio.ensure_future(asyncio.to_thread(extend, eng))
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(task), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                # The worker thread cannot be cancelled: it is still
+                # appending.  Ownership of the writer lock (and a cache
+                # pin on the engine) moves to a reaper that holds both
+                # until the thread actually exits — a second extension
+                # can never interleave with the leaked one, and eviction
+                # cannot unmap the index under it.
+                self.stats.extension_failures += 1
+                if brk.record_failure():
+                    self.stats.breaker_trips += 1
+                handed_off = True
+                self._adopt_leaked_writer(task, lock, brk, eng, t0)
+                return await self._degrade(
+                    eng, k, eps, "extension-timeout", needed
+                )
+            except asyncio.CancelledError:
+                # Caller cancelled mid-extend: same leak, same handoff.
+                handed_off = True
+                self._adopt_leaked_writer(task, lock, brk, eng, t0)
+                raise
             cost = time.perf_counter() - t0
             self._ext_ewma = (
                 cost if self._ext_ewma is None
@@ -541,6 +598,42 @@ class ServingFrontend:
             )
             brk.record_success()
             return result
+        finally:
+            if not handed_off:
+                lock.release()
+
+    def _adopt_leaked_writer(self, task, lock, brk, eng, t0) -> None:
+        """Own a still-running extension thread until it exits.
+
+        The adopting reaper keeps the single-writer bulkhead closed and
+        the engine's cache entry pinned, so the leaked append can never
+        interleave with a later extension or lose its memmaps to
+        eviction.  A late *success* is real — the index grew durably and
+        the sampler proved healthy — so it closes the breaker and feeds
+        the cost EWMA; a late crash adds nothing the timeout's failure
+        record didn't already say.
+        """
+        unpin = self.cache.pin(eng)
+
+        async def reap() -> None:
+            try:
+                await task
+            except BaseException:
+                pass
+            else:
+                brk.record_success()
+                cost = time.perf_counter() - t0
+                self._ext_ewma = (
+                    cost if self._ext_ewma is None
+                    else _EWMA * self._ext_ewma + (1.0 - _EWMA) * cost
+                )
+            finally:
+                unpin()
+                lock.release()
+
+        reaper = asyncio.ensure_future(reap())
+        self._reapers.add(reaper)
+        reaper.add_done_callback(self._reapers.discard)
 
     # -- degradation -------------------------------------------------------
 

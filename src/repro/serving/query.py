@@ -309,7 +309,10 @@ class InfluenceQueryEngine:
         if not 1 <= k <= n:
             raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
         flat, indptr, sample_of = self.index.arrays()
-        m = int(num_samples)
+        # Clamp to the mapped prefix: a concurrent extension commits the
+        # manifest count before the remap lands, so a racing caller's
+        # ``num_samples`` snapshot can momentarily exceed ``indptr``.
+        m = min(int(num_samples), len(indptr) - 1)
         entries_m = int(indptr[m])
         vert_order, vert_indptr = self._vertex_index()
         alive = np.ones(m, dtype=bool)
@@ -569,16 +572,24 @@ class InfluenceQueryEngine:
             )
         flat, indptr, sample_of = idx.arrays()
         vert_order, vert_indptr = self._vertex_index()
+        # Snapshot the prefix: the front end runs pure reads concurrently
+        # with a single extension writer, so the mapped arrays (and the
+        # vertex index) may already cover samples past ``m`` — every read
+        # below is cut to the first ``m`` samples, exactly like
+        # ``_celf_select``'s prefix replay.
+        m = min(m, len(indptr) - 1)
+        entries = int(indptr[m])
         alive = np.ones(m, dtype=bool)
         covered = 0
         for v in seed_set:
             pos = vert_order[vert_indptr[v] : vert_indptr[v + 1]]
+            pos = pos[: int(np.searchsorted(pos, entries))]
             hits = sample_of[pos]
             killed = hits[alive[hits]]
             covered += len(killed)
             alive[killed] = False
-        mask = alive[sample_of]
-        gains_count = np.bincount(flat[mask], minlength=n)
+        mask = alive[sample_of[:entries]]
+        gains_count = np.bincount(flat[:entries][mask], minlength=n)
         scale = n / m if m else 0.0
         gains = gains_count.astype(np.float64) * scale
         for v in seed_set:

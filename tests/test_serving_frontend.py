@@ -10,6 +10,7 @@ the bottom throws all of those at one front end at once.
 
 import asyncio
 import shutil
+import time
 
 import numpy as np
 import pytest
@@ -20,7 +21,9 @@ from repro.serving import (
     AdmissionRejected,
     CircuitBreaker,
     DegradedServingResult,
+    FrozenRRRIndex,
     IndexCache,
+    InfluenceQueryEngine,
     QueryDeadlineExceeded,
     ServingFrontend,
     StaleIndexError,
@@ -183,6 +186,54 @@ class TestDeadline:
         assert r1.waited >= 0.05
         assert stats.deadline_shed == 1
 
+    def test_rider_deadline_enforced_while_owner_runs(self, frozen):
+        """A coalesced rider is shed by its *own* deadline even while
+        the deadline-free owner keeps running."""
+        out, res = frozen
+
+        async def body():
+            fe = ServingFrontend(concurrency=2, fault_plan="slowquery:0x0.3")
+            owner, rider = await asyncio.gather(
+                fe.top_k(out),
+                fe.top_k(out, deadline=0.05),
+                return_exceptions=True,
+            )
+            await fe.close()
+            return owner, rider, fe.stats
+
+        owner, rider, stats = run(body())
+        assert not isinstance(owner, BaseException)
+        assert np.array_equal(owner.seeds, res.seeds)
+        assert isinstance(rider, QueryDeadlineExceeded)
+        assert rider.deadline == pytest.approx(0.05)
+        assert stats.coalesced == 1
+        assert stats.deadline_shed == 1
+
+    def test_owner_shed_does_not_shed_deadline_free_rider(self, frozen):
+        """The owner's deadline is not the rider's: when the owner sheds
+        at the worker, a deadline-free rider re-executes and completes
+        instead of inheriting the owner's QueryDeadlineExceeded."""
+        out, res = frozen
+
+        async def body():
+            fe = ServingFrontend(concurrency=1, fault_plan="slowquery:0x0.2")
+            blocker, owner, rider = await asyncio.gather(
+                fe.what_if(out, K),            # straggles, holds the worker
+                fe.top_k(out, deadline=0.05),  # owner: sheds at the worker
+                fe.top_k(out),                 # rider with no deadline
+                return_exceptions=True,
+            )
+            await fe.close()
+            return blocker, owner, rider, fe.stats
+
+        blocker, owner, rider, stats = run(body())
+        assert not isinstance(blocker, BaseException)
+        assert isinstance(owner, QueryDeadlineExceeded)
+        assert not isinstance(rider, BaseException), rider
+        assert not rider.degraded
+        assert np.array_equal(rider.seeds, res.seeds)
+        assert stats.coalesced == 1 and stats.deadline_shed == 1
+
     def test_no_deadline_budget_degrades_instead_of_extending(
         self, ba_graph, uncapped
     ):
@@ -314,7 +365,91 @@ class TestCircuitBreaker:
         assert stats.breaker_trips == 1 and stats.extension_attempts == 2
 
 
+class TestExtensionTimeout:
+    def test_timed_out_extension_keeps_bulkhead_until_thread_exits(
+        self, ba_graph, uncapped, monkeypatch
+    ):
+        """A deadline firing mid-extension must not release the
+        single-writer bulkhead while the worker thread is still
+        appending: the caller degrades immediately, the leaked thread is
+        adopted (writer lock + cache pin held until it exits), and a
+        follow-up extension serializes behind it instead of interleaving
+        — afterwards the on-disk index still opens and seals, and the
+        next answer is bit-identical to a fresh ``imm()``."""
+        path, frozen_m, _ = uncapped
+        real = InfluenceQueryEngine._ensure_samples
+        slept = []
+
+        def slow(self, target, allow_extend):
+            if allow_extend and not slept and target > self.index.num_samples:
+                slept.append(target)
+                time.sleep(0.3)  # outlives the caller's 0.1s deadline
+            return real(self, target, allow_extend)
+
+        monkeypatch.setattr(InfluenceQueryEngine, "_ensure_samples", slow)
+        tight = EPS * 0.45
+        want = imm(
+            ba_graph, K, tight, "IC", seed=SEED, layout="sorted",
+            theta_cap=None,
+        )
+
+        async def body():
+            fe = ServingFrontend()
+            first = await fe.top_k(
+                path, eps=EPS * 0.5, graph=ba_graph, deadline=0.1
+            )
+            # The leaked thread still holds the bulkhead: this second
+            # extension must wait for it, then append past the grown
+            # prefix — never interleave with the leaked append.
+            second = await fe.top_k(path, eps=tight, graph=ba_graph)
+            await fe.close()
+            return first, second, fe.stats, len(fe._reapers)
+
+        first, second, stats, reapers_left = run(body())
+        assert isinstance(first, DegradedServingResult)
+        assert first.degraded_reason == "extension-timeout"
+        assert first.theta_effective == frozen_m
+        assert stats.extension_failures == 1
+        assert not second.degraded
+        assert np.array_equal(second.seeds, want.seeds)
+        assert second.theta == want.theta
+        assert reapers_left == 0  # close() joined the adopted writer
+        # Both appends landed coherently: the re-opened index seals.
+        with FrozenRRRIndex.open(path) as index:
+            assert index.num_samples > frozen_m
+
+
 class TestRepublish:
+    def test_post_republish_query_does_not_ride_stale_execution(
+        self, ba_graph, uncapped, tmp_path
+    ):
+        """Coalescing is keyed by index *identity*: a query admitted
+        after an on-disk republish must start its own execution against
+        the new index, never ride one in flight against the old."""
+        path, _, _ = uncapped
+
+        async def body():
+            fe = ServingFrontend(concurrency=2, fault_plan="slowquery:0x0.3")
+            owner = asyncio.ensure_future(fe.top_k(path))  # qid 0 straggles
+            await asyncio.sleep(0.1)  # owner is in flight
+            # Republish behind it: same path, different identity.
+            v2 = tmp_path / "v2"
+            index, res2 = freeze_index(
+                ba_graph, K, 0.6, "IC", SEED, theta_cap=CAP, out_dir=v2
+            )
+            index.close()
+            shutil.rmtree(path)
+            shutil.copytree(v2, path)
+            fresh = await fe.top_k(path)
+            old = await owner
+            await fe.close()
+            return fresh, old, res2, fe.stats
+
+        fresh, old, res2, stats = run(body())
+        assert stats.coalesced == 0  # identity key kept them apart
+        assert fresh.epsilon == pytest.approx(0.6)
+        assert np.array_equal(fresh.seeds, res2.seeds)
+        assert not isinstance(old, BaseException)
     def test_stale_mid_flight_redispatches_bit_identically(self, frozen):
         out, res = frozen
 

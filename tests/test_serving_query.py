@@ -219,6 +219,37 @@ class TestWhatIfAndMarginal:
             )
             assert mg.gains[v] == pytest.approx(manual * n / m)
 
+    def test_marginal_gain_cuts_to_sample_prefix(self, ba_graph, frozen):
+        """The front end runs pure reads concurrently with one extension
+        writer, so the mapped arrays (and the vertex index) can already
+        cover samples past a reader's ``num_samples`` snapshot.  Every
+        read must cut to that prefix — before the cut this raised a
+        numpy ``IndexError`` (``alive`` is ``m``-long, ``sample_of``
+        covers the grown tail)."""
+        out, _ = frozen
+        with FrozenRRRIndex.open(out) as index:
+            eng = InfluenceQueryEngine(index)
+            full_m = index.num_samples
+            m = full_m - 10
+            seed_set = np.asarray([5, 9], dtype=np.int64)
+            view = index.collection_view(m)
+            covered = sum(
+                1 for s in view if np.intersect1d(s, seed_set).size
+            )
+            eng.marginal_gain(seed_set)  # vertex index over the full maps
+            # Simulate the race: the sealed-count snapshot lags the maps.
+            index.manifest["num_samples"] = m
+            mg = eng.marginal_gain(seed_set)
+            assert mg.num_samples == m
+            assert mg.covered_samples == covered
+            assert mg.spread == pytest.approx(covered * index.n / m)
+            # The inverse tear (count committed before the remap lands)
+            # clamps to the mapped prefix instead of indexing past it.
+            index.manifest["num_samples"] = full_m + 10
+            over = eng.marginal_gain(seed_set)
+            assert over.num_samples == full_m
+            eng.what_if(K)  # _celf_select clamps the same way
+
     def test_marginal_gain_candidates_slice(self, ba_graph, frozen):
         out, _ = frozen
         with FrozenRRRIndex.open(out) as index:
