@@ -20,6 +20,18 @@ Runs a fixed micro-suite and writes commit-stamped numbers to
   *stamp* its worker-scaling record over a gate-ready baseline one
   (``gate_ready`` in the record) — a cramped runner must never bury
   the numbers a capable runner measured.
+* **Memory** — the compressed layout's resident-byte promise on the two
+  largest registry graphs: modeled resident RRR bytes and bytes per
+  sample for the flat and compressed layouts (each measured in a fresh
+  subprocess so its peak RSS is honest, not inherited from earlier
+  benches), plus selection wall time off each layout on the identical
+  sample set.  Two gates: compressed resident bytes must stay at or
+  under ``MEMORY_RATIO_GATE`` (0.6×) of flat, and compressed selection
+  must finish within ``SELECTION_RATIO_GATE`` (1.5×) of the flat
+  kernel.  Both are record-only on workloads whose flat layout is
+  smaller than ``MEMORY_GATE_FLOOR_BYTES`` — ratios over a few hundred
+  kilobytes of fixed per-layout overhead measure the overhead, not the
+  coding.
 * **End-to-end ``imm()``** — total seconds, θ, and the selected seed set
   on two registry graphs (cit-HepTh IC, com-YouTube LT).
 * **Serving** — freeze-once/query-forever amortization: the one-time
@@ -164,6 +176,44 @@ FRONTEND_BURST = 12
 FRONTEND_BURST_PENDING = 3
 #: Size of the concurrent distinct-query batch behind the p50/p99.
 FRONTEND_BATCH = 16
+
+#: Memory gate: compressed resident RRR bytes must be ≤ this fraction of
+#: the flat layout's on the two largest registry graphs (the ≥40 %
+#: reduction the HBMax-style coding promises).
+MEMORY_RATIO_GATE = 0.6
+#: Flat resident bytes below this floor make both memory gates
+#: record-only: on a sample set this small the layouts' fixed per-vertex
+#: overheads dominate the coded stream and the ratio stops measuring
+#: the coding.
+MEMORY_GATE_FLOOR_BYTES = 256 * 1024
+#: Selection off the coded stream may cost at most this much over the
+#: flat kernel on the identical sample set.
+SELECTION_RATIO_GATE = 1.5
+SELECTION_REPS = 5
+
+#: Runs in a fresh interpreter per (workload, layout) so the reported
+#: peak RSS belongs to that layout alone — an in-process high-water mark
+#: after the throughput benches would be whichever bench peaked first.
+_MEMORY_PROBE = """\
+import json, resource, sys
+sys.path.insert(0, sys.argv[5])
+from repro.datasets import load
+from repro.sampling import (
+    CompressedRRRCollection, SortedRRRCollection, sample_batch,
+)
+name, model, theta, layout = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+graph = load(name, model)
+cls = CompressedRRRCollection if layout == "compressed" else SortedRRRCollection
+coll = cls(graph.n)
+sample_batch(graph, model, coll, theta, %d)
+if layout == "compressed":
+    coll.freeze_permutation()  # the final remap selection reads through
+print(json.dumps({
+    "resident_bytes": coll.nbytes_model(),
+    "entries": coll.total_entries,
+    "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+""" % SAMPLING_SEED
 
 
 def _host_cpus() -> int:
@@ -667,6 +717,118 @@ def frontend_gate(fr: dict) -> list[str]:
     return failures
 
 
+def bench_memory() -> dict:
+    """Resident bytes + selection time, flat vs compressed layout.
+
+    Each (workload, layout) pair samples the full θ set in a fresh
+    subprocess (:data:`_MEMORY_PROBE`) and reports the layout's modeled
+    resident bytes and the subprocess's honest peak RSS.  Selection is
+    then timed in-process off both layouts on the identical sample set,
+    interleaved best-of-``SELECTION_REPS``, with the compressed layout's
+    one-time final remap paid *before* the timing (in a real ``imm()``
+    run it amortizes across the θ-doubling rounds) but recorded
+    alongside so nothing hides.
+    """
+    from repro.imm.select import select_seeds_compressed, select_seeds_sorted
+    from repro.sampling import CompressedRRRCollection
+
+    out: dict = {
+        "ratio_gate": MEMORY_RATIO_GATE,
+        "gate_floor_bytes": MEMORY_GATE_FLOOR_BYTES,
+        "selection_gate": SELECTION_RATIO_GATE,
+    }
+    for name, model, theta in WORKER_SCALING_DATASETS:
+        rec: dict = {"theta": theta}
+        for layout in ("flat", "compressed"):
+            res = subprocess.run(
+                [
+                    sys.executable, "-c", _MEMORY_PROBE,
+                    name, model, str(theta), layout, str(ROOT / "src"),
+                ],
+                capture_output=True, text=True, check=True,
+            )
+            probe = json.loads(res.stdout)
+            rec[layout] = {
+                "resident_bytes": int(probe["resident_bytes"]),
+                "bytes_per_sample": round(probe["resident_bytes"] / theta, 1),
+                "peak_rss_kb": int(probe["maxrss_kb"]),
+            }
+            entries = int(probe["entries"])
+        rec["entries"] = entries
+        rec["resident_ratio"] = round(
+            rec["compressed"]["resident_bytes"] / rec["flat"]["resident_bytes"], 4
+        )
+        rec["gated"] = bool(
+            rec["flat"]["resident_bytes"] >= MEMORY_GATE_FLOOR_BYTES
+        )
+
+        graph = load(name, model)
+        flat_coll = SortedRRRCollection(graph.n)
+        comp_coll = CompressedRRRCollection(graph.n)
+        sample_batch(graph, model, flat_coll, theta, SAMPLING_SEED)
+        sample_batch(graph, model, comp_coll, theta, SAMPLING_SEED)
+        t0 = time.perf_counter()
+        comp_coll.freeze_permutation()
+        remap_s = time.perf_counter() - t0
+        flat_times, comp_times, seeds_match = [], [], True
+        for _ in range(SELECTION_REPS):
+            t0 = time.perf_counter()
+            a = select_seeds_sorted(flat_coll, graph.n, SAMPLING_K)
+            flat_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            b = select_seeds_compressed(comp_coll, graph.n, SAMPLING_K)
+            comp_times.append(time.perf_counter() - t0)
+            seeds_match &= bool(np.array_equal(a.seeds, b.seeds))
+        rec["flat"]["select_s"] = round(min(flat_times), 4)
+        rec["compressed"]["select_s"] = round(min(comp_times), 4)
+        rec["compressed"]["final_remap_s"] = round(remap_s, 4)
+        rec["selection_ratio"] = round(min(comp_times) / min(flat_times), 2)
+        rec["seeds_match"] = seeds_match
+        out[f"{name}/{model}"] = rec
+    return out
+
+
+def memory_gate(mem: dict) -> list[str]:
+    """The compressed layout's two promises: ≤0.6× resident bytes and
+    ≤1.5× selection time, gated only above the size floor.  Seed-set
+    parity between the layouts is gated unconditionally — a divergence
+    is a correctness bug at any size."""
+    failures: list[str] = []
+    for wl, rec in mem.items():
+        if not isinstance(rec, dict) or "resident_ratio" not in rec:
+            continue
+        if not rec["seeds_match"]:
+            failures.append(
+                f"MEMORY {wl}: compressed-layout selection diverges from the "
+                "flat layout on the identical sample set — bit-parity broken"
+            )
+        if not rec["gated"]:
+            print(
+                f"  memory gate record-only for {wl}: flat resident "
+                f"{rec['flat']['resident_bytes']:,} B is below the "
+                f"{MEMORY_GATE_FLOOR_BYTES:,} B floor"
+            )
+            continue
+        if rec["resident_ratio"] > MEMORY_RATIO_GATE:
+            failures.append(
+                f"MEMORY {wl}: compressed resident bytes are "
+                f"{rec['resident_ratio']:.2f}x of flat "
+                f"({rec['compressed']['resident_bytes']:,} vs "
+                f"{rec['flat']['resident_bytes']:,} B) — the "
+                f"{MEMORY_RATIO_GATE}x gate demands a ≥"
+                f"{1 - MEMORY_RATIO_GATE:.0%} reduction"
+            )
+        if rec["selection_ratio"] > SELECTION_RATIO_GATE:
+            failures.append(
+                f"SELECTION {wl}: coded-stream selection is "
+                f"{rec['selection_ratio']}x of the flat kernel "
+                f"({rec['compressed']['select_s']}s vs "
+                f"{rec['flat']['select_s']}s) — above the "
+                f"{SELECTION_RATIO_GATE}x budget"
+            )
+    return failures
+
+
 def bench_imm() -> dict:
     out = {}
     for name, model, k, eps, seed in IMM_WORKLOADS:
@@ -833,6 +995,7 @@ def main(argv: list[str] | None = None) -> int:
         "sampling": bench_sampling(),
         "worker_scaling": bench_worker_scaling(),
         "supervised_overhead": bench_supervised_overhead(),
+        "memory": bench_memory(),
         "imm": bench_imm(),
         "serving": bench_serving(),
         "frontend": bench_frontend(),
@@ -869,6 +1032,20 @@ def main(argv: list[str] | None = None) -> int:
         f"({so['workers']}w): plain {so['unsupervised_s']}s, "
         f"supervised {so['supervised_s']}s (tax {so['overhead']:+.1%})"
     )
+    mem = fresh["memory"]
+    for wl, r in mem.items():
+        if not isinstance(r, dict) or "resident_ratio" not in r:
+            continue
+        print(
+            f"  memory {wl} theta={r['theta']}: flat "
+            f"{r['flat']['resident_bytes']:,} B "
+            f"({r['flat']['bytes_per_sample']} B/sample), compressed "
+            f"{r['compressed']['resident_bytes']:,} B "
+            f"({r['compressed']['bytes_per_sample']} B/sample), "
+            f"ratio {r['resident_ratio']}x; select "
+            f"{r['flat']['select_s']}s vs {r['compressed']['select_s']}s "
+            f"({r['selection_ratio']}x, remap {r['compressed']['final_remap_s']}s)"
+        )
     for wl, r in fresh["imm"].items():
         print(f"  imm {wl}: theta={r['theta']} {r['seconds']}s")
     sv = fresh["serving"]
@@ -909,6 +1086,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = worker_scaling_gate(ws)
     failures.extend(supervised_overhead_gate(so))
+    failures.extend(memory_gate(mem))
     failures.extend(serving_gate(sv))
     failures.extend(frontend_gate(fr))
     if baseline is not None and not args.update_baseline:

@@ -35,12 +35,14 @@ from ..sampling.collection import (
     RRRCollection,
     SortedRRRCollection,
 )
+from ..sampling.compressed import CompressedRRRCollection
 
 __all__ = [
     "SelectionResult",
     "select_seeds",
     "select_seeds_sorted",
     "select_seeds_hypergraph",
+    "select_seeds_compressed",
 ]
 
 
@@ -266,6 +268,152 @@ def select_seeds_hypergraph(
     )
 
 
+def select_seeds_compressed(
+    collection: CompressedRRRCollection,
+    n: int,
+    k: int,
+    num_ranks: int = 1,
+    *,
+    count_engine=None,
+) -> SelectionResult:
+    """Greedy selection straight off the coded stream (HBMax-style).
+
+    The collection's flat int32 incidence rows are never materialized:
+    the counting pass is one vectorized varint parse of the coded bytes
+    (:meth:`~repro.sampling.compressed.CompressedRRRCollection
+    .parse_stream`), the vertex→samples lookup is a rank-space index
+    over the parsed entries, and the kill pass marks coverage on the
+    fly by gathering the killed samples' entries from that *single*
+    parse — the coded bytes are decoded exactly once per selection, not
+    once per seed.  The parsed rank entries live only for the duration
+    of the call; the collection itself stays coded throughout.
+
+    Bit-parity with :func:`select_seeds_sorted` is by construction:
+    counters are kept in *original* vertex-id space (so ``argmax`` ties
+    break toward the smallest vertex id, not the hottest rank), every
+    counter value equals the flat layout's bincount, and the killed
+    sample sets are identical — hence identical seeds, covered counts,
+    and work meters.
+
+    ``count_engine`` substitutes the engine's fused per-worker
+    frequency-histogram merge for the coded-stream count when its books
+    balance (the descriptor-protocol rows already hold exactly this
+    histogram); the stream is still parsed once for the hit index.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if num_ranks < 1:
+        raise ValueError("need at least one rank")
+    collection._ensure_ranked()
+    num_samples = len(collection)
+    bounds = _interval_bounds(n, num_ranks)
+
+    # --- counting pass, off the coded stream -----------------------------
+    if num_samples:
+        ranks, sizes = collection.parse_stream()
+    else:
+        ranks = np.empty(0, dtype=np.int64)
+        sizes = np.empty(0, dtype=np.int64)
+    if count_engine is not None:
+        counters = count_engine.count_collection(collection, n).astype(np.int64)
+    else:
+        counters = np.bincount(
+            collection._invert(ranks), minlength=n
+        ).astype(np.int64)
+    sample_of = np.repeat(np.arange(num_samples, dtype=np.int64), sizes)
+    if num_ranks > 1:
+        rank_of_entry = (
+            np.searchsorted(bounds, collection._invert(ranks), side="right") - 1
+        )
+        per_rank_entries = np.bincount(rank_of_entry, minlength=num_ranks)
+    else:
+        per_rank_entries = np.asarray([len(ranks)], dtype=np.int64)
+    if num_samples:
+        search_per_sample = np.ceil(np.log2(np.maximum(sizes, 2))).astype(np.int64)
+        total_search = int(search_per_sample.sum())
+    else:
+        total_search = 0
+    per_rank_searches = np.full(num_ranks, total_search, dtype=np.int64)
+
+    entries_scanned = int(collection.total_entries)
+    counter_updates = int(collection.total_entries)
+
+    # Rank-space hit index over the parsed entries, built with one key
+    # sort (key = rank * num_samples + sample): grouped by rank with
+    # ascending sample ids inside each group — the same hit ordering the
+    # sorted layout's vertex index produces, without the slower stable
+    # argsort + gather it would take to keep the two arrays separate.
+    rank_counts = np.bincount(ranks, minlength=n)
+    rank_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(rank_counts, out=rank_indptr[1:])
+    if num_samples:
+        keys = ranks * num_samples + sample_of
+        keys.sort()
+        hit_samples = keys % num_samples
+    else:
+        hit_samples = np.empty(0, dtype=np.int64)
+    rank_of = collection._rank_of
+
+    # Per-sample entry ranges into the parsed stream (stream order is
+    # sample order), so the kill pass is a pure gather.
+    entry_indptr = np.zeros(num_samples + 1, dtype=np.int64)
+    np.cumsum(sizes, out=entry_indptr[1:])
+
+    sample_alive = np.ones(num_samples, dtype=bool)
+    seeds = np.empty(k, dtype=np.int64)
+    covered = 0
+    entry_scratch = np.empty(0, dtype=np.int64)
+    for i in range(k):
+        v = int(np.argmax(counters))
+        seeds[i] = v
+        r = int(rank_of[v])
+        hits = hit_samples[rank_indptr[r] : rank_indptr[r + 1]]
+        killed = hits[sample_alive[hits]]
+        covered += len(killed)
+        if len(killed):
+            sample_alive[killed] = False
+            # Coverage marking off the single parse: gather the killed
+            # samples' entry ranges (same in-place ranges trick as the
+            # sorted kernel), then invert rank → vertex per entry.
+            starts = entry_indptr[killed]
+            stops = entry_indptr[killed + 1]
+            counts = stops - starts
+            ends = np.cumsum(counts)
+            total = int(ends[-1])
+            if len(entry_scratch) < total:
+                entry_scratch = np.empty(
+                    max(total, 2 * len(entry_scratch)), dtype=np.int64
+                )
+            entry_idx = entry_scratch[:total]
+            entry_idx.fill(1)
+            entry_idx[0] = starts[0]
+            entry_idx[ends[:-1]] = starts[1:] - stops[:-1] + 1
+            np.cumsum(entry_idx, out=entry_idx)
+            dead_vertices = collection._invert(ranks[entry_idx])
+            counters -= np.bincount(dead_vertices, minlength=n)
+            if num_ranks > 1:
+                per_rank_entries += np.bincount(
+                    np.searchsorted(bounds, dead_vertices, side="right") - 1,
+                    minlength=num_ranks,
+                )
+            else:
+                per_rank_entries[0] += total
+            kill_search = int(search_per_sample[killed].sum())
+            per_rank_searches += kill_search
+            entries_scanned += total
+            counter_updates += total
+        counters[v] = -1
+    return SelectionResult(
+        seeds=seeds,
+        covered_samples=covered,
+        entries_scanned=entries_scanned,
+        counter_updates=counter_updates,
+        per_rank_entries=per_rank_entries,
+        per_rank_searches=per_rank_searches,
+        argmax_scans=k * n,
+    )
+
+
 def select_seeds(
     collection: RRRCollection,
     n: int,
@@ -276,14 +424,18 @@ def select_seeds(
 ) -> SelectionResult:
     """Dispatch to the layout-appropriate selector.
 
-    Both selectors implement the identical greedy policy (including tie
+    All selectors implement the identical greedy policy (including tie
     breaking), so the chosen seeds depend only on the collection
     contents — a property the test suite asserts.  ``count_engine``
-    applies to the sorted layout only (the hypergraph layout reads its
-    counters off the inverted index, no counting pass exists).
+    applies to the sorted and compressed layouts (the hypergraph layout
+    reads its counters off the inverted index, no counting pass exists).
     """
     if isinstance(collection, SortedRRRCollection):
         return select_seeds_sorted(
+            collection, n, k, num_ranks=num_ranks, count_engine=count_engine
+        )
+    if isinstance(collection, CompressedRRRCollection):
+        return select_seeds_compressed(
             collection, n, k, num_ranks=num_ranks, count_engine=count_engine
         )
     if isinstance(collection, HypergraphRRRCollection):

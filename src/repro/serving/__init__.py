@@ -41,10 +41,12 @@ from .frontend import (
     shrink_epsilon,
 )
 from .frozen import (
+    COMPRESSED_ENCODING_VERSION,
     FrozenCollectionView,
     FrozenIndexError,
     FrozenRRRIndex,
     StaleIndexError,
+    UnknownLayoutError,
     graph_fingerprint,
 )
 from .query import InfluenceQueryEngine, MarginalGains, ServingResult, freeze_index
@@ -54,6 +56,8 @@ __all__ = [
     "FrozenCollectionView",
     "FrozenIndexError",
     "StaleIndexError",
+    "UnknownLayoutError",
+    "COMPRESSED_ENCODING_VERSION",
     "graph_fingerprint",
     "InfluenceQueryEngine",
     "ServingResult",

@@ -21,6 +21,17 @@ engine needs to serve without resampling:
         Identical to the checkpoint spill: concatenated sorted vertex
         lists, per-sample lengths, per-sample examined-edge meters.
 
+A ``layout="compressed"`` index replaces ``flat.i32.bin`` with the
+frequency-ranked delta+varint section of
+:mod:`repro.sampling.compressed` — ``coded.u8.bin`` (the coded byte
+stream), ``offsets.i64.bin`` (per-sample end offsets) and
+``perm.i64.bin`` (the pinned rank→vertex permutation) — typically a
+small fraction of the flat bytes.  The manifest records the layout and
+its encoding version explicitly, so an old reader meeting a newer
+section fails loud with :class:`UnknownLayoutError` instead of
+misdecoding; extension encodes only the appended samples under the
+pinned permutation (the sealed bytes are never rewritten).
+
 :meth:`FrozenRRRIndex.open` maps the buffers zero-copy via
 ``np.memmap`` — no read-then-copy — and verifies the seal: the fold of
 ``stream_seeds_array(seed, [0, num_samples))`` must equal the manifest's,
@@ -50,21 +61,32 @@ import numpy as np
 from ..rng.streams import stream_seeds_array
 from ..sampling.checkpoint import BlockCheckpointSink, _fsync_dir
 from ..sampling.collection import SortedRRRCollection
+from ..sampling.compressed import CompressedRRRCollection
 
 __all__ = [
     "FrozenRRRIndex",
     "FrozenIndexError",
     "StaleIndexError",
+    "UnknownLayoutError",
     "FrozenCollectionView",
     "graph_fingerprint",
     "INDEX_FORMAT_VERSION",
+    "COMPRESSED_ENCODING_VERSION",
 ]
 
 INDEX_FORMAT_VERSION = 1
+#: Version of the compressed section's wire encoding (rank permutation +
+#: delta/varint framing).  Bumped whenever decoded bytes would change
+#: meaning; readers refuse unknown versions instead of misdecoding.
+COMPRESSED_ENCODING_VERSION = 1
+_KNOWN_LAYOUTS = ("flat", "compressed")
 _MANIFEST = "INDEX.json"
 _FLAT = "flat.i32.bin"
 _SIZES = "sizes.i64.bin"
 _EDGES = "edges.i64.bin"
+_CODED = "coded.u8.bin"
+_OFFSETS = "offsets.i64.bin"
+_PERM = "perm.i64.bin"
 
 
 class FrozenIndexError(RuntimeError):
@@ -74,6 +96,13 @@ class FrozenIndexError(RuntimeError):
 class StaleIndexError(FrozenIndexError):
     """The graph being served does not match the graph the index was
     frozen against — answering from it would be silently wrong."""
+
+
+class UnknownLayoutError(FrozenIndexError):
+    """The index declares a storage layout or encoding version this
+    reader does not implement — decoding would produce garbage, so the
+    reader fails loud.  Distinct from :class:`StaleIndexError`: the
+    index may be perfectly healthy, just newer than the code."""
 
 
 def graph_fingerprint(graph) -> str:
@@ -146,6 +175,9 @@ class FrozenRRRIndex:
         self._edges: np.ndarray | None = None
         self._indptr: np.ndarray | None = None
         self._sample_of: np.ndarray | None = None
+        self._coded: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._perm: np.ndarray | None = None
 
     # -- identity / facts --------------------------------------------------
 
@@ -169,6 +201,12 @@ class FrozenRRRIndex:
     def entries(self) -> int:
         return int(self.manifest["entries"])
 
+    @property
+    def layout(self) -> str:
+        """Storage layout — ``"flat"`` (pre-layout manifests default to
+        it) or ``"compressed"``."""
+        return str(self.manifest.get("layout", "flat"))
+
     # -- freezing ----------------------------------------------------------
 
     @classmethod
@@ -190,21 +228,33 @@ class FrozenRRRIndex:
         coverage_history: list | None = None,
         estimation_rounds: int | None = None,
         edges: np.ndarray | None = None,
+        layout: str = "flat",
     ) -> "FrozenRRRIndex":
         """Write a frozen index from a collection or a checkpoint run dir.
 
-        ``source`` is either a sampled :class:`SortedRRRCollection`
-        (``edges`` must then carry the per-sample examined-edge meters)
+        ``source`` is either a sampled collection
+        (:class:`SortedRRRCollection` or
+        :class:`~repro.sampling.compressed.CompressedRRRCollection`;
+        ``edges`` must then carry the per-sample examined-edge meters)
         or a path to a :class:`~repro.sampling.checkpoint
         .BlockCheckpointSink` run directory, whose *certified* prefix is
         promoted — torn tail bytes beyond the cursor are ignored, and the
         reload goes through ``load_range``'s exact-length validation.
+
+        ``layout="compressed"`` writes the frequency-ranked delta+varint
+        section instead of ``flat.i32.bin``: the permutation is ranked
+        over the full frozen sample set and pinned, so later extensions
+        encode only their appended samples.
 
         The algorithm facts (``k``, ``eps``, ``theta``…) describe the run
         that produced the samples; the query engine replays the
         estimation control flow from them, so they must be the values the
         freezing run actually used.
         """
+        if layout not in _KNOWN_LAYOUTS:
+            raise UnknownLayoutError(
+                f"cannot freeze layout {layout!r}; known: {_KNOWN_LAYOUTS}"
+            )
         out_dir = Path(out_dir)
         if isinstance(source, (str, Path)):
             if n is None:
@@ -224,9 +274,21 @@ class FrozenRRRIndex:
         else:
             coll = source
             n = coll.n
-            flat, indptr, _ = coll.flattened()
-            sizes = np.diff(indptr).astype(np.int64)
-            flat32 = np.ascontiguousarray(flat, dtype=np.int32)
+            if isinstance(coll, CompressedRRRCollection):
+                # Normalize to the flat form first (id-sorted within each
+                # sample, exactly the bytes a flat freeze would write);
+                # the compressed writer below re-encodes from it.
+                verts, sizes = coll.decode_samples(
+                    np.arange(len(coll), dtype=np.int64)
+                )
+                local = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+                keys = local * max(n, 1) + verts
+                keys.sort()
+                flat32 = np.ascontiguousarray(keys % max(n, 1), dtype=np.int32)
+            else:
+                flat, indptr, _ = coll.flattened()
+                sizes = np.diff(indptr).astype(np.int64)
+                flat32 = np.ascontiguousarray(flat, dtype=np.int32)
             if edges is None:
                 raise ValueError(
                     "freezing from a collection needs the per-sample "
@@ -245,9 +307,26 @@ class FrozenRRRIndex:
             )
 
         out_dir.mkdir(parents=True, exist_ok=True)
-        for name, arr in (
-            (_FLAT, flat32), (_SIZES, sizes), (_EDGES, per_edges),
-        ):
+        coded_bytes = None
+        if layout == "compressed":
+            packer = CompressedRRRCollection(int(n))
+            if num_samples:
+                packer.append_batch(
+                    flat32.astype(np.int64), sizes, total=len(flat32)
+                )
+            packer.freeze_permutation()
+            coded, ends, vertex_of = packer.stream()
+            coded_bytes = int(packer.coded_bytes)
+            files = (
+                (_CODED, coded),
+                (_OFFSETS, ends),
+                (_PERM, vertex_of),
+                (_SIZES, sizes),
+                (_EDGES, per_edges),
+            )
+        else:
+            files = ((_FLAT, flat32), (_SIZES, sizes), (_EDGES, per_edges))
+        for name, arr in files:
             tmp = out_dir / (name + ".tmp")
             with open(tmp, "wb") as fh:
                 fh.write(np.ascontiguousarray(arr).tobytes())
@@ -272,6 +351,11 @@ class FrozenRRRIndex:
             ],
             "num_samples": int(num_samples),
             "entries": int(len(flat32)),
+            "layout": layout,
+            "encoding_version": (
+                COMPRESSED_ENCODING_VERSION if layout == "compressed" else None
+            ),
+            "coded_bytes": coded_bytes,
             "stream_fold": _fold_range(seed, num_samples),
             "graph_fingerprint": (
                 graph_fingerprint(graph) if graph is not None else None
@@ -307,6 +391,19 @@ class FrozenRRRIndex:
                 f"index format v{manifest.get('version')} != "
                 f"supported v{INDEX_FORMAT_VERSION}"
             )
+        layout = manifest.get("layout", "flat")
+        if layout not in _KNOWN_LAYOUTS:
+            raise UnknownLayoutError(
+                f"index {path} uses layout {layout!r}; this reader knows "
+                f"{_KNOWN_LAYOUTS} — refusing to misdecode a newer section"
+            )
+        if layout == "compressed":
+            enc = manifest.get("encoding_version")
+            if enc != COMPRESSED_ENCODING_VERSION:
+                raise UnknownLayoutError(
+                    f"compressed section encoding v{enc} != supported "
+                    f"v{COMPRESSED_ENCODING_VERSION} — refusing to misdecode"
+                )
         index = cls(path, manifest)
         index._verify_seal()
         index._map()
@@ -330,9 +427,19 @@ class FrozenRRRIndex:
 
     def _verify_seal(self) -> None:
         num, entries = self.num_samples, self.entries
-        for name, want in (
-            (_FLAT, entries * 4), (_SIZES, num * 8), (_EDGES, num * 8),
-        ):
+        if self.layout == "compressed":
+            sections = (
+                (_CODED, int(self.manifest["coded_bytes"])),
+                (_OFFSETS, num * 8),
+                (_PERM, self.n * 8),
+                (_SIZES, num * 8),
+                (_EDGES, num * 8),
+            )
+        else:
+            sections = (
+                (_FLAT, entries * 4), (_SIZES, num * 8), (_EDGES, num * 8),
+            )
+        for name, want in sections:
             p = self.path / name
             have = p.stat().st_size if p.exists() else -1
             if have != want:
@@ -349,7 +456,33 @@ class FrozenRRRIndex:
 
     def _map(self) -> None:
         num, entries = self.num_samples, self.entries
-        if entries:
+        if self.layout == "compressed":
+            coded_bytes = int(self.manifest["coded_bytes"])
+            if coded_bytes:
+                self._coded = np.memmap(
+                    self.path / _CODED, dtype=np.uint8, mode="r",
+                    shape=(coded_bytes,),
+                )
+            else:
+                self._coded = np.empty(0, dtype=np.uint8)
+            if num:
+                self._offsets = np.memmap(
+                    self.path / _OFFSETS, dtype=np.int64, mode="r",
+                    shape=(num,),
+                )
+            else:
+                self._offsets = np.empty(0, dtype=np.int64)
+            if self.n:
+                self._perm = np.memmap(
+                    self.path / _PERM, dtype=np.int64, mode="r",
+                    shape=(self.n,),
+                )
+            else:
+                self._perm = np.empty(0, dtype=np.int64)
+            # The flat incidence array is decoded lazily on first read
+            # (arrays()); resident until then: just the coded section.
+            self._flat = None
+        elif entries:
             self._flat = np.memmap(
                 self.path / _FLAT, dtype=np.int32, mode="r", shape=(entries,)
             )
@@ -380,10 +513,39 @@ class FrozenRRRIndex:
     # -- reads -------------------------------------------------------------
 
     def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(flat, indptr, sample_of)`` — flat is the raw memmap."""
-        if self._flat is None:
+        """``(flat, indptr, sample_of)`` — flat is the raw memmap for a
+        flat index; a compressed index decodes its coded section into an
+        identical int32 array once, lazily, and caches it (the query
+        engine on top is therefore layout-blind and bit-identical)."""
+        if self._indptr is None:
             raise FrozenIndexError("index is closed")
+        if self._flat is None:
+            self._flat = self._decode_flat()
         return self._flat, self._indptr, self._sample_of
+
+    def _decode_flat(self) -> np.ndarray:
+        """Decode the compressed section to the exact bytes the flat
+        layout would have written: int32, id-sorted within each sample."""
+        num, entries = self.num_samples, self.entries
+        if num == 0:
+            return np.empty(0, dtype=np.int32)
+        coll = CompressedRRRCollection.from_stream(
+            self.n,
+            self._coded,
+            self._offsets,
+            np.asarray(self._perm),
+            entries=entries,
+        )
+        ranks, counts = coll.parse_stream()
+        if not np.array_equal(counts, np.asarray(self._sizes)):
+            raise FrozenIndexError(
+                "compressed section decodes to per-sample counts that "
+                "disagree with sizes.i64.bin — index is torn or corrupt"
+            )
+        verts = np.asarray(self._perm)[ranks]
+        keys = self._sample_of * max(self.n, 1) + verts
+        keys.sort()
+        return np.ascontiguousarray(keys % max(self.n, 1), dtype=np.int32)
 
     def per_sample_edges(self) -> np.ndarray:
         if self._edges is None:
@@ -422,7 +584,7 @@ class FrozenRRRIndex:
         manifest moves, write-ahead style, so a crash mid-extend leaves
         a prefix the old manifest still certifies exactly.
         """
-        if self._flat is None:
+        if self._indptr is None:
             raise FrozenIndexError("index is closed")
         if int(start) != self.num_samples:
             raise FrozenIndexError(
@@ -438,7 +600,26 @@ class FrozenRRRIndex:
             raise FrozenIndexError(
                 "extension payload is inconsistent (sizes vs flat/edges)"
             )
-        for name, arr in ((_FLAT, flat32), (_SIZES, sizes), (_EDGES, edges64)):
+        if self.layout == "compressed":
+            # Re-encode only the appended samples under the pinned
+            # permutation; the sealed coded bytes are never rewritten.
+            packer = CompressedRRRCollection(self.n)
+            packer.adopt_permutation(np.asarray(self._perm))
+            packer.append_batch(
+                flat32.astype(np.int64), sizes, total=len(flat32)
+            )
+            coded, ends, _ = packer.stream()
+            base = int(self.manifest["coded_bytes"])
+            files = (
+                (_CODED, np.ascontiguousarray(coded)),
+                (_OFFSETS, ends + base),
+                (_SIZES, sizes),
+                (_EDGES, edges64),
+            )
+            self.manifest["coded_bytes"] = base + int(packer.coded_bytes)
+        else:
+            files = ((_FLAT, flat32), (_SIZES, sizes), (_EDGES, edges64))
+        for name, arr in files:
             with open(self.path / name, "ab") as fh:
                 fh.write(arr.tobytes())
                 fh.flush()
@@ -470,7 +651,10 @@ class FrozenRRRIndex:
 
     def close(self) -> None:
         """Drop the memmaps (idempotent); the on-disk index survives."""
-        for name in ("_flat", "_sizes", "_edges", "_indptr", "_sample_of"):
+        for name in (
+            "_flat", "_sizes", "_edges", "_indptr", "_sample_of",
+            "_coded", "_offsets", "_perm",
+        ):
             setattr(self, name, None)
 
     def __enter__(self) -> "FrozenRRRIndex":

@@ -119,6 +119,7 @@ def freeze_index(
     *,
     theta_cap: int | None = None,
     out_dir: str | Path,
+    compress: bool = False,
 ) -> tuple[FrozenRRRIndex, ServingResult]:
     """Sample once (Algorithm 1's exact control flow) and freeze.
 
@@ -126,7 +127,9 @@ def freeze_index(
     model, seed, k, eps, l, theta_cap)`` plus the derived ``(theta, lb,
     coverage_history)`` — and the per-sample examined-edge meters ride
     along so serving-time extensions account work the same way fresh
-    sampling does.
+    sampling does.  ``compress=True`` writes the frequency-ranked
+    delta+varint section instead of the flat incidence file (see
+    :mod:`repro.serving.frozen`); served answers are bit-identical.
     """
     model = DiffusionModel.parse(model)
     t0 = time.perf_counter()
@@ -156,6 +159,7 @@ def freeze_index(
         coverage_history=est.coverage_history,
         estimation_rounds=est.rounds,
         edges=per_edges,
+        layout="compressed" if compress else "flat",
     )
     res = ServingResult(
         seeds=sel.seeds,

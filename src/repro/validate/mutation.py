@@ -32,6 +32,8 @@ resume skips the cursor     ``supervised.collection-bitwise``
 speculation lands reordered ``supervised.collection-bitwise``
 stale index after change    ``serving.graph-binding``
 tighten wrong stream offset ``serving.extension-bitwise``
+rank perm not inverted      ``collection.compressed-decode`` invariant
+counting skips cont. byte   ``collection.compressed-counters`` invariant
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -51,6 +53,7 @@ from ..imm.select import select_seeds_sorted
 from ..mpi import imm_dist, rebuild_partition
 from ..sampling import (
     BatchedRRRSampler,
+    CompressedRRRCollection,
     HypergraphRRRCollection,
     RRRSampler,
     SortedRRRCollection,
@@ -59,7 +62,11 @@ from ..sampling import (
 from ..sampling.parallel_engine import ParallelSamplingEngine
 from ..sampling.supervisor import SupervisedSamplingEngine
 from .engine import check_engine_sampling
-from .invariants import check_hypergraph_collection, check_sorted_collection
+from .invariants import (
+    check_compressed_collection,
+    check_hypergraph_collection,
+    check_sorted_collection,
+)
 from .recovery import check_degraded_accounting, check_rebuild_fidelity
 from .serving import check_index_bitwise, check_index_graph_binding
 from .supervision import check_supervised_sampling
@@ -624,6 +631,67 @@ def _mutant_tighten_offset(seed: int) -> MutantResult:
     )
 
 
+def _sample_compressed(seed: int) -> CompressedRRRCollection:
+    """A healthy compressed collection over the real workload, ranked
+    (the frequency permutation is final, and on this skewed graph it is
+    far from the identity)."""
+    graph = load(_MUTATION_DATASET, "IC")
+    coll = CompressedRRRCollection(graph.n)
+    sample_batch(graph, "IC", coll, _MUTATION_THETA, seed)
+    coll._ensure_ranked()
+    return coll
+
+
+def _mutant_compressed_identity(seed: int) -> MutantResult:
+    """A decoder that returns frequency ranks as if they were vertex ids.
+
+    The classic lost-permutation bug: selection counters, seed picks,
+    and served answers all silently describe the wrong vertices while
+    every *structural* property still holds — each decoded sample is
+    sorted, duplicate-free, in range, with the right entry counts.  Only
+    the histogram comparison against the append-time frequency ground
+    truth (``collection.compressed-decode``) can see that the ids came
+    back un-inverted.
+    """
+    coll = _sample_compressed(seed)
+    coll._mutate_identity_decode = True
+    detected, evidence = _violated(
+        check_compressed_collection(coll, "mutant"),
+        "collection.compressed-decode",
+    )
+    return MutantResult(
+        "compressed-rank-permutation-not-inverted-on-decode",
+        "decode returns frequency ranks instead of original vertex ids",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_compressed_continuation(seed: int) -> MutantResult:
+    """A bulk counting parse that treats every byte as a varint terminal.
+
+    The classic varint mis-framing bug, injected only into the counting
+    pass's terminal mask: per-sample reads still decode perfectly, so
+    the corruption is invisible to everything except the comparison of
+    ``counters()`` against an independent per-sample decode
+    (``collection.compressed-counters``).  A mis-framed parse may also
+    trip the stream's own validation and raise a typed
+    ``CodedStreamError`` — the checker counts that as the same kill.
+    """
+    coll = _sample_compressed(seed)
+    coll._mutate_skip_continuation = True
+    detected, evidence = _violated(
+        check_compressed_collection(coll, "mutant"),
+        "collection.compressed-counters",
+    )
+    return MutantResult(
+        "compressed-counting-skips-continuation-byte",
+        "counting parse splits multi-byte varints at every byte",
+        detected,
+        evidence,
+    )
+
+
 def _frontend_mutant(seed: int, hook: str, check_name: str):
     """Run the front-end oracle axis with one deliberate-bug flag set."""
     from ..datasets import load as load_graph
@@ -701,6 +769,8 @@ _MUTANTS = {
     "tighten-reuses-wrong-stream-offset": _mutant_tighten_offset,
     "degraded-result-reports-full-epsilon": _mutant_dishonest_degrade,
     "breaker-open-still-extends": _mutant_breaker_bypass,
+    "compressed-rank-permutation-not-inverted-on-decode": _mutant_compressed_identity,
+    "compressed-counting-skips-continuation-byte": _mutant_compressed_continuation,
 }
 
 #: The cheap subset tier-1 CI runs on every commit (sub-second each):

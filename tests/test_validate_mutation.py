@@ -35,6 +35,8 @@ EXPECTED_MUTANTS = {
     "tighten-reuses-wrong-stream-offset",
     "degraded-result-reports-full-epsilon",
     "breaker-open-still-extends",
+    "compressed-rank-permutation-not-inverted-on-decode",
+    "compressed-counting-skips-continuation-byte",
 }
 
 
