@@ -176,6 +176,16 @@ FRONTEND_BURST = 12
 FRONTEND_BURST_PENDING = 3
 #: Size of the concurrent distinct-query batch behind the p50/p99.
 FRONTEND_BATCH = 16
+#: Allowed zero-fault latency tax of routing a query through the
+#: replicated cluster over the identical query on a single front end.
+CLUSTER_OVERHEAD_TOLERANCE = 0.05
+#: Interleaved (single, routed) pairs behind the tax median — same
+#: paired-difference estimator as the front-end tax, same reasons.
+CLUSTER_REPS = 15
+CLUSTER_REPLICAS = 2
+#: Sequential queries against a straggling primary for the hedge
+#: win-rate record.
+CLUSTER_HEDGE_QUERIES = 6
 
 #: Memory gate: compressed resident RRR bytes must be ≤ this fraction of
 #: the flat layout's on the two largest registry graphs (the ≥40 %
@@ -717,6 +727,176 @@ def frontend_gate(fr: dict) -> list[str]:
     return failures
 
 
+def bench_cluster() -> dict:
+    """The replicated cluster's routing numbers on the serving workload.
+
+    Three measurements against the same frozen index:
+
+    * **zero-fault routing tax** — a warm ``top_k`` through a
+      ``CLUSTER_REPLICAS``-replica router (rendezvous hash, health
+      bookkeeping, dispatch indirection) vs the identical query on a
+      single front end, as the median of paired differences over
+      interleaved reps.  Hedging is off here: it is a tail-latency
+      feature with its own axis below, and letting duplicate dispatches
+      steal worker time would charge the routing layer for work it
+      didn't do.
+    * **failover recovery latency** — first query against a router
+      whose rendezvous primary is crashed: the failed dispatch, the
+      backoff, and the secondary's answer, end to end (recorded, not
+      gated — it is dominated by the configured backoff).
+    * **hedge win rate** — sequential queries against a straggling
+      primary with an aggressive hedge delay: how often the duplicate
+      dispatch beats the straggler (recorded, not gated — it is a
+      property of the injected latency gap).
+
+    Bit-identity of every answer on every axis is gated, as is the
+    presence of the failover/hedge machinery actually engaging: a
+    router that never fails over a crashed primary or never hedges past
+    a straggler would otherwise record vacuous numbers forever.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.serving import ClusterRouter, ServingFrontend, freeze_index
+
+    name, model, k, eps, seed = SERVING_WORKLOAD
+    graph = load(name, model)
+    ref = imm(graph, k, eps, model, seed=seed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as td:
+        out_dir = td + "/index"
+        index, _ = freeze_index(graph, k, eps, model, seed, out_dir=out_dir)
+        index.close()
+
+        async def _zero_fault():
+            async with ServingFrontend(concurrency=1) as fe, ClusterRouter(
+                num_replicas=CLUSTER_REPLICAS, concurrency=1, hedge=False
+            ) as cr:
+                await fe.top_k(out_dir)  # warm-up: open + thread pool
+                await cr.top_k(out_dir)
+                single, routed = [], []
+                for _ in range(CLUSTER_REPS):
+                    t0 = time.perf_counter()
+                    await fe.top_k(out_dir)
+                    single.append(time.perf_counter() - t0)
+                    t0 = time.perf_counter()
+                    res = await cr.top_k(out_dir)
+                    routed.append(time.perf_counter() - t0)
+                return single, routed, res
+
+        async def _primary():
+            async with ClusterRouter(
+                num_replicas=CLUSTER_REPLICAS, hedge=False
+            ) as cr:
+                return cr._order(out_dir)[0].idx
+
+        async def _failover(primary):
+            async with ClusterRouter(
+                num_replicas=CLUSTER_REPLICAS, concurrency=1, hedge=False,
+                fault_plan=f"replicacrash:{primary}@0", backoff_base=0.001,
+            ) as cr:
+                t0 = time.perf_counter()
+                res = await cr.top_k(out_dir)
+                dt = time.perf_counter() - t0
+                return dt, res, cr.stats.failovers
+
+        async def _hedge(primary):
+            async with ClusterRouter(
+                num_replicas=CLUSTER_REPLICAS, concurrency=2,
+                fault_plan=f"replicaslow:{primary}x0.05", hedge_after=0.005,
+            ) as cr:
+                results = [
+                    await cr.top_k(out_dir)
+                    for _ in range(CLUSTER_HEDGE_QUERIES)
+                ]
+                identical = all(
+                    bool(np.array_equal(r.seeds, ref.seeds)) for r in results
+                )
+                return cr.stats.hedges, cr.stats.hedge_wins, identical
+
+        single_times, routed_times, routed_res = asyncio.run(_zero_fault())
+        primary = asyncio.run(_primary())
+        fo_s, fo_res, fo_count = asyncio.run(_failover(primary))
+        hedges, hedge_wins, hedged_identical = asyncio.run(_hedge(primary))
+
+    t_single = min(single_times)
+    med_diff = float(
+        np.median([r - s for s, r in zip(single_times, routed_times)])
+    )
+    t_routed = t_single + max(med_diff, 0.0)
+    return {
+        "dataset": name,
+        "model": model,
+        "k": k,
+        "eps": eps,
+        "seed": seed,
+        "replicas": CLUSTER_REPLICAS,
+        "single_query_s": round(t_single, 4),
+        "router_query_s": round(t_routed, 4),
+        "overhead": round(med_diff / t_single, 4),
+        "tolerance": CLUSTER_OVERHEAD_TOLERANCE,
+        "zero_fault_bit_identical": bool(
+            np.array_equal(routed_res.seeds, ref.seeds)
+        ),
+        "failover_recovery_s": round(fo_s, 4),
+        "failovers": int(fo_count),
+        "failover_bit_identical": bool(
+            np.array_equal(fo_res.seeds, ref.seeds)
+        ),
+        "hedge_queries": CLUSTER_HEDGE_QUERIES,
+        "hedges": int(hedges),
+        "hedge_wins": int(hedge_wins),
+        "hedge_win_rate": round(hedge_wins / max(hedges, 1), 2),
+        "hedged_bit_identical": bool(hedged_identical),
+    }
+
+
+def cluster_gate(cl: dict) -> list[str]:
+    """The replicated cluster's promises, gated every run.
+
+    Same two-sided tax treatment as :func:`frontend_gate`: only a
+    positive routing tax beyond the band fails; a negative one beyond
+    it is measurement noise, called out as such.
+    """
+    failures = []
+    wl = f"{cl['dataset']}/{cl['model']}"
+    if cl["overhead"] > CLUSTER_OVERHEAD_TOLERANCE:
+        failures.append(
+            f"OVERHEAD cluster[{wl}]: zero-fault routing tax "
+            f"{cl['overhead']:+.1%} exceeds the allowed "
+            f"{CLUSTER_OVERHEAD_TOLERANCE:.0%} "
+            f"({cl['router_query_s']}s vs {cl['single_query_s']}s single)"
+        )
+    elif cl["overhead"] < -CLUSTER_OVERHEAD_TOLERANCE:
+        print(
+            f"  note: cluster routing tax {cl['overhead']:+.1%} is negative "
+            f"beyond the ±{CLUSTER_OVERHEAD_TOLERANCE:.0%} band — the router "
+            "cannot make the identical query faster, so this is measurement "
+            "noise, not a speedup (gate passes)"
+        )
+    if not (
+        cl["zero_fault_bit_identical"]
+        and cl["failover_bit_identical"]
+        and cl["hedged_bit_identical"]
+    ):
+        failures.append(
+            f"CLUSTER {wl}: a routed answer diverged from the fresh imm() "
+            "run — the replication layer broke the bit-identity contract"
+        )
+    if cl["failovers"] == 0:
+        failures.append(
+            f"CLUSTER {wl}: a query against a crashed primary recorded no "
+            "failover — the health-checked routing never engaged"
+        )
+    if cl["hedges"] == 0:
+        failures.append(
+            f"CLUSTER {wl}: {cl['hedge_queries']} queries against a "
+            "straggling primary never hedged — the tail-latency duplicate "
+            "dispatch never engaged"
+        )
+    return failures
+
+
 def bench_memory() -> dict:
     """Resident bytes + selection time, flat vs compressed layout.
 
@@ -894,6 +1074,15 @@ def compare(fresh: dict, baseline: dict) -> list[str]:
                 f"REGRESSION frontend.{key}: {new_fr[key]}s is "
                 f">{TOLERANCE:.0%} above baseline {old}s"
             )
+    base_cl = baseline.get("cluster", {})
+    new_cl = fresh.get("cluster", {})
+    for key in ("router_query_s",):
+        old = base_cl.get(key)
+        if old and new_cl.get(key, 0) > old * (1.0 + TOLERANCE):
+            failures.append(
+                f"REGRESSION cluster.{key}: {new_cl[key]}s is "
+                f">{TOLERANCE:.0%} above baseline {old}s"
+            )
     return failures
 
 
@@ -999,6 +1188,7 @@ def main(argv: list[str] | None = None) -> int:
         "imm": bench_imm(),
         "serving": bench_serving(),
         "frontend": bench_frontend(),
+        "cluster": bench_cluster(),
     }
     s = fresh["sampling"]
     print(
@@ -1065,6 +1255,15 @@ def main(argv: list[str] | None = None) -> int:
         f"burst shed {fr['burst_shed']}/{fr['burst']} "
         f"(peak inflight {fr['burst_peak_inflight']}/{fr['burst_bound']})"
     )
+    cl = fresh["cluster"]
+    print(
+        f"  cluster {cl['dataset']}/{cl['model']} ({cl['replicas']} "
+        f"replicas): single {cl['single_query_s']}s, routed "
+        f"{cl['router_query_s']}s (tax {cl['overhead']:+.1%}), failover "
+        f"recovery {cl['failover_recovery_s']}s, hedge wins "
+        f"{cl['hedge_wins']}/{cl['hedges']} "
+        f"(rate {cl['hedge_win_rate']})"
+    )
 
     # A cramped host must not stamp its (meaningless) worker-scaling
     # numbers over a record a capable runner produced: the baseline would
@@ -1089,6 +1288,7 @@ def main(argv: list[str] | None = None) -> int:
     failures.extend(memory_gate(mem))
     failures.extend(serving_gate(sv))
     failures.extend(frontend_gate(fr))
+    failures.extend(cluster_gate(cl))
     if baseline is not None and not args.update_baseline:
         stale = baseline_provenance_error(baseline)
         if stale:

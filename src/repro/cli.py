@@ -405,6 +405,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serving import (
         AdmissionRejected,
+        ClusterRouter,
+        ClusterUnavailable,
         FrozenRRRIndex,
         QueryDeadlineExceeded,
         ServingFrontend,
@@ -443,15 +445,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             out = f"shed(retry_after={exc.retry_after:.3f}s)"
         except QueryDeadlineExceeded:
             out = "deadline"
+        except ClusterUnavailable as exc:
+            out = f"unavailable(retry_after={exc.retry_after:.3f}s)"
         return i, kind, out, time.perf_counter() - t0
 
     async def _drive():
-        fe = ServingFrontend(
-            max_pending=args.max_pending,
-            concurrency=args.concurrency,
-            default_deadline=args.deadline,
-            fault_plan=args.fault_plan,
-        )
+        if args.replicas > 1:
+            fe = ClusterRouter(
+                num_replicas=args.replicas,
+                max_pending=args.max_pending,
+                concurrency=args.concurrency,
+                default_deadline=args.deadline,
+                fault_plan=args.fault_plan,
+                hedge_after=args.hedge_after,
+            )
+        else:
+            fe = ServingFrontend(
+                max_pending=args.max_pending,
+                concurrency=args.concurrency,
+                default_deadline=args.deadline,
+                fault_plan=args.fault_plan,
+            )
         try:
             rows = await asyncio.gather(
                 *[
@@ -461,12 +475,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         finally:
             await fe.close()
-        return rows, fe.stats.as_dict()
+        if isinstance(fe, ClusterRouter):
+            # Aggregate the per-replica front-end ledgers for the shared
+            # summary lines; the router's own ledger prints separately.
+            agg: dict[str, int] = {}
+            for f in fe.frontends():
+                for key, val in f.stats.as_dict().items():
+                    agg[key] = agg.get(key, 0) + val
+            agg["peak_inflight"] = max(
+                f.stats.peak_inflight for f in fe.frontends()
+            )
+            return rows, agg, fe.stats.as_dict()
+        return rows, fe.stats.as_dict(), None
 
-    rows, stats = asyncio.run(_drive())
+    rows, stats, cluster = asyncio.run(_drive())
     for i, kind, out, dt in rows:
         print(f"  q{i:03d} {kind:9s} {out:32s} {dt * 1e3:8.2f} ms")
-    ok_lat = [dt for _, _, out, dt in rows if not out.startswith("shed")]
+    ok_lat = [
+        dt for _, _, out, dt in rows
+        if not out.startswith(("shed", "unavailable"))
+    ]
     shed = sum(1 for _, _, out, _ in rows if out.startswith("shed"))
     degraded = sum(1 for _, _, out, _ in rows if out.startswith("degraded"))
     print(
@@ -474,6 +502,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f" (coalesced {stats['coalesced']}, degraded {degraded},"
         f" shed {shed}, deadline_shed {stats['deadline_shed']})"
     )
+    if cluster is not None:
+        print(
+            f"cluster: {args.replicas} replicas,"
+            f" routed={cluster['routed']} failovers={cluster['failovers']}"
+            f" hedges={cluster['hedges']} hedge_wins={cluster['hedge_wins']}"
+            f" degraded_local={cluster['degraded_local']}"
+            f" unavailable={cluster['unavailable']}"
+        )
     if ok_lat:
         print(
             f"latency p50={np.percentile(ok_lat, 50) * 1e3:.2f} ms"
@@ -797,9 +833,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--max-pending", type=int, default=64)
     p_sv.add_argument("--concurrency", type=int, default=4)
     p_sv.add_argument(
+        "--replicas", type=int, default=1,
+        help="serve through a replicated cluster of this many front ends "
+        "(health-checked routing, failover, hedged reads); 1 = single "
+        "front end",
+    )
+    p_sv.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="cluster hedge delay override (default: adaptive EWMA p99)",
+    )
+    p_sv.add_argument(
         "--fault-plan", default=None,
         help="serving fault spec, e.g. 'slowquery:0x0.05;stale:@1;"
-        "extendfail:@0x2' (slowquery:QxS, stale:@Q, extendfail:@NxK)",
+        "extendfail:@0x2' (slowquery:QxS, stale:@Q, extendfail:@NxK); "
+        "with --replicas also replicacrash:R@Q, replicaslow:RxS, "
+        "partition:R@Q[xD]",
     )
     p_sv.set_defaults(func=_cmd_serve)
 

@@ -36,6 +36,7 @@ __all__ = [
     "RankFailedError",
     "TransientCommError",
     "SimulatedOOMError",
+    "FaultPlanParseError",
     "RankCrash",
     "Straggler",
     "TransientFault",
@@ -45,9 +46,27 @@ __all__ = [
     "SlowQuery",
     "StaleRepublish",
     "ExtendFail",
+    "ReplicaCrash",
+    "ReplicaSlow",
+    "Partition",
     "FaultPlan",
     "FaultInjector",
 ]
+
+
+class FaultPlanParseError(ValueError):
+    """A fault spec token the grammar cannot parse.
+
+    A ``ValueError`` subtype so existing ``except ValueError`` callers
+    keep working, but typed — CLI layers and tests can dispatch on the
+    parse failure specifically and show the caller exactly which token
+    (``.token``) was malformed.
+    """
+
+    def __init__(self, token: str, detail: str) -> None:
+        super().__init__(f"bad fault token {token!r}: {detail}")
+        self.token = token
+        self.detail = detail
 
 
 class RankFailedError(RuntimeError):
@@ -240,13 +259,66 @@ class ExtendFail:
             raise ValueError(f"failures must be >= 1, got {self.failures}")
 
 
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """Cluster fault: serving replica ``replica`` dies once the router
+    admits query ``at_query`` and stays dead (the node is gone; only a
+    redeploy brings it back).  Addressed by the *router's* admission
+    sequence number — replicas never issue collectives."""
+
+    replica: int
+    at_query: int
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.at_query < 0:
+            raise ValueError(f"at_query must be >= 0, got {self.at_query}")
+
+
+@dataclass(frozen=True)
+class ReplicaSlow:
+    """Cluster fault: every dispatch to replica ``replica`` straggles
+    for ``seconds`` (a NUMA-starved or GC-pausing node).  Recurring, not
+    one-shot — this is the tail the router's hedging exists to cut."""
+
+    replica: int
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cluster fault: replica ``replica`` is unreachable for the
+    ``queries`` router queries starting at ``at_query``, then healed —
+    a network partition, not a death.  The router must fail over while
+    the window is open and route back once it closes."""
+
+    replica: int
+    at_query: int
+    queries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.at_query < 0:
+            raise ValueError(f"at_query must be >= 0, got {self.at_query}")
+        if self.queries < 1:
+            raise ValueError(f"queries must be >= 1, got {self.queries}")
+
+
 FaultEvent = Union[
     RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage,
-    SlowQuery, StaleRepublish, ExtendFail,
+    SlowQuery, StaleRepublish, ExtendFail, ReplicaCrash, ReplicaSlow, Partition,
 ]
 _EVENT_TYPES = (
     RankCrash, Straggler, TransientFault, CorruptReduce, OOMKill, SwitchOutage,
-    SlowQuery, StaleRepublish, ExtendFail,
+    SlowQuery, StaleRepublish, ExtendFail, ReplicaCrash, ReplicaSlow, Partition,
 )
 
 
@@ -293,6 +365,17 @@ class FaultPlan:
             stale:@1               query 1 sees a mid-flight graph republish
             extendfail:@0          the first index extension crashes
             extendfail:@0x3        ... the first three extensions crash
+
+        Cluster faults (addressed by the router's query sequence number
+        and a replica index)::
+
+            replicacrash:1@3       replica 1 dies at query 3 (and stays dead)
+            replicaslow:0x0.2      every dispatch to replica 0 straggles 0.2s
+            partition:2@5          replica 2 unreachable for query 5, then healed
+            partition:2@5x4        ... unreachable for queries 5..8, then healed
+
+        Malformed specs raise :class:`FaultPlanParseError` naming the
+        offending token.
         """
         events: list[FaultEvent] = []
         for token in re.split(r"[;,]", spec):
@@ -301,7 +384,7 @@ class FaultPlan:
                 continue
             kind, sep, rest = token.partition(":")
             if not sep:
-                raise ValueError(f"bad fault token {token!r} (expected kind:spec)")
+                raise FaultPlanParseError(token, "expected kind:spec")
             events.append(_parse_event(kind.strip().lower(), rest.strip(), token))
         return cls(tuple(events))
 
@@ -349,9 +432,25 @@ def _parse_event(kind: str, rest: str, token: str) -> FaultEvent:
             at = rest.lstrip("@")
             call, sep, failures = at.partition("x")
             return ExtendFail(int(call), int(failures) if sep else 1)
+        if kind == "replicacrash":
+            target, sep, at = rest.partition("@")
+            if not sep:
+                raise ValueError("missing '@query'")
+            return ReplicaCrash(int(target), int(at))
+        if kind == "replicaslow":
+            target, sep, seconds = rest.partition("x")
+            return ReplicaSlow(int(target), float(seconds) if sep else 0.05)
+        if kind == "partition":
+            target, sep, at = rest.partition("@")
+            if not sep:
+                raise ValueError("missing '@query'")
+            q, sep, span = at.partition("x")
+            return Partition(int(target), int(q), int(span) if sep else 1)
+    except FaultPlanParseError:
+        raise
     except ValueError as exc:
-        raise ValueError(f"bad fault token {token!r}: {exc}") from None
-    raise ValueError(f"unknown fault kind {kind!r} in token {token!r}")
+        raise FaultPlanParseError(token, str(exc)) from None
+    raise FaultPlanParseError(token, f"unknown fault kind {kind!r}")
 
 
 def _describe(event: FaultEvent) -> str:
@@ -378,6 +477,15 @@ def _describe(event: FaultEvent) -> str:
         return (
             f"extension attempts {event.at_call}.."
             f"{event.at_call + event.failures - 1} crash"
+        )
+    if isinstance(event, ReplicaCrash):
+        return f"replica {event.replica} dies at query {event.at_query}"
+    if isinstance(event, ReplicaSlow):
+        return f"replica {event.replica} straggles {event.seconds:g}s per dispatch"
+    if isinstance(event, Partition):
+        return (
+            f"replica {event.replica} partitioned for queries "
+            f"{event.at_query}..{event.at_query + event.queries - 1}"
         )
     return f"corrupt rank {event.rank} reduce buffer at step {event.at_call}"
 
@@ -497,6 +605,39 @@ class FaultInjector:
                 self._fired.add(i)
                 return True
         return False
+
+    # -- cluster faults (replica + router-query addressed) -----------------
+
+    def replica_crashed(self, replica: int, qid: int) -> bool:
+        """``True`` once any :class:`ReplicaCrash` for ``replica`` has
+        reached its query address — crashes are permanent, so this is a
+        monotone predicate of ``qid``, not a one-shot event."""
+        return any(
+            isinstance(e, ReplicaCrash)
+            and e.replica == replica
+            and qid >= e.at_query
+            for e in self.plan.events
+        )
+
+    def replica_partitioned(self, replica: int, qid: int) -> bool:
+        """``True`` while ``qid`` falls inside a :class:`Partition`
+        window for ``replica``; the window closing *is* the heal."""
+        return any(
+            isinstance(e, Partition)
+            and e.replica == replica
+            and e.at_query <= qid < e.at_query + e.queries
+            for e in self.plan.events
+        )
+
+    def replica_delay(self, replica: int) -> float:
+        """Compound injected straggle (seconds) for one dispatch to
+        ``replica``.  Recurring — every dispatch pays it, which is what
+        makes the router's hedge measurable."""
+        return sum(
+            e.seconds
+            for e in self.plan.events
+            if isinstance(e, ReplicaSlow) and e.replica == replica
+        )
 
     def extend_failure(self) -> bool:
         """One index-extension attempt; ``True`` means it crashes.

@@ -22,13 +22,21 @@ what-if seed sets — should pay it once.  This subpackage provides:
   deadline-bounded degradation into honest
   :class:`DegradedServingResult` answers
   (:mod:`repro.serving.frontend`).
+* :class:`ClusterRouter` — the replicated serving cluster: consistent-
+  hash routing over N front-end replicas, health-checked failover,
+  tail-latency hedging for reads, single-writer routing for extension
+  traffic, and typed stale-prefix degradation when every replica is
+  down (:mod:`repro.serving.cluster`).
 
-CLI: ``repro-imm freeze`` / ``repro-imm query`` / ``repro-imm serve``.
+CLI: ``repro-imm freeze`` / ``repro-imm query`` / ``repro-imm serve``
+(``--replicas N`` switches the serve driver onto the cluster router).
 """
 
 from .cache import IndexCache
+from .cluster import ClusterRouter, ClusterStats, ReplicaUnreachableError
 from .errors import (
     AdmissionRejected,
+    ClusterUnavailable,
     ExtensionFailedError,
     QueryDeadlineExceeded,
     ServingFrontendError,
@@ -38,6 +46,7 @@ from .frontend import (
     DegradedServingResult,
     FrontendStats,
     ServingFrontend,
+    ewma_update,
     shrink_epsilon,
 )
 from .frozen import (
@@ -69,8 +78,13 @@ __all__ = [
     "CircuitBreaker",
     "FrontendStats",
     "shrink_epsilon",
+    "ewma_update",
+    "ClusterRouter",
+    "ClusterStats",
+    "ReplicaUnreachableError",
     "ServingFrontendError",
     "AdmissionRejected",
     "QueryDeadlineExceeded",
     "ExtensionFailedError",
+    "ClusterUnavailable",
 ]

@@ -17,6 +17,7 @@ __all__ = [
     "AdmissionRejected",
     "QueryDeadlineExceeded",
     "ExtensionFailedError",
+    "ClusterUnavailable",
 ]
 
 
@@ -67,3 +68,20 @@ class ExtensionFailedError(ServingFrontendError):
         super().__init__(f"index extension attempt {attempt} failed: {cause}")
         self.attempt = attempt
         self.cause = cause
+
+
+class ClusterUnavailable(ServingFrontendError):
+    """Every replica that could answer the query is down (crashed,
+    partitioned, or breaker-open) and the query cannot be served from a
+    local stale prefix.  ``retry_after`` estimates when a replica comes
+    back — the soonest breaker cooldown expiry the router knows about.
+    Never a hang, never a silent wrong answer."""
+
+    def __init__(self, reason: str, retry_after: float, replicas: int) -> None:
+        super().__init__(
+            f"cluster unavailable ({reason}): 0/{replicas} replicas "
+            f"reachable, retry after {retry_after:.3f}s"
+        )
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.replicas = replicas

@@ -68,10 +68,24 @@ __all__ = [
     "CircuitBreaker",
     "FrontendStats",
     "shrink_epsilon",
+    "ewma_update",
 ]
 
 # EWMA smoothing for latency / extension-cost estimates.
 _EWMA = 0.8
+
+
+def ewma_update(
+    prev: float | None, sample: float, alpha: float = _EWMA
+) -> float:
+    """One exponentially-weighted moving-average step.
+
+    ``None`` seeds the estimate with the first sample.  Shared by the
+    front end's latency/extension-cost estimators and the cluster
+    router's per-replica latency tracking, so every smoothed estimate in
+    the serving stack decays identically.
+    """
+    return sample if prev is None else alpha * prev + (1.0 - alpha) * sample
 
 
 def shrink_epsilon(n: int, k: int, l: float, theta_effective: int, lb: float) -> float:
@@ -160,6 +174,13 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.failures = 0
         self.state = "closed"
+
+    def remaining_cooldown(self) -> float:
+        """Seconds until an open breaker admits its half-open probe
+        (0.0 when not open) — the router's retry-after estimate."""
+        if self.state != "open":
+            return 0.0
+        return max(self.cooldown - (self._clock() - self._opened_at), 0.0)
 
     def record_failure(self) -> bool:
         """Count one failure; ``True`` when this one trips the breaker."""
@@ -374,10 +395,8 @@ class ServingFrontend:
         return max(per_query * backlog / max(self.concurrency, 1), 1e-3)
 
     def _release(self, started: float) -> None:
-        lat = time.perf_counter() - started
-        self._lat_ewma = (
-            lat if self._lat_ewma is None
-            else _EWMA * self._lat_ewma + (1.0 - _EWMA) * lat
+        self._lat_ewma = ewma_update(
+            self._lat_ewma, time.perf_counter() - started
         )
         self._inflight -= 1
         if self._inflight <= 0:
@@ -591,10 +610,8 @@ class ServingFrontend:
                 handed_off = True
                 self._adopt_leaked_writer(task, lock, brk, eng, t0)
                 raise
-            cost = time.perf_counter() - t0
-            self._ext_ewma = (
-                cost if self._ext_ewma is None
-                else _EWMA * self._ext_ewma + (1.0 - _EWMA) * cost
+            self._ext_ewma = ewma_update(
+                self._ext_ewma, time.perf_counter() - t0
             )
             brk.record_success()
             return result
@@ -622,10 +639,8 @@ class ServingFrontend:
                 pass
             else:
                 brk.record_success()
-                cost = time.perf_counter() - t0
-                self._ext_ewma = (
-                    cost if self._ext_ewma is None
-                    else _EWMA * self._ext_ewma + (1.0 - _EWMA) * cost
+                self._ext_ewma = ewma_update(
+                    self._ext_ewma, time.perf_counter() - t0
                 )
             finally:
                 unpin()

@@ -11,8 +11,9 @@ points, mirrored by the ``repro-imm validate`` CLI subcommand:
   {IC, LT} × {``imm``, ``imm_mt``, ``imm_dist``} × all three storage
   layouts × cohort sizes {1, 7, 64, θ} × rank counts {1, 2, 5} × both
   RNG schemes, plus structural invariants and work-meter conservation.
-  The compressed layout runs as its own sharded subject bucket, so
-  ``--full-shard i/m`` distributes it across CI jobs.
+  The compressed layout and the replicated serving cluster each run as
+  their own sharded subject bucket, so ``--full-shard i/m`` distributes
+  them across CI jobs.
 * :func:`run_mutation_suite` — injects one deliberate fault per known
   failure class and demands the oracle kill each mutant.
 
@@ -22,6 +23,7 @@ All checkers are importable individually for targeted tests (see
 
 from __future__ import annotations
 
+from .cluster import check_cluster_equivalence
 from .engine import check_engine_sampling
 from .frontend import check_frontend_equivalence
 from .invariants import (
@@ -87,6 +89,7 @@ __all__ = [
     "check_index_graph_binding",
     "check_index_bitwise",
     "check_frontend_equivalence",
+    "check_cluster_equivalence",
     "MutantResult",
     "run_mutation_suite",
     "SMOKE_MUTANTS",

@@ -34,6 +34,8 @@ stale index after change    ``serving.graph-binding``
 tighten wrong stream offset ``serving.extension-bitwise``
 rank perm not inverted      ``collection.compressed-decode`` invariant
 counting skips cont. byte   ``collection.compressed-counters`` invariant
+stale served as fresh       ``cluster.unavailable-honesty``
+failover hedges a write     ``cluster.single-writer``
 ==========================  ==========================================
 
 The corruption is applied *behind* the append-time validation (directly
@@ -746,6 +748,61 @@ def _mutant_breaker_bypass(seed: int) -> MutantResult:
     )
 
 
+def _cluster_mutant(seed: int, hook: str, check_name: str):
+    """Run the cluster oracle axis with one deliberate-bug flag set."""
+    from ..datasets import load as load_graph
+    from .cluster import check_cluster_equivalence
+    from .oracle import quick_config
+
+    cfg = quick_config()
+    graph = load_graph(_MUTATION_DATASET, "IC")
+    report = check_cluster_equivalence(
+        graph, "IC", cfg, "mutant", _cluster_kwargs={hook: True}
+    )
+    return _violated(report, check_name)
+
+
+def _mutant_stale_as_fresh(seed: int) -> MutantResult:
+    """A router that serves the all-replicas-down fallback untyped.
+
+    The seeds are plausible (they really are the best selection over the
+    stale local prefix) and the answer arrives promptly — but it claims
+    the full requested guarantee instead of declaring itself degraded.
+    Only the typed-result + shrink-arithmetic recomputation in
+    ``cluster.unavailable-honesty`` can see the lie.
+    """
+    detected, evidence = _cluster_mutant(
+        seed, "_mutate_stale_as_fresh", "cluster.unavailable-honesty"
+    )
+    return MutantResult(
+        "cluster-unavailable-served-as-fresh",
+        "all-replicas-down fallback answers as a plain (non-degraded) result",
+        detected,
+        evidence,
+    )
+
+
+def _mutant_hedge_writes(seed: int) -> MutantResult:
+    """A router that hedges extension traffic like any other read.
+
+    Two replicas race the same index extension: torn manifest renames,
+    double-drawn sample streams, two writers behind one bulkhead.  The
+    extension-attempt accounting in ``cluster.single-writer`` (exactly
+    one attempt cluster-wide, zero hedges) is the detector under test —
+    a torn index raising out of the routed tighten counts as the same
+    kill.
+    """
+    detected, evidence = _cluster_mutant(
+        seed, "_mutate_hedge_writes", "cluster.single-writer"
+    )
+    return MutantResult(
+        "failover-double-dispatches-extension",
+        "router hedges a tighten onto two replicas (two writers, one index)",
+        detected,
+        evidence,
+    )
+
+
 _MUTANTS = {
     "unsorted-sample": _mutant_unsorted,
     "within-sample-duplicate": _mutant_duplicate,
@@ -769,6 +826,8 @@ _MUTANTS = {
     "tighten-reuses-wrong-stream-offset": _mutant_tighten_offset,
     "degraded-result-reports-full-epsilon": _mutant_dishonest_degrade,
     "breaker-open-still-extends": _mutant_breaker_bypass,
+    "cluster-unavailable-served-as-fresh": _mutant_stale_as_fresh,
+    "failover-double-dispatches-extension": _mutant_hedge_writes,
     "compressed-rank-permutation-not-inverted-on-decode": _mutant_compressed_identity,
     "compressed-counting-skips-continuation-byte": _mutant_compressed_continuation,
 }

@@ -17,6 +17,7 @@ pool workers × chunk      {1, 2, 4} × configured chunk sizes
 RNG scheme                per-sample counter streams / leap-frog LCG
 supervised runtime        crash / straggler / deadline / resume axes
 frozen serving index      freeze / serve / tighten / promote / binding
+serving cluster           routing / failover / hedge / partition-heal
 ========================  =============================================
 
 Per-sample counter streams make the output schedule-independent, so for
@@ -60,6 +61,7 @@ from .recovery import (
 )
 from .report import ValidationReport
 from .rnglaws import check_rng_laws
+from .cluster import check_cluster_equivalence
 from .frontend import check_frontend_equivalence
 from .serving import check_compressed_serving, check_serving_equivalence
 from .supervision import check_supervised_equivalence
@@ -129,6 +131,10 @@ class OracleConfig:
     #: extension bulkhead + circuit breaker, deadline-bounded degradation,
     #: and injected serving faults (stragglers, republish, crashes).
     check_frontend: bool = True
+    #: cover the replicated serving cluster: consistent-hash routing,
+    #: health-checked failover, hedged reads, single-writer extension
+    #: routing, and typed all-replicas-down degradation.
+    check_cluster: bool = True
 
 
 def quick_config() -> OracleConfig:
@@ -567,19 +573,21 @@ def run_oracle(
     at the ``i``-th — the CI path for keeping ``--full`` under its time
     budget: the union of the ``m`` shards is exactly the unsharded
     sweep.  The subject list is ``dataset × model × layout-axis``, where
-    the layout axis has two buckets per ``dataset × model`` — the core
-    driver/engine sweep (:func:`check_graph_equivalence`) and the
-    compressed-layout subject (:func:`check_compressed_layout`) — so
-    sharding *distributes* the compressed axis across jobs instead of
-    inflating every job with it.  The (cheap, graph-independent) RNG
-    laws run on shard 1 only.
+    the layout axis has three buckets per ``dataset × model`` — the core
+    driver/engine sweep (:func:`check_graph_equivalence`), the
+    compressed-layout subject (:func:`check_compressed_layout`), and the
+    replicated-cluster subject (:func:`check_cluster_equivalence`) — so
+    sharding *distributes* those axes across jobs instead of inflating
+    every job with them.  The (cheap, graph-independent) RNG laws run on
+    shard 1 only.
     """
     rep = ValidationReport()
+    axes = ("core", "compressed") + (("cluster",) if cfg.check_cluster else ())
     subjects = [
         (name, model, axis)
         for name in cfg.datasets
         for model in cfg.models
-        for axis in ("core", "compressed")
+        for axis in axes
     ]
     if shard is not None:
         i, m = shard
@@ -597,8 +605,10 @@ def run_oracle(
         graph = load(name, model)
         if axis == "core":
             graph_rep = check_graph_equivalence(graph, model, cfg, subject)
-        else:
+        elif axis == "compressed":
             graph_rep = check_compressed_layout(graph, model, cfg, subject)
+        else:
+            graph_rep = check_cluster_equivalence(graph, model, cfg, subject)
         if progress is not None:
             progress(
                 f"{subject}[{axis}]: {graph_rep.checks_run} checks, "

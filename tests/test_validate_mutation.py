@@ -37,6 +37,8 @@ EXPECTED_MUTANTS = {
     "breaker-open-still-extends",
     "compressed-rank-permutation-not-inverted-on-decode",
     "compressed-counting-skips-continuation-byte",
+    "cluster-unavailable-served-as-fresh",
+    "failover-double-dispatches-extension",
 }
 
 
